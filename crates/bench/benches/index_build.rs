@@ -1,0 +1,70 @@
+//! Benchmarks of the IR substrate: corpus generation, tokenization,
+//! index construction, and the document-table transpose.
+
+use authsearch_core::DocTable;
+use authsearch_corpus::{CorpusBuilder, SyntheticConfig};
+use authsearch_index::{build_index, OkapiParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for docs in [500usize, 2000] {
+        group.throughput(Throughput::Elements(docs as u64));
+        group.bench_with_input(BenchmarkId::new("synthetic_wsj", docs), &docs, |b, &n| {
+            b.iter(|| SyntheticConfig::tiny(n, 7).generate())
+        });
+    }
+    group.finish();
+}
+
+fn tokenization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenization");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let text = "The Wall Street Journal reported that the quick brown fox \
+                jumps over the lazy dog while markets rallied in afternoon \
+                trading, with analysts citing strong quarterly earnings. "
+        .repeat(20);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("tokenize_with_stopwords", |b| {
+        b.iter(|| authsearch_corpus::tokenizer::tokenize(&text).count())
+    });
+    group.bench_function("corpus_builder_100_docs", |b| {
+        b.iter(|| {
+            CorpusBuilder::new()
+                .add_texts((0..100).map(|i| format!("{text} doc{i}")))
+                .build()
+        })
+    });
+    group.finish();
+}
+
+fn index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for docs in [500usize, 2000] {
+        let corpus = SyntheticConfig::tiny(docs, 3).generate();
+        group.throughput(Throughput::Elements(docs as u64));
+        group.bench_with_input(BenchmarkId::new("build_index", docs), &corpus, |b, c| {
+            b.iter(|| build_index(c, OkapiParams::default()))
+        });
+        let index = build_index(&corpus, OkapiParams::default());
+        group.bench_with_input(BenchmarkId::new("doc_table_transpose", docs), &index, |b, i| {
+            b.iter(|| DocTable::from_index(i))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, corpus_generation, tokenization, index_construction);
+criterion_main!(benches);

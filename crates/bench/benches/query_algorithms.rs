@@ -1,0 +1,61 @@
+//! PSCAN vs TRA vs TNRA query processing time (the algorithmic
+//! counterpart of Figures 13(a)/14(a): how much work early termination
+//! saves over full prioritized scanning).
+
+use authsearch_core::access::{IndexLists, TableFreqs};
+use authsearch_core::{pscan, tnra, tra, DocTable, Query};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_index::{build_index, OkapiParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn query_algorithms(c: &mut Criterion) {
+    let corpus = SyntheticConfig::wsj(0.02).generate(); // ~3.5k docs
+    let index = build_index(&corpus, OkapiParams::default());
+    let table = DocTable::from_index(&index);
+
+    let mut group = c.benchmark_group("query_algorithms");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for qsize in [2usize, 5, 10] {
+        // A fixed batch of 20 queries per size so comparisons share inputs.
+        let workloads = authsearch_corpus::workload::synthetic(index.num_terms(), 20, qsize, 9);
+        let queries: Vec<Query> = workloads
+            .iter()
+            .map(|terms| Query::from_term_ids(&index, terms))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("pscan", qsize), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let lists = IndexLists::new(&index, q);
+                    pscan::run(&lists, q, 10).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tra", qsize), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let lists = IndexLists::new(&index, q);
+                    let freqs = TableFreqs::new(&table, q);
+                    tra::run(&lists, &freqs, q, 10).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tnra", qsize), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let lists = IndexLists::new(&index, q);
+                    tnra::run(&lists, q, 10).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_algorithms);
+criterion_main!(benches);

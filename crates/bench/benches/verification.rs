@@ -1,0 +1,66 @@
+//! User-side verification time per mechanism — Figure 13(e)'s
+//! micro-benchmark counterpart.
+
+use authsearch_core::{
+    verify, AuthConfig, AuthenticatedIndex, Mechanism, Query, QueryResponse, VerifierParams,
+};
+use authsearch_corpus::{Corpus, SyntheticConfig};
+use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+use authsearch_index::{build_index, OkapiParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn setup(mechanism: Mechanism, corpus: &Corpus) -> (AuthenticatedIndex, VerifierParams) {
+    let key = cached_keypair(TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    };
+    let index = build_index(corpus, OkapiParams::default());
+    let params = VerifierParams {
+        public_key: key.public_key().clone(),
+        layout: config.layout,
+        mechanism,
+        num_docs: index.num_docs(),
+        okapi: index.params(),
+    };
+    (AuthenticatedIndex::build(index, &key, config, corpus), params)
+}
+
+fn verification(c: &mut Criterion) {
+    let corpus = SyntheticConfig::wsj(0.01).generate();
+    let mut group = c.benchmark_group("verification");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for mechanism in Mechanism::ALL {
+        let (auth, params) = setup(mechanism, &corpus);
+        let workloads =
+            authsearch_corpus::workload::synthetic(auth.index().num_terms(), 10, 3, 6);
+        let cases: Vec<(Query, QueryResponse)> = workloads
+            .iter()
+            .map(|terms| {
+                let q = Query::from_term_ids(auth.index(), terms);
+                let resp = auth.query(&q, 10, &corpus);
+                (q, resp)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("verify_q3_r10", mechanism.name()),
+            &cases,
+            |b, cs| {
+                b.iter(|| {
+                    for (q, resp) in cs {
+                        verify::verify(&params, q, 10, resp).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verification);
+criterion_main!(benches);

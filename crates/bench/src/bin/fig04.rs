@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (inverted-list length distribution).
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let wb = Workbench::new(Scale::from_args());
+    figures::fig04::run(&wb);
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 13 (synthetic workload, varying query size).
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let mut wb = Workbench::new(Scale::from_args());
+    figures::fig13::run(&mut wb);
+}

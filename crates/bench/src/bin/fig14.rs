@@ -1,0 +1,8 @@
+//! Regenerate Figure 14 (synthetic workload, varying result size).
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let mut wb = Workbench::new(Scale::from_args());
+    figures::fig14::run(&mut wb);
+}

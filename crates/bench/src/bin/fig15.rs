@@ -1,0 +1,8 @@
+//! Regenerate Figure 15 (TREC-like workload, varying result size).
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let mut wb = Workbench::new(Scale::from_args());
+    figures::fig15::run(&mut wb);
+}

@@ -1,0 +1,8 @@
+//! Regenerate the §4.1 storage-overhead numbers.
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let mut wb = Workbench::new(Scale::from_args());
+    figures::space::run(&mut wb);
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 2 (VO data/digest breakdown of the TRA variants).
+
+use authsearch_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let mut wb = Workbench::new(Scale::from_args());
+    figures::table2::run(&mut wb);
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figures 6 and 11 (the worked example's traces).
+
+use authsearch_bench::figures;
+
+fn main() {
+    figures::trace::run();
+}

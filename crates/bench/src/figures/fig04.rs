@@ -1,0 +1,33 @@
+//! Figure 4: inverted-list length distribution of the WSJ corpus.
+
+use crate::tables::Table;
+use crate::Workbench;
+use authsearch_corpus::list_length_stats;
+
+/// Print the CDF of inverted-list lengths plus the paper's anchors.
+pub fn run(wb: &Workbench) {
+    let stats = list_length_stats(&wb.corpus);
+    let mut t = Table::new(
+        "Figure 4: Inverted List Length Distribution (WSJ-like corpus)",
+        &["# docs/term ≤", "cumulative %"],
+    );
+    for (len, pct) in stats.log_cdf(2) {
+        t.row(vec![len.to_string(), format!("{pct:.1}")]);
+    }
+    t.note(format!(
+        "corpus: {} docs, {} terms, mean list {:.1} entries",
+        wb.corpus.num_docs(),
+        wb.corpus.num_terms(),
+        stats.mean_len
+    ));
+    t.note(format!(
+        "terms with 2-5 entries: {:.1}% (paper: >50%)",
+        100.0 * stats.frac_in_2_to_5
+    ));
+    t.note(format!(
+        "longest list: {} entries = {:.1}% of n (paper: 127,848 = 73.9% of n)",
+        stats.max_len,
+        100.0 * stats.max_len as f64 / wb.corpus.num_docs() as f64
+    ));
+    t.print();
+}

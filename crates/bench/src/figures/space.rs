@@ -1,0 +1,63 @@
+//! §4.1 storage overheads: authentication space per mechanism, plus the
+//! §3.4 dictionary-MHT ablation.
+
+use crate::tables::{fmt_bytes, Table};
+use crate::Workbench;
+use authsearch_core::{AuthConfig, Mechanism};
+
+/// Print the storage report table.
+pub fn run(wb: &mut Workbench) {
+    println!("\n#### §4.1 — authentication storage overheads ####");
+    let contents_bytes: u64 = (0..wb.corpus.num_docs() as u32)
+        .map(|d| wb.corpus.content_bytes(d).len() as u64)
+        .sum();
+
+    let mut t = Table::new(
+        "Authentication space",
+        &[
+            "mechanism",
+            "plain index",
+            "collection",
+            "term auth",
+            "doc auth",
+            "extra vs index",
+            "extra vs total",
+        ],
+    );
+    for mechanism in Mechanism::ALL {
+        let (auth, _) = wb.auth(mechanism);
+        let report = auth.space_report(contents_bytes);
+        t.row(vec![
+            mechanism.name().to_string(),
+            fmt_bytes(report.plain_index_bytes as f64),
+            fmt_bytes(report.contents_bytes as f64),
+            fmt_bytes(report.term_auth_bytes as f64),
+            fmt_bytes(report.doc_auth_bytes as f64),
+            format!("{:.1}%", report.overhead_vs_index_pct()),
+            format!("{:.1}%", report.overhead_vs_total_pct()),
+        ]);
+    }
+    // §3.4 ablation: one dictionary-MHT signature instead of per-list.
+    let config = AuthConfig {
+        key_bits: wb.scale.key_bits,
+        dict_mht: true,
+        ..AuthConfig::new(Mechanism::TnraCmht)
+    };
+    let (auth, _) = wb.build_auth(config);
+    let report = auth.space_report(contents_bytes);
+    t.row(vec![
+        "TNRA-CMHT+dictMHT".to_string(),
+        fmt_bytes(report.plain_index_bytes as f64),
+        fmt_bytes(report.contents_bytes as f64),
+        fmt_bytes(report.term_auth_bytes as f64),
+        fmt_bytes(report.doc_auth_bytes as f64),
+        format!("{:.1}%", report.overhead_vs_index_pct()),
+        format!("{:.1}%", report.overhead_vs_total_pct()),
+    ]);
+    t.note(
+        "paper: TNRA needs <1% extra space over the plain index; TRA ~25% \
+         (document-MHTs). Shape: TRA >> TNRA; the dictionary-MHT removes \
+         almost all per-list signature space.",
+    );
+    t.print();
+}

@@ -1,0 +1,243 @@
+//! Shared experiment scaffolding: corpus/index caching, per-mechanism
+//! authenticated-index construction, and workload aggregation.
+
+use crate::scale::Scale;
+use authsearch_core::{measure, AuthConfig, AuthenticatedIndex, Mechanism, Query, VerifierParams};
+use authsearch_corpus::{Corpus, SyntheticConfig, TermId};
+use authsearch_crypto::keys::cached_keypair;
+use authsearch_index::{build_index, persist, DiskModel, InvertedIndex, OkapiParams};
+use authsearch_core::vo::VoSize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A loaded experiment environment: the WSJ-scale corpus, its index, the
+/// simulated disk, and lazily built authenticated indexes per mechanism.
+pub struct Workbench {
+    /// Scale this bench was created at.
+    pub scale: Scale,
+    /// The synthetic WSJ-like corpus.
+    pub corpus: Corpus,
+    /// The plain inverted index.
+    pub index: InvertedIndex,
+    /// The simulated testbed disk.
+    pub disk: DiskModel,
+    auths: HashMap<Mechanism, (AuthenticatedIndex, VerifierParams)>,
+}
+
+impl Workbench {
+    /// Build (or load from the on-disk cache) the corpus and index.
+    pub fn new(scale: Scale) -> Workbench {
+        let cache = cache_dir();
+        std::fs::create_dir_all(&cache).ok();
+        let tag = format!("wsj_{:.4}", scale.frac);
+        let corpus_path = cache.join(format!("{tag}.corpus"));
+        let index_path = cache.join(format!("{tag}.index"));
+
+        let corpus = match persist::load_corpus(&corpus_path) {
+            Ok(c) => c,
+            Err(_) => {
+                let t = Instant::now();
+                eprintln!(
+                    "[bench] generating WSJ-like corpus at scale {:.4} ({} docs)…",
+                    scale.frac,
+                    scale.num_docs()
+                );
+                let c = SyntheticConfig::wsj(scale.frac).generate();
+                eprintln!("[bench] generated in {:.1?}; caching", t.elapsed());
+                persist::save_corpus(&corpus_path, &c).ok();
+                c
+            }
+        };
+        let index = match persist::load_index(&index_path) {
+            Ok(i) => i,
+            Err(_) => {
+                let t = Instant::now();
+                eprintln!("[bench] building inverted index…");
+                let i = build_index(&corpus, OkapiParams::default());
+                eprintln!(
+                    "[bench] indexed {} postings over {} terms in {:.1?}",
+                    i.total_entries(),
+                    i.num_terms(),
+                    t.elapsed()
+                );
+                persist::save_index(&index_path, &i).ok();
+                i
+            }
+        };
+
+        Workbench {
+            scale,
+            corpus,
+            index,
+            disk: DiskModel::seagate_st973401kc(),
+            auths: HashMap::new(),
+        }
+    }
+
+    /// The authenticated index for a mechanism (built and memoized on
+    /// first use — key generation is cached process-wide, signatures are
+    /// the bulk of the cost).
+    pub fn auth(&mut self, mechanism: Mechanism) -> (&AuthenticatedIndex, &VerifierParams) {
+        if !self.auths.contains_key(&mechanism) {
+            let config = AuthConfig {
+                key_bits: self.scale.key_bits,
+                ..AuthConfig::new(mechanism)
+            };
+            let built = self.build_auth(config);
+            self.auths.insert(mechanism, built);
+        }
+        let (a, p) = self.auths.get(&mechanism).expect("just inserted");
+        (a, p)
+    }
+
+    /// Build an authenticated index for an arbitrary configuration
+    /// (ablations); not memoized.
+    pub fn build_auth(&self, config: AuthConfig) -> (AuthenticatedIndex, VerifierParams) {
+        let t = Instant::now();
+        eprintln!(
+            "[bench] signing authentication structures for {}…",
+            config.mechanism.name()
+        );
+        let key = cached_keypair(config.key_bits);
+        let auth = AuthenticatedIndex::build(self.index.clone(), &key, config, &self.corpus);
+        eprintln!("[bench] {} ready in {:.1?}", config.mechanism.name(), t.elapsed());
+        let params = VerifierParams {
+            public_key: key.public_key().clone(),
+            layout: config.layout,
+            mechanism: config.mechanism,
+            num_docs: self.index.num_docs(),
+            okapi: self.index.params(),
+        };
+        (auth, params)
+    }
+
+    /// Synthetic workload: `scale.queries` queries of `qsize` uniform
+    /// dictionary terms (the paper's first workload).
+    pub fn synthetic_queries(&self, qsize: usize, seed: u64) -> Vec<Vec<TermId>> {
+        authsearch_corpus::workload::synthetic(
+            self.index.num_terms(),
+            self.scale.queries,
+            qsize,
+            seed,
+        )
+    }
+
+    /// TREC-like workload: `n` natural-language-shaped queries
+    /// (2–20 terms with common words; the paper's second workload).
+    pub fn trec_queries(&self, n: usize, seed: u64) -> Vec<Vec<TermId>> {
+        authsearch_corpus::workload::trec_like(self.index.document_frequencies(), n, 0.35, seed)
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("authsearch-cache")
+}
+
+/// Averaged metrics over a workload — one data point of a figure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggregateMetrics {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Figure (a): mean entries read per queried list.
+    pub mean_entries_read: f64,
+    /// The "List Length" baseline of figure (a).
+    pub mean_list_len: f64,
+    /// Figure (b): mean % of each queried list read.
+    pub mean_pct_read: f64,
+    /// Figure (c): mean simulated engine I/O seconds.
+    pub mean_io_secs: f64,
+    /// Figure (d): mean VO size in bytes.
+    pub mean_vo_bytes: f64,
+    /// Table 2: mean VO data bytes.
+    pub mean_vo_data: f64,
+    /// Table 2: mean VO digest bytes.
+    pub mean_vo_digest: f64,
+    /// Mean VO signature bytes.
+    pub mean_vo_sig: f64,
+    /// Figure (e): mean user verification seconds (wall clock).
+    pub mean_verify_secs: f64,
+    /// Mean engine processing + VO construction seconds (wall clock).
+    pub mean_process_secs: f64,
+}
+
+/// Run a workload through one authenticated index, verifying every
+/// response, and average the metrics.
+pub fn run_workload(
+    auth: &AuthenticatedIndex,
+    params: &VerifierParams,
+    corpus: &Corpus,
+    disk: &DiskModel,
+    queries: &[Vec<TermId>],
+    r: usize,
+) -> AggregateMetrics {
+    let mut agg = AggregateMetrics::default();
+    let mut vo_total = VoSize::default();
+    for terms in queries {
+        let query = Query::from_term_ids(auth.index(), terms);
+        let m = measure(auth, params, &query, r, corpus, disk)
+            .unwrap_or_else(|e| panic!("honest query failed verification: {e}"));
+        agg.queries += 1;
+        agg.mean_entries_read += m.mean_entries_read();
+        agg.mean_list_len += m.mean_list_len();
+        agg.mean_pct_read += m.mean_pct_read();
+        agg.mean_io_secs += m.io_secs;
+        vo_total = vo_total + m.vo_size;
+        agg.mean_verify_secs += m.verify_time.as_secs_f64();
+        agg.mean_process_secs += m.process_time.as_secs_f64();
+    }
+    let n = agg.queries.max(1) as f64;
+    agg.mean_entries_read /= n;
+    agg.mean_list_len /= n;
+    agg.mean_pct_read /= n;
+    agg.mean_io_secs /= n;
+    agg.mean_vo_bytes = vo_total.total() as f64 / n;
+    agg.mean_vo_data = vo_total.data as f64 / n;
+    agg.mean_vo_digest = vo_total.digest as f64 / n;
+    agg.mean_vo_sig = vo_total.signature as f64 / n;
+    agg.mean_verify_secs /= n;
+    agg.mean_process_secs /= n;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    #[test]
+    fn workbench_tiny_end_to_end() {
+        // A miniature full pipeline through the harness itself.
+        let scale = Scale {
+            frac: 0.001, // ~173 documents
+            queries: 3,
+            key_bits: TEST_KEY_BITS,
+        };
+        let mut wb = Workbench::new(scale);
+        assert!(wb.corpus.num_docs() >= 100);
+        let queries = wb.synthetic_queries(3, 1);
+        assert_eq!(queries.len(), 3);
+        let disk = wb.disk;
+        let corpus = wb.corpus.clone();
+        let (auth, params) = wb.auth(Mechanism::TnraCmht);
+        let agg = run_workload(auth, params, &corpus, &disk, &queries, 10);
+        assert_eq!(agg.queries, 3);
+        assert!(agg.mean_entries_read > 0.0);
+        assert!(agg.mean_vo_bytes > 0.0);
+        assert!(agg.mean_io_secs > 0.0);
+    }
+
+    #[test]
+    fn trec_queries_have_published_lengths() {
+        let scale = Scale {
+            frac: 0.001,
+            queries: 5,
+            key_bits: TEST_KEY_BITS,
+        };
+        let wb = Workbench::new(scale);
+        for q in wb.trec_queries(20, 2) {
+            assert!((2..=20).contains(&q.len()));
+        }
+    }
+}

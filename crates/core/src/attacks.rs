@@ -1,0 +1,294 @@
+//! Attack simulation: the threat model of §3.1.
+//!
+//! "The search engine may alter the document collection or the inverted
+//! index, it may execute the query processing algorithm incorrectly, or
+//! it may tamper with the search results." Each attack here mutates an
+//! honest [`QueryResponse`] (or re-serves one from doctored processing
+//! state) the way a compromised engine would, *including recomputing any
+//! unsigned fields an intelligent attacker could fix up*. The attack
+//! suite asserts that the verifier rejects every one of them.
+
+use crate::auth::serve::QueryResponse;
+use crate::auth::AuthenticatedIndex;
+use crate::types::{ProcessingOutcome, Query, ResultEntry};
+use crate::vo::PrefixData;
+use authsearch_corpus::DocId;
+
+/// The catalogue of simulated attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Incomplete result: silently drop the best-ranked document
+    /// (the MicroPatent scenario: make a patent vanish).
+    OmitTopResult,
+    /// Altered ranking: swap ranks 1 and 2.
+    SwapRanking,
+    /// Altered ranking: report an inflated score for rank 1.
+    InflateScore,
+    /// Spurious result: inject a fabricated document at rank 1.
+    InjectSpurious,
+    /// Tamper with a frequency inside a TNRA list prefix.
+    AlterPrefixWeight,
+    /// Reorder two entries within a list prefix.
+    ReorderPrefix,
+    /// Flip a bit in a list signature.
+    ForgeTermSignature,
+    /// Lie about a list's f_t (shortening the claimed list).
+    UnderstateListLength,
+    /// TRA: tamper with a revealed document-MHT frequency.
+    AlterDocFrequency,
+    /// TRA: withhold the document proof of an encountered document.
+    DropDocProof,
+    /// TRA: substitute the content of a result document.
+    TamperContent,
+}
+
+impl Attack {
+    /// Attacks applicable to every mechanism.
+    pub const COMMON: [Attack; 8] = [
+        Attack::OmitTopResult,
+        Attack::SwapRanking,
+        Attack::InflateScore,
+        Attack::InjectSpurious,
+        Attack::AlterPrefixWeight,
+        Attack::ReorderPrefix,
+        Attack::ForgeTermSignature,
+        Attack::UnderstateListLength,
+    ];
+
+    /// Attacks specific to the TRA mechanisms (document-MHTs).
+    pub const TRA_ONLY: [Attack; 3] = [
+        Attack::AlterDocFrequency,
+        Attack::DropDocProof,
+        Attack::TamperContent,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attack::OmitTopResult => "omit top result",
+            Attack::SwapRanking => "swap ranking",
+            Attack::InflateScore => "inflate score",
+            Attack::InjectSpurious => "inject spurious document",
+            Attack::AlterPrefixWeight => "alter prefix weight",
+            Attack::ReorderPrefix => "reorder prefix",
+            Attack::ForgeTermSignature => "forge list signature",
+            Attack::UnderstateListLength => "understate list length",
+            Attack::AlterDocFrequency => "alter document frequency",
+            Attack::DropDocProof => "drop document proof",
+            Attack::TamperContent => "tamper with document content",
+        }
+    }
+
+    /// Apply the attack to an honest response. Returns `false` when the
+    /// attack is not applicable to this response (e.g. too few results to
+    /// swap, or a TRA-only attack against a TNRA response).
+    pub fn apply(self, response: &mut QueryResponse) -> bool {
+        match self {
+            Attack::OmitTopResult => {
+                if response.result.entries.is_empty() {
+                    return false;
+                }
+                let gone = response.result.entries.remove(0);
+                response.contents.retain(|(d, _)| *d != gone.doc);
+                true
+            }
+            Attack::SwapRanking => {
+                if response.result.entries.len() < 2 {
+                    return false;
+                }
+                response.result.entries.swap(0, 1);
+                response.contents.swap(0, 1);
+                true
+            }
+            Attack::InflateScore => {
+                let Some(first) = response.result.entries.first_mut() else {
+                    return false;
+                };
+                first.score += 1.0;
+                true
+            }
+            Attack::InjectSpurious => {
+                let fake_doc: DocId = u32::MAX - 1;
+                let score = response
+                    .result
+                    .entries
+                    .first()
+                    .map_or(1.0, |e| e.score + 0.5);
+                response.result.entries.insert(
+                    0,
+                    ResultEntry {
+                        doc: fake_doc,
+                        score,
+                    },
+                );
+                response
+                    .contents
+                    .insert(0, (fake_doc, b"fabricated patent".to_vec()));
+                if !response.result.entries.is_empty() {
+                    response.result.entries.pop();
+                    if response.contents.len() > response.result.entries.len() {
+                        response.contents.pop();
+                    }
+                }
+                true
+            }
+            Attack::AlterPrefixWeight => {
+                for tv in &mut response.vo.terms {
+                    if let PrefixData::Entries(entries) = &mut tv.prefix {
+                        if let Some(e) = entries.first_mut() {
+                            e.weight *= 1.5;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Attack::ReorderPrefix => {
+                for tv in &mut response.vo.terms {
+                    match &mut tv.prefix {
+                        PrefixData::Entries(entries) if entries.len() >= 2 => {
+                            entries.swap(0, 1);
+                            return true;
+                        }
+                        PrefixData::DocIds(ids) if ids.len() >= 2 => {
+                            ids.swap(0, 1);
+                            return true;
+                        }
+                        _ => {}
+                    }
+                }
+                false
+            }
+            Attack::ForgeTermSignature => {
+                for tv in &mut response.vo.terms {
+                    if let Some(sig) = &mut tv.signature {
+                        sig[0] ^= 0x40;
+                        return true;
+                    }
+                }
+                false
+            }
+            Attack::UnderstateListLength => {
+                for tv in &mut response.vo.terms {
+                    if tv.ft > tv.prefix.len() as u32 {
+                        tv.ft = tv.prefix.len() as u32;
+                        return true;
+                    }
+                }
+                false
+            }
+            Attack::AlterDocFrequency => {
+                for dv in &mut response.vo.docs {
+                    if let Some(leaf) = dv.revealed.iter_mut().find(|l| l.2 > 0.0) {
+                        leaf.2 *= 2.0;
+                        return true;
+                    }
+                }
+                false
+            }
+            Attack::DropDocProof => {
+                if response.vo.docs.is_empty() {
+                    return false;
+                }
+                response.vo.docs.remove(0);
+                true
+            }
+            Attack::TamperContent => {
+                let Some((_, bytes)) = response.contents.first_mut() else {
+                    return false;
+                };
+                *bytes = b"this patent never existed".to_vec();
+                true
+            }
+        }
+    }
+}
+
+/// A smarter attack that cannot be expressed as a response mutation: the
+/// engine stops early (reads shorter prefixes than the algorithm
+/// requires) but builds a perfectly well-formed VO for the shortened
+/// prefixes, still reporting the honest result. The replay must detect
+/// that the prefixes cannot substantiate the claimed result.
+pub fn truncated_prefix_response<C: crate::auth::ContentProvider>(
+    auth: &AuthenticatedIndex,
+    query: &Query,
+    r: usize,
+    contents: &C,
+) -> Option<QueryResponse> {
+    let honest = auth.query(query, r, contents);
+    // Shorten the longest prefix — past any buddy padding, which would
+    // otherwise round the prefix back up and (correctly!) keep the VO
+    // sufficient. Bail when every prefix is too short to truncate.
+    let pad = if auth.config().buddy {
+        crate::buddy::buddy_group_size(auth.config().term_leaf_bytes(), 16)
+    } else {
+        1
+    };
+    let (argmax, &len) = honest
+        .entries_read
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &l)| l)?;
+    if len <= pad {
+        return None;
+    }
+    let mut prefix_lens = honest.entries_read.clone();
+    prefix_lens[argmax] = len - pad;
+    let outcome = ProcessingOutcome {
+        result: honest.result.clone(),
+        prefix_lens,
+        encountered: honest.vo.docs.iter().map(|d| d.doc).collect(),
+        iterations: 0,
+    };
+    Some(auth.respond(query, outcome, contents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::owner::DataOwner;
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    #[test]
+    fn attack_names_unique() {
+        let mut names: Vec<&str> = Attack::COMMON
+            .iter()
+            .chain(Attack::TRA_ONLY.iter())
+            .map(|a| a.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn attacks_apply_to_toy_responses() {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(Mechanism::TraMht)
+        };
+        let publication =
+            owner.publish_index(crate::toy::toy_index(), config, &crate::toy::toy_contents());
+        let honest = publication
+            .auth
+            .query(&crate::toy::toy_query(), 2, &crate::toy::toy_contents());
+        for attack in Attack::COMMON.iter().chain(Attack::TRA_ONLY.iter()) {
+            let mut copy = honest.clone();
+            let applied = attack.apply(&mut copy);
+            // AlterPrefixWeight targets TNRA entries; everything else
+            // must apply to a TRA response.
+            if *attack != Attack::AlterPrefixWeight {
+                assert!(applied, "{}", attack.name());
+                assert_ne!(
+                    format!("{:?}", copy.vo) + &format!("{:?}", copy.result) + &format!("{:?}", copy.contents),
+                    format!("{:?}", honest.vo) + &format!("{:?}", honest.result) + &format!("{:?}", honest.contents),
+                    "{} left the response unchanged",
+                    attack.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Owner-side authentication structures (paper §3.3, §3.4).
+//!
+//! The data owner builds, once, for the whole collection:
+//!
+//! * a **term-MHT** (or **chain-MHT**) over every inverted list, its root
+//!   (head) digest bound to the term and `f_t` by a signature;
+//! * for the TRA mechanisms, a **document-MHT** over every document's
+//!   `(t, w_{d,t})` leaves, its root bound to the document id and the
+//!   digest of the document's content by a signature;
+//! * optionally (§3.4), a single **dictionary-MHT** over all term roots,
+//!   replacing the per-list signatures with one signature at the cost of
+//!   extra digests per VO.
+//!
+//! Following [13] (and §3.3.1), only roots and leaves are stored;
+//! intermediate digests are regenerated at runtime — which is exactly why
+//! the plain-MHT variants must re-read entire inverted lists at query time
+//! while the chain-MHT variants stop at the cut-off block.
+
+pub mod serve;
+pub mod space;
+
+use crate::types::DocTable;
+use crate::vo::Mechanism;
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::keys::PAPER_KEY_BITS;
+use authsearch_crypto::{ChainMht, Digest, MerkleTree, RsaPrivateKey, RsaPublicKey};
+use authsearch_index::{BlockLayout, ImpactEntry, InvertedIndex, InvertedList};
+
+/// Source of raw document contents (for `h(doc)`); implemented by
+/// [`authsearch_corpus::Corpus`] and by plain `Vec<Vec<u8>>` fixtures.
+pub trait ContentProvider {
+    /// Canonical content bytes of document `d`.
+    fn content(&self, d: DocId) -> Vec<u8>;
+}
+
+impl ContentProvider for authsearch_corpus::Corpus {
+    fn content(&self, d: DocId) -> Vec<u8> {
+        self.content_bytes(d)
+    }
+}
+
+impl ContentProvider for Vec<Vec<u8>> {
+    fn content(&self, d: DocId) -> Vec<u8> {
+        self[d as usize].clone()
+    }
+}
+
+/// Authentication configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuthConfig {
+    /// Query-processing + authentication mechanism.
+    pub mechanism: Mechanism,
+    /// Disk block layout (determines ρ / ρ′).
+    pub layout: BlockLayout,
+    /// Buddy inclusion (paper default: on for CMHT, off for plain MHT).
+    pub buddy: bool,
+    /// Replace per-list signatures with one dictionary-MHT signature
+    /// (§3.4 space optimization; off by default — the paper finds the
+    /// trade-off unappealing except under storage pressure).
+    pub dict_mht: bool,
+    /// RSA modulus size (paper: 1024).
+    pub key_bits: usize,
+}
+
+impl AuthConfig {
+    /// The paper's configuration for a mechanism.
+    pub fn new(mechanism: Mechanism) -> AuthConfig {
+        AuthConfig {
+            mechanism,
+            layout: BlockLayout::default(),
+            buddy: mechanism.is_cmht(),
+            dict_mht: false,
+            key_bits: PAPER_KEY_BITS,
+        }
+    }
+
+    /// Chain-MHT block capacity for this mechanism's leaf size
+    /// (ρ = 251 for TRA's doc-id leaves, ρ′ = 125 for TNRA's ⟨d,f⟩).
+    pub fn chain_capacity(&self) -> usize {
+        self.layout.chain_capacity(self.term_leaf_bytes())
+    }
+
+    /// Leaf size of the term-(chain-)MHTs.
+    pub fn term_leaf_bytes(&self) -> usize {
+        if self.mechanism.is_tra() {
+            4
+        } else {
+            ImpactEntry::BYTES
+        }
+    }
+}
+
+// ---- canonical leaf & message encodings ----------------------------------
+
+/// Digest of one term-MHT leaf for the TRA mechanisms (doc id only).
+pub(crate) fn tra_leaf_digest(doc: DocId) -> Digest {
+    Digest::hash(&doc.to_le_bytes())
+}
+
+/// Digest of one term-MHT leaf for the TNRA mechanisms (`⟨d, f⟩`).
+pub(crate) fn tnra_leaf_digest(entry: &ImpactEntry) -> Digest {
+    Digest::hash(&entry.encode())
+}
+
+/// Term-MHT leaf digests for a list under a mechanism.
+pub(crate) fn term_leaves(mechanism: Mechanism, list: &InvertedList) -> Vec<Digest> {
+    if mechanism.is_tra() {
+        list.entries().iter().map(|e| tra_leaf_digest(e.doc)).collect()
+    } else {
+        list.entries().iter().map(tnra_leaf_digest).collect()
+    }
+}
+
+/// Encoding of one document-MHT leaf: `(t, w_{d,t})`, 8 bytes.
+pub(crate) fn doc_leaf_bytes(term: TermId, weight: f32) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out[..4].copy_from_slice(&term.to_le_bytes());
+    out[4..].copy_from_slice(&weight.to_bits().to_le_bytes());
+    out
+}
+
+/// Digest of one document-MHT leaf.
+pub(crate) fn doc_leaf_digest(term: TermId, weight: f32) -> Digest {
+    Digest::hash(&doc_leaf_bytes(term, weight))
+}
+
+/// Document-MHT root over `(t, w)` leaves; documents with no indexed
+/// terms get a distinguished constant.
+pub(crate) fn doc_root(doc_terms: &[(TermId, f32)]) -> Digest {
+    if doc_terms.is_empty() {
+        return Digest::hash(b"authsearch:empty-doc-mht:v1");
+    }
+    let leaves: Vec<Digest> = doc_terms
+        .iter()
+        .map(|&(t, w)| doc_leaf_digest(t, w))
+        .collect();
+    MerkleTree::from_leaf_digests(leaves).root()
+}
+
+/// Root (plain MHT) or head (chain-MHT) digest of a term's list.
+pub(crate) fn term_root(config: &AuthConfig, list: &InvertedList) -> Digest {
+    let leaves = term_leaves(config.mechanism, list);
+    if config.mechanism.is_cmht() {
+        ChainMht::build(leaves, config.chain_capacity()).head_digest()
+    } else {
+        MerkleTree::from_leaf_digests(leaves).root()
+    }
+}
+
+/// Signed message binding a term's list: `h(tag | t | f_t | digest)` —
+/// the paper's `sign(h(t_i | f_{t_i} | i | digest_{i,1}))`.
+pub(crate) fn term_message(term: TermId, ft: u32, root: &Digest) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(16 + 8 + 16);
+    msg.extend_from_slice(b"authsearch:term:v1|");
+    msg.extend_from_slice(&term.to_le_bytes());
+    msg.extend_from_slice(&ft.to_le_bytes());
+    msg.extend_from_slice(root.as_bytes());
+    msg
+}
+
+/// Signed message binding a document: the paper's
+/// `sign(h(h(doc) | d | root))` (Figure 8).
+pub(crate) fn doc_message(doc: DocId, content_digest: &Digest, root: &Digest) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(19 + 4 + 32);
+    msg.extend_from_slice(b"authsearch:doc:v1|");
+    msg.extend_from_slice(&content_digest.0);
+    msg.extend_from_slice(&doc.to_le_bytes());
+    msg.extend_from_slice(root.as_bytes());
+    msg
+}
+
+/// Signed message for the dictionary-MHT root (§3.4).
+pub(crate) fn dict_message(num_terms: u32, root: &Digest) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(24 + 16);
+    msg.extend_from_slice(b"authsearch:dict:v1|");
+    msg.extend_from_slice(&num_terms.to_le_bytes());
+    msg.extend_from_slice(root.as_bytes());
+    msg
+}
+
+/// Dictionary-MHT leaf for one term: the digest of its signed message
+/// (binding term id, `f_t`, and list root together).
+pub(crate) fn dict_leaf_digest(term: TermId, ft: u32, root: &Digest) -> Digest {
+    Digest::hash(&term_message(term, ft, root))
+}
+
+// ---- the owner's artifact -------------------------------------------------
+
+/// Everything the data owner hands the search engine: the index, the
+/// document table, and the signatures/digests of the authentication
+/// structures.
+#[derive(Debug)]
+pub struct AuthenticatedIndex {
+    config: AuthConfig,
+    index: InvertedIndex,
+    doc_table: DocTable,
+    /// Root/head digest of every term's (chain-)MHT.
+    term_roots: Vec<Digest>,
+    /// Per-list signatures (empty in dictionary-MHT mode).
+    term_sigs: Vec<Vec<u8>>,
+    /// Dictionary-MHT signature (dictionary-MHT mode only).
+    dict_sig: Option<Vec<u8>>,
+    /// TRA only: per-document content digests and signatures.
+    doc_content_digests: Vec<Digest>,
+    doc_sigs: Vec<Vec<u8>>,
+    public_key: RsaPublicKey,
+}
+
+impl AuthenticatedIndex {
+    /// Build every authentication structure and sign the roots. This is
+    /// the owner's one-off preprocessing step (the dominant cost is one
+    /// RSA signature per dictionary term, plus one per document for TRA).
+    pub fn build<C: ContentProvider>(
+        index: InvertedIndex,
+        key: &RsaPrivateKey,
+        config: AuthConfig,
+        contents: &C,
+    ) -> AuthenticatedIndex {
+        let m = index.num_terms();
+        for t in 0..m as TermId {
+            assert!(
+                !index.list(t).is_empty(),
+                "term {t} has an empty inverted list; prune before authenticating"
+            );
+        }
+
+        let doc_table = DocTable::from_index(&index);
+
+        // Term structures.
+        let mut term_roots = Vec::with_capacity(m);
+        for t in 0..m as TermId {
+            term_roots.push(term_root(&config, index.list(t)));
+        }
+        let (term_sigs, dict_sig) = if config.dict_mht {
+            let leaves: Vec<Digest> = (0..m as TermId)
+                .map(|t| dict_leaf_digest(t, index.ft(t), &term_roots[t as usize]))
+                .collect();
+            let root = MerkleTree::from_leaf_digests(leaves).root();
+            let sig = key
+                .sign(&dict_message(m as u32, &root))
+                .expect("dictionary signature");
+            (Vec::new(), Some(sig))
+        } else {
+            let sigs: Vec<Vec<u8>> = (0..m as TermId)
+                .map(|t| {
+                    key.sign(&term_message(t, index.ft(t), &term_roots[t as usize]))
+                        .expect("term signature")
+                })
+                .collect();
+            (sigs, None)
+        };
+
+        // Document structures (TRA mechanisms only).
+        let (doc_content_digests, doc_sigs) = if config.mechanism.is_tra() {
+            let n = index.num_docs();
+            let mut digests = Vec::with_capacity(n);
+            let mut sigs = Vec::with_capacity(n);
+            for d in 0..n as DocId {
+                let cd = Digest::hash(&contents.content(d));
+                let root = doc_root(doc_table.doc_terms(d));
+                sigs.push(key.sign(&doc_message(d, &cd, &root)).expect("doc signature"));
+                digests.push(cd);
+            }
+            (digests, sigs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        AuthenticatedIndex {
+            config,
+            index,
+            doc_table,
+            term_roots,
+            term_sigs,
+            dict_sig,
+            doc_content_digests,
+            doc_sigs,
+            public_key: key.public_key().clone(),
+        }
+    }
+
+    /// The configuration this artifact was built with.
+    pub fn config(&self) -> &AuthConfig {
+        &self.config
+    }
+
+    /// The underlying inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The per-document frequency table (the document-MHT leaf layer).
+    pub fn doc_table(&self) -> &DocTable {
+        &self.doc_table
+    }
+
+    /// Root/head digest of term `t`'s list structure.
+    pub fn term_root(&self, t: TermId) -> Digest {
+        self.term_roots[t as usize]
+    }
+
+    /// The owner's public key (what users verify against).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{toy_contents, toy_index};
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+
+    fn test_config(mechanism: Mechanism) -> AuthConfig {
+        AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        }
+    }
+
+    #[test]
+    fn config_defaults_follow_paper() {
+        let c = AuthConfig::new(Mechanism::TraCmht);
+        assert!(c.buddy);
+        assert!(!c.dict_mht);
+        assert_eq!(c.key_bits, 1024);
+        assert_eq!(c.chain_capacity(), 251);
+        let c2 = AuthConfig::new(Mechanism::TnraCmht);
+        assert_eq!(c2.chain_capacity(), 125);
+        assert!(!AuthConfig::new(Mechanism::TnraMht).buddy);
+    }
+
+    #[test]
+    fn build_signs_every_term() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let auth = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            test_config(Mechanism::TnraMht),
+            &toy_contents(),
+        );
+        assert_eq!(auth.term_sigs.len(), 16);
+        // Spot-verify one signature.
+        let t = 15u32; // 'the'
+        let msg = term_message(t, auth.index.ft(t), &auth.term_root(t));
+        auth.public_key().verify(&msg, &auth.term_sigs[t as usize]).unwrap();
+    }
+
+    #[test]
+    fn tra_build_signs_every_document() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let auth = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            test_config(Mechanism::TraMht),
+            &toy_contents(),
+        );
+        assert_eq!(auth.doc_sigs.len(), 9);
+        let d = 6u32;
+        let root = doc_root(auth.doc_table().doc_terms(d));
+        let msg = doc_message(d, &auth.doc_content_digests[d as usize], &root);
+        auth.public_key().verify(&msg, &auth.doc_sigs[d as usize]).unwrap();
+    }
+
+    #[test]
+    fn tnra_build_has_no_doc_structures() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let auth = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            test_config(Mechanism::TnraCmht),
+            &toy_contents(),
+        );
+        assert!(auth.doc_sigs.is_empty());
+        assert!(auth.doc_content_digests.is_empty());
+    }
+
+    #[test]
+    fn dict_mode_has_single_signature() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            dict_mht: true,
+            ..test_config(Mechanism::TnraMht)
+        };
+        let auth = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+        assert!(auth.term_sigs.is_empty());
+        assert!(auth.dict_sig.is_some());
+    }
+
+    #[test]
+    fn mechanism_changes_term_roots() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let a = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            test_config(Mechanism::TraMht),
+            &toy_contents(),
+        );
+        let b = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            test_config(Mechanism::TnraMht),
+            &toy_contents(),
+        );
+        // TRA roots cover doc ids only; TNRA roots cover ⟨d, f⟩ — they
+        // must differ.
+        assert_ne!(a.term_root(15), b.term_root(15));
+    }
+
+    #[test]
+    fn empty_doc_has_stable_root() {
+        // Doc 0 of the toy collection has no terms.
+        let root = doc_root(&[]);
+        assert_eq!(root, doc_root(&[]));
+        assert_ne!(root, doc_root(&[(1, 0.5)]));
+    }
+
+    #[test]
+    fn leaf_encodings_are_canonical() {
+        assert_eq!(doc_leaf_bytes(1, 0.159).len(), 8);
+        assert_ne!(tra_leaf_digest(1), tra_leaf_digest(2));
+        let e1 = ImpactEntry { doc: 1, weight: 0.5 };
+        let e2 = ImpactEntry { doc: 1, weight: 0.25 };
+        assert_ne!(tnra_leaf_digest(&e1), tnra_leaf_digest(&e2));
+    }
+}

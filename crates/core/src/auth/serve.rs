@@ -1,0 +1,385 @@
+//! Server-side query processing with VO construction (§3.3, §3.4).
+//!
+//! The (untrusted, but here honest) search engine runs the threshold
+//! algorithm, then assembles the verification object: per query term the
+//! processed list prefix with complementary digests and the list
+//! signature; for the TRA mechanisms additionally one document-MHT proof
+//! per encountered document. Disk traffic is accounted per the paper's
+//! storage layout: plain-MHT variants re-read entire lists to regenerate
+//! internal digests, chain-MHT variants stop at the cut-off block, and
+//! every document-MHT fetch is a random access.
+
+use super::{
+    doc_leaf_digest, doc_root, term_leaves, AuthenticatedIndex, ContentProvider,
+};
+use crate::access::{IndexLists, TableFreqs};
+use crate::buddy::{buddy_group_size, expand_buddies, expand_prefix};
+use crate::types::{ProcessingOutcome, Query, QueryResult};
+use crate::vo::{DictVo, DocVo, PrefixData, TermProof, TermVo, VerificationObject};
+use crate::{tnra, tra};
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::{ChainMht, MerkleTree};
+use authsearch_index::{ImpactEntry, IoStats};
+use std::collections::BTreeSet;
+
+/// What the search engine returns to the user: the ranked result, the
+/// verification object, the contents of the result documents (their
+/// digests are checked against the signed document-MHT roots), and the
+/// simulated disk trace of serving the query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The ranked top-r result.
+    pub result: QueryResult,
+    /// The integrity proof.
+    pub vo: VerificationObject,
+    /// Contents of the result documents, in result order.
+    pub contents: Vec<(DocId, Vec<u8>)>,
+    /// Disk-access trace at the engine.
+    pub io: IoStats,
+    /// Entries fetched per query-term list (pre-buddy-padding) — the
+    /// paper's "# entries read" metric.
+    pub entries_read: Vec<usize>,
+}
+
+impl AuthenticatedIndex {
+    /// Process a query and produce the result with its integrity proof.
+    pub fn query<C: ContentProvider>(
+        &self,
+        query: &Query,
+        r: usize,
+        contents: &C,
+    ) -> QueryResponse {
+        let lists = IndexLists::new(&self.index, query);
+        let outcome = if self.config.mechanism.is_tra() {
+            let freqs = TableFreqs::new(&self.doc_table, query);
+            tra::run(&lists, &freqs, query, r).expect("engine-side access is total")
+        } else {
+            tnra::run(&lists, query, r).expect("engine-side access is total")
+        };
+        self.respond(query, outcome, contents)
+    }
+
+    /// Assemble the response for an already-computed processing outcome.
+    pub(crate) fn respond<C: ContentProvider>(
+        &self,
+        query: &Query,
+        outcome: ProcessingOutcome,
+        contents: &C,
+    ) -> QueryResponse {
+        let mechanism = self.config.mechanism;
+        let mut io = IoStats::new();
+        let mut terms = Vec::with_capacity(query.terms.len());
+
+        for (i, qt) in query.terms.iter().enumerate() {
+            let k = outcome.prefix_lens[i];
+            terms.push(self.build_term_vo(qt.term, k, &mut io));
+        }
+
+        // Document proofs (TRA only).
+        let result_docs: BTreeSet<DocId> = outcome.result.docs().into_iter().collect();
+        let docs = if mechanism.is_tra() {
+            outcome
+                .encountered
+                .iter()
+                .map(|&d| self.build_doc_vo(d, query, result_docs.contains(&d), &mut io))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Dictionary-MHT proof (one signature for the whole dictionary).
+        let dict = self.dict_sig.as_ref().map(|sig| {
+            let m = self.index.num_terms();
+            let leaves: Vec<_> = (0..m as TermId)
+                .map(|t| super::dict_leaf_digest(t, self.index.ft(t), &self.term_roots[t as usize]))
+                .collect();
+            let tree = MerkleTree::from_leaf_digests(leaves);
+            let mut positions: Vec<usize> =
+                query.terms.iter().map(|qt| qt.term as usize).collect();
+            positions.sort_unstable();
+            DictVo {
+                num_terms: m as u32,
+                proof: tree.prove(&positions),
+                signature: sig.clone(),
+            }
+        });
+
+        // Result document contents (retrieval cost excluded from the I/O
+        // metric, as in §4.1: constant across all algorithms).
+        let contents_out: Vec<(DocId, Vec<u8>)> = outcome
+            .result
+            .docs()
+            .into_iter()
+            .map(|d| (d, contents.content(d)))
+            .collect();
+
+        QueryResponse {
+            result: outcome.result,
+            vo: VerificationObject {
+                mechanism,
+                terms,
+                docs,
+                dict,
+            },
+            contents: contents_out,
+            io,
+            entries_read: outcome.prefix_lens,
+        }
+    }
+
+    /// Build one term's VO entry and account its disk traffic.
+    fn build_term_vo(&self, term: TermId, k: usize, io: &mut IoStats) -> TermVo {
+        let config = &self.config;
+        let list = self.index.list(term);
+        let li = list.len();
+        let leaf_bytes = config.term_leaf_bytes();
+        let signature = if config.dict_mht {
+            None
+        } else {
+            Some(self.term_sigs[term as usize].clone())
+        };
+
+        if config.mechanism.is_cmht() {
+            let cap = config.chain_capacity();
+            // Buddy-expand within the tail block (groups align per block
+            // MHT).
+            let kr = if k == 0 {
+                0
+            } else if config.buddy {
+                let group = buddy_group_size(leaf_bytes, 16);
+                let jb = (k - 1) / cap;
+                let lo = jb * cap;
+                let block_len = cap.min(li - lo);
+                lo + expand_prefix(k - lo, block_len, group)
+            } else {
+                k
+            };
+            let chain = ChainMht::build(term_leaves(config.mechanism, list), cap);
+            let proof = TermProof::Cmht(chain.prove_prefix(kr));
+            // Chain-MHT: only the blocks holding the prefix are read.
+            io.sequential_run(chain.blocks_touched(kr) as u64);
+            TermVo {
+                term,
+                ft: li as u32,
+                prefix: self.prefix_data(list, kr),
+                proof,
+                signature,
+            }
+        } else {
+            let kr = if config.buddy {
+                expand_prefix(k, li, buddy_group_size(leaf_bytes, 16))
+            } else {
+                k
+            };
+            let tree = MerkleTree::from_leaf_digests(term_leaves(config.mechanism, list));
+            let revealed: Vec<usize> = (0..kr).collect();
+            let proof = TermProof::Mht(tree.prove(&revealed));
+            // Plain MHT: the whole list must be read to regenerate the
+            // complementary digests (the §3.3.1 inefficiency).
+            let stored_blocks = config
+                .layout
+                .blocks_for(li, config.layout.plain_capacity(ImpactEntry::BYTES));
+            io.sequential_run(stored_blocks as u64);
+            TermVo {
+                term,
+                ft: li as u32,
+                prefix: self.prefix_data(list, kr),
+                proof,
+                signature,
+            }
+        }
+    }
+
+    fn prefix_data(&self, list: &authsearch_index::InvertedList, kr: usize) -> PrefixData {
+        if self.config.mechanism.is_tra() {
+            PrefixData::DocIds(list.entries()[..kr].iter().map(|e| e.doc).collect())
+        } else {
+            PrefixData::Entries(list.entries()[..kr].to_vec())
+        }
+    }
+
+    /// Build one document's VO entry (TRA) and account the random fetch.
+    fn build_doc_vo(&self, d: DocId, query: &Query, in_result: bool, io: &mut IoStats) -> DocVo {
+        let leaves = self.doc_table.doc_terms(d);
+        let n = leaves.len();
+
+        // Required positions: query terms present, boundary pairs for
+        // absent query terms.
+        let mut required: BTreeSet<usize> = BTreeSet::new();
+        for qt in &query.terms {
+            match leaves.binary_search_by_key(&qt.term, |&(t, _)| t) {
+                Ok(p) => {
+                    required.insert(p);
+                }
+                Err(p) => {
+                    // Bounding leaves prove the gap (paper §3.3.1: "the
+                    // pair of consecutive terms that bound the query
+                    // term").
+                    if p > 0 {
+                        required.insert(p - 1);
+                    }
+                    if p < n {
+                        required.insert(p);
+                    }
+                }
+            }
+        }
+        let required: Vec<usize> = required.into_iter().collect();
+        let positions = if self.config.buddy {
+            expand_buddies(&required, n, buddy_group_size(8, 16))
+        } else {
+            required
+        };
+
+        let revealed: Vec<(u32, TermId, f32)> = positions
+            .iter()
+            .map(|&p| (p as u32, leaves[p].0, leaves[p].1))
+            .collect();
+        let proof = if n == 0 {
+            authsearch_crypto::MerkleProof::default()
+        } else {
+            let tree = MerkleTree::from_leaf_digests(
+                leaves.iter().map(|&(t, w)| doc_leaf_digest(t, w)).collect(),
+            );
+            tree.prove(&positions)
+        };
+
+        // Random fetch: the document-MHT spans its leaves plus the stored
+        // root and signature.
+        let mht_bytes = n * 8 + 16 + self.doc_sigs[d as usize].len();
+        io.random_access(self.config.layout.blocks_for_bytes(mht_bytes) as u64);
+
+        debug_assert_eq!(doc_root(leaves), doc_root(self.doc_table.doc_terms(d)));
+
+        DocVo {
+            doc: d,
+            num_leaves: n as u32,
+            revealed,
+            proof,
+            content_digest: if in_result {
+                None
+            } else {
+                Some(self.doc_content_digests[d as usize])
+            },
+            signature: self.doc_sigs[d as usize].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::toy::{toy_contents, toy_index, toy_query};
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+
+    fn auth(mechanism: Mechanism) -> AuthenticatedIndex {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents())
+    }
+
+    #[test]
+    fn tra_response_has_doc_proofs() {
+        let a = auth(Mechanism::TraMht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(resp.result.docs(), vec![6, 5]);
+        assert_eq!(resp.vo.terms.len(), 4);
+        // Encountered docs 5, 3, 6 plus cut-off doc 1.
+        let doc_ids: Vec<DocId> = resp.vo.docs.iter().map(|d| d.doc).collect();
+        assert_eq!(doc_ids, vec![5, 3, 6, 1]);
+        // Result docs ship contents, not content digests.
+        for dv in &resp.vo.docs {
+            let is_result = resp.result.docs().contains(&dv.doc);
+            assert_eq!(dv.content_digest.is_none(), is_result, "doc {}", dv.doc);
+        }
+        assert_eq!(resp.contents.len(), 2);
+    }
+
+    #[test]
+    fn tnra_response_has_no_doc_proofs() {
+        let a = auth(Mechanism::TnraCmht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(resp.result.docs(), vec![6, 5]);
+        assert!(resp.vo.docs.is_empty());
+        // Prefixes carry full impact entries.
+        assert!(matches!(resp.vo.terms[0].prefix, PrefixData::Entries(_)));
+    }
+
+    #[test]
+    fn entries_read_match_figure6_and_11() {
+        // TRA (Figure 6): sleeps 1, in 1, the 4, dark 1.
+        let a = auth(Mechanism::TraMht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(resp.entries_read, vec![1, 1, 4, 1]);
+        // TNRA (Figure 11): sleeps 1, in 4, the 4, dark 1.
+        let b = auth(Mechanism::TnraMht);
+        let resp = b.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(resp.entries_read, vec![1, 4, 4, 1]);
+    }
+
+    #[test]
+    fn mht_variant_reads_whole_lists() {
+        let a = auth(Mechanism::TnraMht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        // 4 lists, each ≤ 127 entries → one block per list, 4 seeks.
+        assert_eq!(resp.io.seeks, 4);
+        assert_eq!(resp.io.blocks, 4);
+    }
+
+    #[test]
+    fn tra_random_accesses_encountered_docs() {
+        let a = auth(Mechanism::TraCmht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        // 4 list runs + 4 encountered document fetches.
+        assert_eq!(resp.io.seeks, 8);
+    }
+
+    #[test]
+    fn buddy_pads_prefixes_in_cmht() {
+        let a = auth(Mechanism::TnraCmht);
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        // 'the' read 4 entries; buddy group for 8-byte leaves is 4 → no
+        // padding; 'in' read 4 → no padding; singleton lists read 1 and
+        // pad to min(group, len) = 1.
+        for tv in &resp.vo.terms {
+            assert!(!tv.prefix.is_empty());
+        }
+        let the_vo = resp
+            .vo
+            .terms
+            .iter()
+            .find(|t| t.term == crate::toy::toy_term_id("the"))
+            .unwrap();
+        assert_eq!(the_vo.prefix.len(), 4);
+    }
+
+    #[test]
+    fn vo_sizes_are_positive_and_tnra_smaller() {
+        let tra = auth(Mechanism::TraMht).query(&toy_query(), 2, &toy_contents());
+        let tnra = auth(Mechanism::TnraMht).query(&toy_query(), 2, &toy_contents());
+        let ts = tra.vo.size();
+        let ns = tnra.vo.size();
+        assert!(ts.total() > 0 && ns.total() > 0);
+        // §4.2: TRA VOs are several times larger than TNRA's.
+        assert!(ts.total() > ns.total());
+    }
+
+    #[test]
+    fn dict_mode_emits_dict_proof() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            dict_mht: true,
+            ..AuthConfig::new(Mechanism::TnraMht)
+        };
+        let a = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+        let resp = a.query(&toy_query(), 2, &toy_contents());
+        assert!(resp.vo.dict.is_some());
+        assert!(resp.vo.terms.iter().all(|t| t.signature.is_none()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Storage accounting for the authentication structures (§4.1: "The
+//! authentication information introduced by TNRA requires less than 1%
+//! extra space over a plain, non-authenticated inverted index, while TRA
+//! requires around 25% more space (due to its document-MHTs)").
+
+use super::AuthenticatedIndex;
+use authsearch_corpus::TermId;
+use authsearch_index::ImpactEntry;
+
+/// Byte-level storage breakdown of an authenticated index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceReport {
+    /// Plain (unauthenticated) index: dictionary plus block-padded
+    /// postings storage.
+    pub plain_index_bytes: u64,
+    /// Raw document contents (the collection itself), as reported by the
+    /// caller.
+    pub contents_bytes: u64,
+    /// Term-side authentication: signatures, stored roots/heads, and the
+    /// change in list storage from re-blocking (chain blocks hold fewer
+    /// entries than plain blocks, but TRA chain blocks hold doc ids only).
+    pub term_auth_bytes: i64,
+    /// Document-side authentication (TRA): the document-MHT leaf layer
+    /// plus per-document root and signature.
+    pub doc_auth_bytes: u64,
+}
+
+impl SpaceReport {
+    /// Total extra bytes attributable to authentication.
+    pub fn auth_extra_bytes(&self) -> i64 {
+        self.term_auth_bytes + self.doc_auth_bytes as i64
+    }
+
+    /// Extra space as a percentage of the plain index.
+    pub fn overhead_vs_index_pct(&self) -> f64 {
+        100.0 * self.auth_extra_bytes() as f64 / self.plain_index_bytes as f64
+    }
+
+    /// Extra space as a percentage of index + collection — the base that
+    /// the search engine actually stores.
+    pub fn overhead_vs_total_pct(&self) -> f64 {
+        let base = (self.plain_index_bytes + self.contents_bytes) as f64;
+        100.0 * self.auth_extra_bytes() as f64 / base
+    }
+}
+
+impl AuthenticatedIndex {
+    /// Compute the storage report. `contents_bytes` is the collection
+    /// size (513 MB for the paper's WSJ corpus).
+    pub fn space_report(&self, contents_bytes: u64) -> SpaceReport {
+        let layout = &self.config.layout;
+        let index = &self.index;
+        let block = layout.block_bytes as u64;
+        let plain_cap = layout.plain_capacity(ImpactEntry::BYTES);
+
+        let mut plain_blocks = 0u64;
+        let mut auth_blocks = 0u64;
+        for t in 0..index.num_terms() as TermId {
+            let li = index.list(t).len();
+            plain_blocks += layout.blocks_for(li, plain_cap) as u64;
+            if self.config.mechanism.is_cmht() {
+                auth_blocks += layout.blocks_for(li, self.config.chain_capacity()) as u64;
+            } else {
+                // Plain-MHT lists keep the plain block layout.
+                auth_blocks += layout.blocks_for(li, plain_cap) as u64;
+            }
+        }
+        let plain_index_bytes = index.dictionary_bytes() as u64 + plain_blocks * block;
+
+        let sig_len = self.public_key.signature_len() as u64;
+        let m = index.num_terms() as u64;
+        let sig_total: u64 = if self.config.dict_mht { sig_len } else { m * sig_len };
+        // Stored per-term root/head digest (16 bytes each).
+        let term_auth_bytes =
+            (auth_blocks as i64 - plain_blocks as i64) * block as i64
+                + (sig_total + m * 16) as i64;
+
+        let doc_auth_bytes = if self.config.mechanism.is_tra() {
+            let leaf_bytes: u64 = (0..index.num_docs() as u32)
+                .map(|d| self.doc_table.doc_terms(d).len() as u64 * 8)
+                .sum();
+            let n = index.num_docs() as u64;
+            leaf_bytes + n * (16 + sig_len)
+        } else {
+            0
+        };
+
+        SpaceReport {
+            plain_index_bytes,
+            contents_bytes,
+            term_auth_bytes,
+            doc_auth_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::toy::{toy_contents, toy_index};
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+
+    fn report(mechanism: Mechanism) -> SpaceReport {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let auth = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+        auth.space_report(1000)
+    }
+
+    #[test]
+    fn tra_costs_more_than_tnra() {
+        let tra = report(Mechanism::TraMht);
+        let tnra = report(Mechanism::TnraMht);
+        assert!(tra.auth_extra_bytes() > tnra.auth_extra_bytes());
+        assert!(tra.doc_auth_bytes > 0);
+        assert_eq!(tnra.doc_auth_bytes, 0);
+    }
+
+    #[test]
+    fn dict_mode_slashes_signature_space() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let per_list = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                ..AuthConfig::new(Mechanism::TnraMht)
+            },
+            &toy_contents(),
+        )
+        .space_report(0);
+        let dict = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                dict_mht: true,
+                ..AuthConfig::new(Mechanism::TnraMht)
+            },
+            &toy_contents(),
+        )
+        .space_report(0);
+        assert!(dict.term_auth_bytes < per_list.term_auth_bytes);
+    }
+
+    #[test]
+    fn percentages_are_consistent() {
+        let r = report(Mechanism::TnraCmht);
+        assert!(r.overhead_vs_index_pct() >= r.overhead_vs_total_pct());
+        assert!(r.plain_index_bytes > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The user (paper §3.1 system model): poses queries and verifies
+//! results against the data owner's public parameters.
+
+use crate::auth::serve::QueryResponse;
+use crate::types::{Query, QueryTerm};
+use crate::verify::{self, VerifiedResult, VerifierParams, VerifyError};
+use authsearch_corpus::TermId;
+
+/// A verifying client.
+pub struct Client {
+    params: VerifierParams,
+}
+
+impl Client {
+    /// Client configured with the owner's broadcast parameters.
+    pub fn new(params: VerifierParams) -> Client {
+        Client { params }
+    }
+
+    /// The public parameters.
+    pub fn params(&self) -> &VerifierParams {
+        &self.params
+    }
+
+    /// Verify a response to a query the user posed as `(term, f_{Q,t})`
+    /// pairs. The query-side weights are recomputed locally from the
+    /// *signed* `f_t` values in the VO and the owner's public collection
+    /// size — nothing the engine reports unsigned is trusted.
+    pub fn verify_terms(
+        &self,
+        terms: &[(TermId, u32)],
+        r: usize,
+        response: &QueryResponse,
+    ) -> Result<VerifiedResult, VerifyError> {
+        if response.vo.terms.len() != terms.len() {
+            return Err(VerifyError::QueryShapeMismatch(format!(
+                "{} proofs for {} query terms",
+                response.vo.terms.len(),
+                terms.len()
+            )));
+        }
+        let query = Query {
+            terms: terms
+                .iter()
+                .zip(&response.vo.terms)
+                .map(|(&(term, f_qt), tv)| {
+                    if tv.term != term {
+                        return Err(VerifyError::QueryShapeMismatch(format!(
+                            "proof for term {} where query has {term}",
+                            tv.term
+                        )));
+                    }
+                    Ok(QueryTerm {
+                        term,
+                        f_qt,
+                        wq: self
+                            .params
+                            .okapi
+                            .query_weight(self.params.num_docs, tv.ft, f_qt),
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        verify::verify(&self.params, &query, r, response)
+    }
+
+    /// Verify with an explicitly weighted query (used when weights are
+    /// fixed externally, e.g. the paper's worked example).
+    pub fn verify_query(
+        &self,
+        query: &Query,
+        r: usize,
+        response: &QueryResponse,
+    ) -> Result<VerifiedResult, VerifyError> {
+        verify::verify(&self.params, query, r, response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::engine::SearchEngine;
+    use crate::owner::DataOwner;
+    use crate::vo::Mechanism;
+    use authsearch_corpus::SyntheticConfig;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    fn setup(mechanism: Mechanism) -> (SearchEngine, Client, Vec<TermId>) {
+        let corpus = SyntheticConfig::tiny(120, 17).generate();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish(&corpus, config);
+        let terms =
+            authsearch_corpus::workload::synthetic(publication.auth.index().num_terms(), 1, 3, 7)
+                .remove(0);
+        let client = Client::new(publication.verifier_params);
+        (SearchEngine::new(publication.auth, corpus), client, terms)
+    }
+
+    #[test]
+    fn client_verifies_all_mechanisms_from_terms_alone() {
+        for mechanism in Mechanism::ALL {
+            let (engine, client, terms) = setup(mechanism);
+            let query = Query::from_term_ids(engine.auth().index(), &terms);
+            let response = engine.search(&query, 5);
+            let pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            client
+                .verify_terms(&pairs, 5, &response)
+                .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
+        }
+    }
+
+    #[test]
+    fn client_rejects_wrong_term_alignment() {
+        let (engine, client, terms) = setup(Mechanism::TnraMht);
+        let query = Query::from_term_ids(engine.auth().index(), &terms);
+        let response = engine.search(&query, 5);
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.swap(0, 1);
+        assert!(matches!(
+            client.verify_terms(&pairs, 5, &response),
+            Err(VerifyError::QueryShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn client_recomputed_weights_match_engine() {
+        // The client's wq (from signed ft + public n) must agree with the
+        // engine's (from the index) — otherwise honest replays would fail.
+        let (engine, client, terms) = setup(Mechanism::TnraCmht);
+        let query = Query::from_term_ids(engine.auth().index(), &terms);
+        let response = engine.search(&query, 5);
+        for (qt, tv) in query.terms.iter().zip(&response.vo.terms) {
+            let wq = client
+                .params()
+                .okapi
+                .query_weight(client.params().num_docs, tv.ft, qt.f_qt);
+            assert_eq!(wq, qt.wq);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The third-party search engine (paper §3.1 system model).
+//!
+//! Operates the collection and authenticated index it received from the
+//! data owner: accepts natural-language queries, runs the threshold
+//! algorithm, and returns results with their verification objects. The
+//! engine is the *untrusted* party — [`crate::attacks`] models what a
+//! compromised instance might return instead.
+
+use crate::auth::serve::QueryResponse;
+use crate::auth::AuthenticatedIndex;
+use crate::types::Query;
+use authsearch_corpus::Corpus;
+
+/// A running search engine instance.
+pub struct SearchEngine {
+    auth: AuthenticatedIndex,
+    corpus: Corpus,
+}
+
+impl SearchEngine {
+    /// Stand up an engine from the owner's transfer.
+    pub fn new(auth: AuthenticatedIndex, corpus: Corpus) -> SearchEngine {
+        assert_eq!(
+            auth.index().num_docs(),
+            corpus.num_docs(),
+            "index/collection mismatch"
+        );
+        SearchEngine { auth, corpus }
+    }
+
+    /// Parse a natural-language query against the dictionary (terms not
+    /// in the dictionary are ignored, per the system model).
+    pub fn parse_query(&self, text: &str) -> Query {
+        Query::from_text(&self.corpus, self.auth.index(), text)
+    }
+
+    /// Answer a parsed query: the top-`r` documents plus the VO.
+    pub fn search(&self, query: &Query, r: usize) -> QueryResponse {
+        self.auth.query(query, r, &self.corpus)
+    }
+
+    /// Convenience: parse then search.
+    pub fn search_text(&self, text: &str, r: usize) -> (Query, QueryResponse) {
+        let query = self.parse_query(text);
+        let response = self.search(&query, r);
+        (query, response)
+    }
+
+    /// The authenticated index (e.g. for space reports).
+    pub fn auth(&self) -> &AuthenticatedIndex {
+        &self.auth
+    }
+
+    /// The hosted collection.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::owner::DataOwner;
+    use crate::verify;
+    use crate::vo::Mechanism;
+    use authsearch_corpus::CorpusBuilder;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    fn engine(mechanism: Mechanism) -> (SearchEngine, crate::verify::VerifierParams) {
+        let corpus = CorpusBuilder::new()
+            .min_df(1)
+            .add_text("the night keeper keeps the keep in the town")
+            .add_text("in the big old house in the big old gown")
+            .add_text("the house in the town had the big old keep")
+            .add_text("where the old night keeper never did sleep")
+            .add_text("the night keeper keeps the keep in the night")
+            .build();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish(&corpus, config);
+        (
+            SearchEngine::new(publication.auth, corpus),
+            publication.verifier_params,
+        )
+    }
+
+    #[test]
+    fn text_search_end_to_end_all_mechanisms() {
+        for mechanism in Mechanism::ALL {
+            let (engine, params) = engine(mechanism);
+            let (query, response) = engine.search_text("night keeper keep", 3);
+            assert!(!response.result.entries.is_empty(), "{}", mechanism.name());
+            let verified = verify::verify(&params, &query, 3, &response)
+                .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
+            assert_eq!(verified.result, response.result);
+        }
+    }
+
+    #[test]
+    fn unknown_words_are_ignored() {
+        let (engine, _) = engine(Mechanism::TnraMht);
+        let query = engine.parse_query("keeper xyzzyqwerty");
+        assert_eq!(query.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_corpus_rejected() {
+        let (engine, _) = engine(Mechanism::TnraMht);
+        let other = CorpusBuilder::new().min_df(1).add_text("one doc").build();
+        let auth = {
+            // Rebuild a second engine and steal its auth artifact.
+            let (e2, _) = super::tests::engine(Mechanism::TnraMht);
+            let SearchEngine { auth, .. } = e2;
+            auth
+        };
+        let _ = engine; // silence unused
+        SearchEngine::new(auth, other);
+    }
+}

@@ -1,0 +1,84 @@
+//! # authsearch-core
+//!
+//! Authenticated text retrieval — a from-scratch reproduction of
+//! *Pang & Mouratidis, "Authenticating the Query Results of Text Search
+//! Engines", PVLDB 1(1), 2008*.
+//!
+//! A data owner outsources a document collection and its frequency-ordered
+//! inverted index to an untrusted search engine. Every top-r similarity
+//! query is answered together with a **verification object** (VO) that
+//! lets the user check the result is *complete*, *correctly ranked*, and
+//! *free of spurious documents* — exactly what an intact engine would have
+//! returned.
+//!
+//! ## Components
+//!
+//! * [`types`] — queries, results, the per-document frequency table;
+//! * [`pscan`] — the conventional Prioritized Scanning baseline (Fig. 2);
+//! * [`tra`] / [`tnra`] — the threshold algorithms (Figs. 5, 10);
+//! * [`auth`] — owner-side structures: term-MHTs, chain-MHTs, document-
+//!   MHTs, dictionary-MHT, signatures; server-side VO construction with
+//!   disk accounting; storage reports;
+//! * [`verify`] — user-side verification (authenticate, then replay);
+//! * [`buddy`] — the buddy-inclusion VO optimization (§3.3.2);
+//! * [`owner`] / [`engine`] / [`client`] — the three-party system model;
+//! * [`attacks`] — the threat-model attack catalogue;
+//! * [`toy`] — the paper's worked example (Figures 1, 6, 11);
+//! * [`metrics`] — per-query cost measurement for the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use authsearch_core::{AuthConfig, Client, DataOwner, Mechanism, SearchEngine};
+//! use authsearch_corpus::CorpusBuilder;
+//!
+//! // The data owner indexes and signs the collection…
+//! let corpus = CorpusBuilder::new()
+//!     .min_df(1)
+//!     .add_text("the night keeper keeps the keep in the town")
+//!     .add_text("in the big old house in the big old gown")
+//!     .build();
+//! let mut config = AuthConfig::new(Mechanism::TnraCmht);
+//! config.key_bits = 512; // paper uses 1024; tests favour speed
+//! let owner = DataOwner::with_cached_key(config.key_bits);
+//! let publication = owner.publish(&corpus, config);
+//!
+//! // …hands index + collection to the (untrusted) search engine…
+//! let engine = SearchEngine::new(publication.auth, corpus);
+//! let (query, response) = engine.search_text("night keeper", 5);
+//!
+//! // …and the user verifies each result against the owner's public key.
+//! let client = Client::new(publication.verifier_params);
+//! let verified = client.verify_query(&query, 5, &response).expect("honest result");
+//! assert_eq!(verified.result, response.result);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod attacks;
+pub mod auth;
+pub mod baseline;
+pub mod buddy;
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod owner;
+pub mod pscan;
+pub mod tnra;
+pub mod toy;
+pub mod tra;
+pub mod types;
+pub mod verify;
+pub mod vo;
+pub mod wire;
+
+pub use auth::serve::QueryResponse;
+pub use auth::{AuthConfig, AuthenticatedIndex, ContentProvider};
+pub use client::Client;
+pub use engine::SearchEngine;
+pub use metrics::{measure, QueryMetrics};
+pub use owner::{DataOwner, Publication};
+pub use types::{DocTable, ProcessingOutcome, Query, QueryResult, ResultEntry};
+pub use verify::{verify, VerifiedResult, VerifierParams, VerifyError};
+pub use vo::{Mechanism, VerificationObject, VoSize};

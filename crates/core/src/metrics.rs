@@ -1,0 +1,140 @@
+//! Per-query measurement: the cost metrics of the paper's §4.1
+//! ("performance metrics").
+//!
+//! For one (query, mechanism) pair this captures: entries read per list
+//! (Fig 13a/14a/15a), fraction of each list read (13b/14b/15b), simulated
+//! disk time at the engine (13c/14c/15c), VO size with its Table 2
+//! breakdown (13d/14d/15d), and wall-clock user verification time
+//! (13e/14e/15e).
+
+use crate::auth::serve::QueryResponse;
+use crate::auth::{AuthenticatedIndex, ContentProvider};
+use crate::types::Query;
+use crate::verify::{self, VerifierParams, VerifyError};
+use crate::vo::VoSize;
+use authsearch_index::{DiskModel, IoStats};
+use std::time::{Duration, Instant};
+
+/// Measurements for one verified query.
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// Entries fetched per query-term list.
+    pub entries_read: Vec<usize>,
+    /// True lengths of the query-term lists.
+    pub list_lens: Vec<usize>,
+    /// Engine disk trace.
+    pub io: IoStats,
+    /// Simulated engine I/O time in seconds.
+    pub io_secs: f64,
+    /// VO size breakdown.
+    pub vo_size: VoSize,
+    /// Wall-clock query processing + VO construction time at the engine.
+    pub process_time: Duration,
+    /// Wall-clock verification time at the user.
+    pub verify_time: Duration,
+}
+
+impl QueryMetrics {
+    /// Mean entries read per query term (Figure 13(a)'s y-axis).
+    pub fn mean_entries_read(&self) -> f64 {
+        if self.entries_read.is_empty() {
+            return 0.0;
+        }
+        self.entries_read.iter().sum::<usize>() as f64 / self.entries_read.len() as f64
+    }
+
+    /// Mean list length over the query terms (the "List Length"
+    /// baseline).
+    pub fn mean_list_len(&self) -> f64 {
+        if self.list_lens.is_empty() {
+            return 0.0;
+        }
+        self.list_lens.iter().sum::<usize>() as f64 / self.list_lens.len() as f64
+    }
+
+    /// Mean percentage of each queried list that was read
+    /// (Figure 13(b)'s y-axis).
+    pub fn mean_pct_read(&self) -> f64 {
+        if self.entries_read.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .entries_read
+            .iter()
+            .zip(&self.list_lens)
+            .map(|(&k, &l)| if l == 0 { 0.0 } else { 100.0 * k as f64 / l as f64 })
+            .sum();
+        sum / self.entries_read.len() as f64
+    }
+}
+
+/// Serve and verify one query, measuring everything.
+pub fn measure<C: ContentProvider>(
+    auth: &AuthenticatedIndex,
+    params: &VerifierParams,
+    query: &Query,
+    r: usize,
+    contents: &C,
+    disk: &DiskModel,
+) -> Result<QueryMetrics, VerifyError> {
+    let t0 = Instant::now();
+    let response: QueryResponse = auth.query(query, r, contents);
+    let process_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let verified = verify::verify(params, query, r, &response)?;
+    let verify_time = t1.elapsed();
+
+    let list_lens = query
+        .terms
+        .iter()
+        .map(|qt| auth.index().list(qt.term).len())
+        .collect();
+
+    Ok(QueryMetrics {
+        entries_read: response.entries_read,
+        list_lens,
+        io: response.io,
+        io_secs: disk.service_time(response.io),
+        vo_size: verified.vo_size,
+        process_time,
+        verify_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::owner::DataOwner;
+    use crate::toy::{toy_contents, toy_index, toy_query};
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    #[test]
+    fn measure_toy_query() {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(Mechanism::TnraCmht)
+        };
+        let publication = owner.publish_index(toy_index(), config, &toy_contents());
+        let m = measure(
+            &publication.auth,
+            &publication.verifier_params,
+            &toy_query(),
+            2,
+            &toy_contents(),
+            &DiskModel::default(),
+        )
+        .unwrap();
+        assert_eq!(m.entries_read, vec![1, 4, 4, 1]);
+        assert_eq!(m.list_lens, vec![1, 6, 6, 1]);
+        assert!((m.mean_entries_read() - 2.5).abs() < 1e-12);
+        assert!(m.io_secs > 0.0);
+        assert!(m.vo_size.total() > 0);
+        // 1/1, 4/6, 4/6, 1/1 → mean %.
+        let expect = (100.0 + 400.0 / 6.0 + 400.0 / 6.0 + 100.0) / 4.0;
+        assert!((m.mean_pct_read() - expect).abs() < 1e-9);
+    }
+}

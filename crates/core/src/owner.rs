@@ -1,0 +1,123 @@
+//! The data owner (paper §3.1 system model).
+//!
+//! The owner manages the collection, builds the inverted index and all
+//! authentication structures, signs their roots, and transfers everything
+//! to the third-party search engine while broadcasting the public
+//! verification parameters to users.
+
+use crate::auth::{AuthConfig, AuthenticatedIndex};
+use crate::verify::VerifierParams;
+use authsearch_corpus::Corpus;
+use authsearch_crypto::keys::cached_keypair;
+use authsearch_crypto::RsaPrivateKey;
+use authsearch_index::{build_index, InvertedIndex, OkapiParams};
+use rand::Rng;
+
+/// The data owner: holds the signing key.
+pub struct DataOwner {
+    key: RsaPrivateKey,
+    okapi: OkapiParams,
+}
+
+/// Everything a publication produces: the engine-side artifact and the
+/// user-side public parameters.
+pub struct Publication {
+    /// What is transferred to the (untrusted) search engine.
+    pub auth: AuthenticatedIndex,
+    /// What is broadcast to users.
+    pub verifier_params: VerifierParams,
+}
+
+impl DataOwner {
+    /// Owner with a freshly generated key.
+    pub fn generate<R: Rng>(key_bits: usize, rng: &mut R) -> DataOwner {
+        DataOwner {
+            key: RsaPrivateKey::generate(key_bits, rng),
+            okapi: OkapiParams::default(),
+        }
+    }
+
+    /// Owner with the process-wide cached key of the given size (fast
+    /// path for tests, examples, and benchmarks).
+    pub fn with_cached_key(key_bits: usize) -> DataOwner {
+        DataOwner {
+            key: cached_keypair(key_bits),
+            okapi: OkapiParams::default(),
+        }
+    }
+
+    /// Override the Okapi parameters used at indexing time.
+    pub fn okapi(mut self, okapi: OkapiParams) -> DataOwner {
+        self.okapi = okapi;
+        self
+    }
+
+    /// The signing key (exposed for advanced flows; handle with care).
+    pub fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// Index a corpus and build + sign the authentication structures.
+    pub fn publish(&self, corpus: &Corpus, config: AuthConfig) -> Publication {
+        let index = build_index(corpus, self.okapi);
+        self.publish_index(index, config, corpus)
+    }
+
+    /// Publish a pre-built index (used by the toy example, whose index is
+    /// given by the paper rather than derived from text).
+    pub fn publish_index<C: crate::auth::ContentProvider>(
+        &self,
+        index: InvertedIndex,
+        config: AuthConfig,
+        contents: &C,
+    ) -> Publication {
+        let num_docs = index.num_docs();
+        let okapi = index.params();
+        let auth = AuthenticatedIndex::build(index, &self.key, config, contents);
+        Publication {
+            verifier_params: VerifierParams {
+                public_key: self.key.public_key().clone(),
+                layout: config.layout,
+                mechanism: config.mechanism,
+                num_docs,
+                okapi,
+            },
+            auth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vo::Mechanism;
+    use authsearch_corpus::SyntheticConfig;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    #[test]
+    fn publish_produces_consistent_parameters() {
+        let corpus = SyntheticConfig::tiny(60, 3).generate();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(Mechanism::TnraCmht)
+        };
+        let publication = owner.publish(&corpus, config);
+        assert_eq!(publication.verifier_params.num_docs, 60);
+        assert_eq!(publication.verifier_params.mechanism, Mechanism::TnraCmht);
+        assert_eq!(
+            publication.auth.public_key(),
+            &publication.verifier_params.public_key
+        );
+    }
+
+    #[test]
+    fn generated_owner_has_distinct_key() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = DataOwner::generate(256, &mut rng);
+        let b = DataOwner::generate(256, &mut rng);
+        assert_ne!(a.key.public_key(), b.key.public_key());
+    }
+}

@@ -1,0 +1,384 @@
+//! TNRA — Threshold with No Random Access (paper Figure 10).
+//!
+//! Adaptation of Fagin's NRA [10]: no random accesses at all — the
+//! algorithm maintains, for every polled document, a lower bound `SLB`
+//! (sum of the weights actually seen) and an upper bound `SUB` (seen
+//! weights plus, for each list the document has not been seen in, that
+//! list's current front weight). Like the paper's TRA adaptation, pops
+//! favour the list with the highest current term score rather than equal
+//! depth.
+//!
+//! Termination (Figure 10, step 4a) requires all three of:
+//!
+//! 1. complete ordering among the top r: `SLB(d_j) ≥ SUB(d_k)` ∀ j<k≤r;
+//! 2. every other polled document cannot climb in: `SUB(d) ≤ SLB(d_r)`;
+//! 3. no unseen document can climb in: `thres ≤ SLB(d_r)`.
+
+use crate::access::{AccessError, ListAccess};
+use crate::types::{ProcessingOutcome, Query, QueryResult, ResultEntry};
+use authsearch_corpus::DocId;
+use std::collections::HashMap;
+
+/// Per-document bound state. Query sizes are ≤ 64 terms (TREC tops out at
+/// 20), so the seen-in-list set is a bitmask.
+#[derive(Debug, Clone, Copy)]
+struct DocState {
+    lb: f64,
+    seen_mask: u64,
+}
+
+/// One iteration record for trace replay (Figure 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TnraIteration {
+    /// Threshold at the top of the iteration.
+    pub thres: f64,
+    /// `(query term index, doc, weight)` popped; `None` when terminating.
+    pub popped: Option<(usize, DocId, f32)>,
+    /// `(doc, SLB, SUB)` snapshot, ordered by descending SLB.
+    pub bounds: Vec<(DocId, f64, f64)>,
+}
+
+/// Run TNRA for the top `r` documents.
+pub fn run<L: ListAccess>(
+    lists: &L,
+    query: &Query,
+    r: usize,
+) -> Result<ProcessingOutcome, AccessError> {
+    run_inner(lists, query, r, None)
+}
+
+/// Run TNRA capturing a per-iteration trace (Figure 11 golden tests and
+/// the `trace` bench binary).
+pub fn run_traced<L: ListAccess>(
+    lists: &L,
+    query: &Query,
+    r: usize,
+) -> Result<(ProcessingOutcome, Vec<TnraIteration>), AccessError> {
+    let mut trace = Vec::new();
+    let outcome = run_inner(lists, query, r, Some(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn run_inner<L: ListAccess>(
+    lists: &L,
+    query: &Query,
+    r: usize,
+    mut trace: Option<&mut Vec<TnraIteration>>,
+) -> Result<ProcessingOutcome, AccessError> {
+    let q = query.terms.len();
+    assert!(q <= 64, "query size beyond the 64-term bitmask");
+
+    let mut pos = vec![0usize; q];
+    let mut fronts: Vec<Option<(DocId, f32)>> = Vec::with_capacity(q);
+    for i in 0..q {
+        fronts.push(lists.entry(i, 0)?.map(|e| (e.doc, e.weight)));
+    }
+
+    // Candidate list ordered by descending lb (ties: ascending doc id) —
+    // the paper's R — plus a side map for O(1) state lookup.
+    let mut ranked: Vec<DocId> = Vec::new();
+    let mut states: HashMap<DocId, DocState> = HashMap::new();
+    let mut encountered: Vec<DocId> = Vec::new();
+    let mut iterations = 0usize;
+
+    // Current front term scores c_i (recomputed on change).
+    let front_score = |fronts: &[Option<(DocId, f32)>], i: usize| -> f64 {
+        fronts[i].map_or(0.0, |(_, w)| query.terms[i].wq * w as f64)
+    };
+
+    loop {
+        let cs: Vec<f64> = (0..q).map(|i| front_score(&fronts, i)).collect();
+        let thres: f64 = cs.iter().sum();
+
+        // Upper bound for one candidate: lb + Σ fronts of unseen lists.
+        let sub = |st: &DocState| -> f64 {
+            let mut ub = st.lb;
+            for (i, &c) in cs.iter().enumerate() {
+                if st.seen_mask & (1 << i) == 0 {
+                    ub += c;
+                }
+            }
+            ub
+        };
+
+        // Step 4(a): the three termination conditions.
+        let terminated = r == 0
+            || (ranked.len() >= r && {
+                let slb_r = states[&ranked[r - 1]].lb;
+                // Condition 3 first: cheapest and usually last to hold.
+                let cond3 = slb_r >= thres;
+                let cond1 = cond3
+                    && ranked[..r].windows(2).all(|w| {
+                        states[&w[0]].lb >= sub(&states[&w[1]])
+                    });
+                // Condition 2 with early exit: ranked is ordered by lb
+                // descending and SUB(d) ≤ lb(d) + thres, so once
+                // lb(d) + thres ≤ SLB(d_r) every later candidate passes.
+                let cond2 = cond1
+                    && ranked[r..].iter().all(|d| {
+                        let st = &states[d];
+                        st.lb + thres <= slb_r || sub(st) <= slb_r
+                    });
+                cond1 && cond2
+            });
+        if terminated {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TnraIteration {
+                    thres,
+                    popped: None,
+                    bounds: snapshot(&ranked, &states, &sub),
+                });
+            }
+            break;
+        }
+
+        // Step 4(b): pop the highest term score (ties: lowest index).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in cs.iter().enumerate() {
+            if fronts[i].is_some() && best.map_or(true, |(_, bc)| c > bc) {
+                best = Some((i, c));
+            }
+        }
+        let Some((i, c)) = best else {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TnraIteration {
+                    thres,
+                    popped: None,
+                    bounds: snapshot(&ranked, &states, &sub),
+                });
+            }
+            break; // all lists exhausted
+        };
+
+        let (d, w) = fronts[i].expect("selected list has a front");
+
+        // Step 4(c): create or update the document's bounds.
+        let st = states.entry(d).or_insert_with(|| {
+            encountered.push(d);
+            DocState {
+                lb: 0.0,
+                seen_mask: 0,
+            }
+        });
+        let was_new = st.seen_mask == 0;
+        st.lb += c;
+        st.seen_mask |= 1 << i;
+        let new_lb = st.lb;
+
+        // Maintain the lb-descending order of `ranked`.
+        if !was_new {
+            let old = ranked.iter().position(|&x| x == d).expect("ranked doc");
+            ranked.remove(old);
+        }
+        let ins = ranked.partition_point(|&x| {
+            let s = states[&x].lb;
+            s > new_lb || (s == new_lb && x < d)
+        });
+        ranked.insert(ins, d);
+
+        // Advance list i.
+        pos[i] += 1;
+        fronts[i] = lists.entry(i, pos[i])?.map(|e| (e.doc, e.weight));
+        iterations += 1;
+
+        if let Some(t) = trace.as_deref_mut() {
+            let cs2: Vec<f64> = (0..q).map(|j| front_score(&fronts, j)).collect();
+            let sub2 = |st: &DocState| -> f64 {
+                let mut ub = st.lb;
+                for (j, &cc) in cs2.iter().enumerate() {
+                    if st.seen_mask & (1 << j) == 0 {
+                        ub += cc;
+                    }
+                }
+                ub
+            };
+            t.push(TnraIteration {
+                thres,
+                popped: Some((i, d, w)),
+                bounds: snapshot(&ranked, &states, &sub2),
+            });
+        }
+    }
+
+    // Fetched-but-unpopped fronts count as encountered (they are in the
+    // VO prefixes).
+    for front in fronts.iter().flatten() {
+        states.entry(front.0).or_insert_with(|| {
+            encountered.push(front.0);
+            DocState {
+                lb: 0.0,
+                seen_mask: 0,
+            }
+        });
+    }
+
+    let prefix_lens: Vec<usize> = (0..q)
+        .map(|i| {
+            let li = lists.list_len(i);
+            if pos[i] < li {
+                pos[i] + 1
+            } else {
+                li
+            }
+        })
+        .collect();
+
+    let entries: Vec<ResultEntry> = ranked
+        .iter()
+        .take(r)
+        .map(|&d| ResultEntry {
+            doc: d,
+            score: states[&d].lb,
+        })
+        .collect();
+
+    Ok(ProcessingOutcome {
+        result: QueryResult { entries },
+        prefix_lens,
+        encountered,
+        iterations,
+    })
+}
+
+fn snapshot<F: Fn(&DocState) -> f64>(
+    ranked: &[DocId],
+    states: &HashMap<DocId, DocState>,
+    sub: &F,
+) -> Vec<(DocId, f64, f64)> {
+    ranked
+        .iter()
+        .map(|&d| {
+            let st = &states[&d];
+            (d, st.lb, sub(st))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::IndexLists;
+    use crate::pscan;
+    use crate::types::DocTable;
+    use authsearch_corpus::SyntheticConfig;
+    use authsearch_index::{build_index, OkapiParams};
+
+    #[test]
+    fn tnra_matches_naive_top_docs() {
+        let corpus = SyntheticConfig::tiny(150, 33).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let table = DocTable::from_index(&index);
+        for (seed, qsize) in [(10u64, 2usize), (11, 3), (12, 4)] {
+            let terms =
+                authsearch_corpus::workload::synthetic(index.num_terms(), 1, qsize, seed)
+                    .remove(0);
+            let q = crate::types::Query::from_term_ids(&index, &terms);
+            let lists = IndexLists::new(&index, &q);
+            let out = run(&lists, &q, 10).unwrap();
+            let naive = pscan::naive_topk(&table, &q, 10);
+            // Document sets must agree up to the shorter of the two (naive
+            // drops zero-score docs).
+            let k = out.result.entries.len().min(naive.entries.len());
+            assert_eq!(
+                out.result.docs()[..k],
+                naive.docs()[..k],
+                "seed={seed} qsize={qsize}"
+            );
+        }
+    }
+
+    #[test]
+    fn tnra_scores_are_exact_at_termination() {
+        // At termination the top-r documents' SLB must equal their true
+        // scores whenever their bounds have fully converged; spot-check
+        // against the naive scorer.
+        let corpus = SyntheticConfig::tiny(120, 44).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let table = DocTable::from_index(&index);
+        let terms = authsearch_corpus::workload::synthetic(index.num_terms(), 1, 3, 5).remove(0);
+        let q = crate::types::Query::from_term_ids(&index, &terms);
+        let lists = IndexLists::new(&index, &q);
+        let out = run(&lists, &q, 5).unwrap();
+        for e in &out.result.entries {
+            let mut truth = 0.0f64;
+            for qt in &q.terms {
+                truth += qt.wq * table.weight(e.doc, qt.term) as f64;
+            }
+            assert!(
+                e.score <= truth + 1e-9,
+                "SLB {} exceeds true score {truth}",
+                e.score
+            );
+        }
+    }
+
+    #[test]
+    fn tnra_reads_at_least_as_much_as_tra() {
+        // §3.4: "TNRA is expected to poll a higher fraction of the
+        // inverted lists than TRA."
+        let corpus = SyntheticConfig::tiny(250, 55).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let table = DocTable::from_index(&index);
+        let mut tra_total = 0usize;
+        let mut tnra_total = 0usize;
+        for seed in 0..10u64 {
+            let terms =
+                authsearch_corpus::workload::synthetic(index.num_terms(), 1, 3, seed).remove(0);
+            let q = crate::types::Query::from_term_ids(&index, &terms);
+            let lists = IndexLists::new(&index, &q);
+            let freqs = crate::access::TableFreqs::new(&table, &q);
+            tra_total += crate::tra::run(&lists, &freqs, &q, 10)
+                .unwrap()
+                .prefix_lens
+                .iter()
+                .sum::<usize>();
+            tnra_total += run(&lists, &q, 10).unwrap().prefix_lens.iter().sum::<usize>();
+        }
+        assert!(
+            tnra_total >= tra_total,
+            "TNRA read {tnra_total} < TRA {tra_total}"
+        );
+    }
+
+    #[test]
+    fn traced_matches_untraced() {
+        let corpus = SyntheticConfig::tiny(100, 66).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let terms = authsearch_corpus::workload::synthetic(index.num_terms(), 1, 3, 77).remove(0);
+        let q = crate::types::Query::from_term_ids(&index, &terms);
+        let lists = IndexLists::new(&index, &q);
+        let plain = run(&lists, &q, 4).unwrap();
+        let (traced, trace) = run_traced(&lists, &q, 4).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(trace.len(), plain.iterations + 1);
+    }
+
+    #[test]
+    fn bounds_sane_in_trace() {
+        let corpus = SyntheticConfig::tiny(100, 88).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let terms = authsearch_corpus::workload::synthetic(index.num_terms(), 1, 2, 99).remove(0);
+        let q = crate::types::Query::from_term_ids(&index, &terms);
+        let lists = IndexLists::new(&index, &q);
+        let (_, trace) = run_traced(&lists, &q, 3).unwrap();
+        for it in &trace {
+            for &(_, lb, ub) in &it.bounds {
+                assert!(lb <= ub + 1e-9, "lb {lb} > ub {ub}");
+            }
+            // Ordered by descending lb.
+            assert!(it.bounds.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn zero_r_terminates_immediately() {
+        let corpus = SyntheticConfig::tiny(80, 1).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let terms = authsearch_corpus::workload::synthetic(index.num_terms(), 1, 2, 2).remove(0);
+        let q = crate::types::Query::from_term_ids(&index, &terms);
+        let lists = IndexLists::new(&index, &q);
+        let out = run(&lists, &q, 0).unwrap();
+        assert!(out.result.entries.is_empty());
+        assert_eq!(out.iterations, 0);
+    }
+}

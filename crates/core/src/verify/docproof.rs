@@ -1,0 +1,268 @@
+//! Document-MHT proof verification and frequency resolution (TRA).
+//!
+//! For every encountered document the VO carries a [`crate::vo::DocVo`].
+//! This module authenticates each one — reconstructing the document-MHT
+//! root from the revealed `(t, w)` leaves and checking the owner's
+//! signature, which also binds the digest of the document's content — and
+//! then resolves, for every (document, query term) pair, either the
+//! certified weight or a *proven absence* (weight 0), established by a
+//! revealed pair of position-adjacent leaves whose terms bound the query
+//! term (paper §3.3.1), or by a revealed first/last leaf for query terms
+//! outside the document's term range.
+
+use super::{FreqMap, VerifierParams, VerifyError};
+use crate::auth::serve::QueryResponse;
+use crate::auth::{doc_leaf_digest, doc_message, doc_root};
+use crate::types::Query;
+use crate::vo::DocVo;
+use authsearch_corpus::DocId;
+use authsearch_crypto::{reconstruct_root, Digest};
+use std::collections::HashMap;
+
+/// Authenticated frequencies of the encountered documents, per query term.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedFreqs {
+    map: FreqMap,
+}
+
+impl ResolvedFreqs {
+    /// Certified `w_{d, t_i}`; `None` when the VO proves nothing about it.
+    pub fn weight_of(&self, d: DocId, i: usize) -> Option<f32> {
+        self.map.get(&d).and_then(|v| v[i])
+    }
+
+    /// Number of documents with proofs.
+    pub fn num_docs(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Verify every document proof in the response and build the frequency
+/// map for the replay.
+pub(super) fn resolve_doc_proofs(
+    params: &VerifierParams,
+    query: &Query,
+    response: &QueryResponse,
+) -> Result<ResolvedFreqs, VerifyError> {
+    // Contents of result documents, for content-digest computation.
+    let delivered: HashMap<DocId, &[u8]> = response
+        .contents
+        .iter()
+        .map(|(d, bytes)| (*d, bytes.as_slice()))
+        .collect();
+    let result_docs: Vec<DocId> = response.result.docs();
+    // Every result document must arrive with its content.
+    for &d in &result_docs {
+        if !delivered.contains_key(&d) {
+            return Err(VerifyError::MissingContent { doc: d });
+        }
+    }
+
+    let mut map: FreqMap = HashMap::with_capacity(response.vo.docs.len());
+    for dv in &response.vo.docs {
+        if map.contains_key(&dv.doc) {
+            return Err(VerifyError::MalformedProof(format!(
+                "duplicate document proof for {}",
+                dv.doc
+            )));
+        }
+        let weights = verify_one(params, query, dv, &delivered, &result_docs)?;
+        map.insert(dv.doc, weights);
+    }
+    Ok(ResolvedFreqs { map })
+}
+
+fn verify_one(
+    params: &VerifierParams,
+    query: &Query,
+    dv: &DocVo,
+    delivered: &HashMap<DocId, &[u8]>,
+    result_docs: &[DocId],
+) -> Result<Vec<Option<f32>>, VerifyError> {
+    let n = dv.num_leaves as usize;
+
+    // Structural checks: positions strictly increasing, in range, terms
+    // strictly increasing (the owner sorts document-MHT leaves by term).
+    if dv
+        .revealed
+        .windows(2)
+        .any(|w| w[0].0 >= w[1].0 || w[0].1 >= w[1].1)
+    {
+        return Err(VerifyError::MalformedProof(format!(
+            "document {}: revealed leaves not strictly ordered",
+            dv.doc
+        )));
+    }
+    if dv.revealed.iter().any(|&(p, _, _)| p as usize >= n) {
+        return Err(VerifyError::MalformedProof(format!(
+            "document {}: revealed position beyond leaf count",
+            dv.doc
+        )));
+    }
+
+    // Reconstruct the document-MHT root.
+    let root = if n == 0 {
+        if !dv.revealed.is_empty() || !dv.proof.digests.is_empty() {
+            return Err(VerifyError::MalformedProof(format!(
+                "document {}: empty MHT with payload",
+                dv.doc
+            )));
+        }
+        doc_root(&[])
+    } else {
+        let pairs: Vec<(usize, Digest)> = dv
+            .revealed
+            .iter()
+            .map(|&(p, t, w)| (p as usize, doc_leaf_digest(t, w)))
+            .collect();
+        reconstruct_root(n, &pairs, &dv.proof).ok_or_else(|| {
+            VerifyError::MalformedProof(format!("document {}: MHT proof shape", dv.doc))
+        })?
+    };
+
+    // Content digest: hash the delivered document for result entries,
+    // take the VO's digest otherwise.
+    let content_digest = if result_docs.contains(&dv.doc) {
+        let bytes = delivered
+            .get(&dv.doc)
+            .ok_or(VerifyError::MissingContent { doc: dv.doc })?;
+        Digest::hash(bytes)
+    } else {
+        dv.content_digest
+            .ok_or(VerifyError::MissingContent { doc: dv.doc })?
+    };
+
+    // The signature binds document id, content digest, and MHT root.
+    params
+        .public_key
+        .verify(&doc_message(dv.doc, &content_digest, &root), &dv.signature)
+        .map_err(|_| VerifyError::DocSignature { doc: dv.doc })?;
+
+    // Resolve each query term: present (revealed leaf), provably absent
+    // (bounding leaves), or unproven.
+    let mut weights = Vec::with_capacity(query.terms.len());
+    for qt in &query.terms {
+        let t = qt.term;
+        let found = dv.revealed.binary_search_by_key(&t, |&(_, rt, _)| rt);
+        let w = match found {
+            Ok(i) => Some(dv.revealed[i].2),
+            Err(i) => {
+                // Candidate bounding pair: revealed[i-1] and revealed[i].
+                let lower = i.checked_sub(1).map(|j| dv.revealed[j]);
+                let upper = dv.revealed.get(i).copied();
+                let absent = match (lower, upper) {
+                    // Adjacent positions with terms bracketing t.
+                    (Some((pl, tl, _)), Some((pu, tu, _))) => {
+                        pu == pl + 1 && tl < t && t < tu
+                    }
+                    // t below the first leaf: position 0 must be revealed.
+                    (None, Some((pu, tu, _))) => pu == 0 && t < tu,
+                    // t above the last leaf: position n-1 must be revealed.
+                    (Some((pl, tl, _)), None) => pl as usize == n - 1 && tl < t,
+                    // Empty document: trivially absent.
+                    (None, None) => n == 0,
+                };
+                if absent {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            }
+        };
+        weights.push(w);
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{AuthConfig, AuthenticatedIndex};
+    use crate::toy::{toy_contents, toy_index, toy_query};
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+    use authsearch_index::BlockLayout;
+
+    fn setup() -> (QueryResponse, VerifierParams) {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(Mechanism::TraMht)
+        };
+        let auth = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+        let resp = auth.query(&toy_query(), 2, &toy_contents());
+        let params = VerifierParams {
+            public_key: key.public_key().clone(),
+            layout: BlockLayout::default(),
+            mechanism: Mechanism::TraMht,
+            num_docs: 9,
+            okapi: authsearch_index::OkapiParams::default(),
+        };
+        (resp, params)
+    }
+
+    #[test]
+    fn honest_doc_proofs_resolve() {
+        let (resp, params) = setup();
+        let freqs = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap();
+        assert_eq!(freqs.num_docs(), 4); // docs 5, 3, 6, 1
+        // d6 contains all four query terms (Figure 8).
+        for i in 0..4 {
+            let w = freqs.weight_of(6, i).unwrap();
+            assert!(w > 0.0, "term #{i}");
+        }
+        // d5 lacks 'sleeps' (term index 0) and 'dark' (index 3): proven 0.
+        assert_eq!(freqs.weight_of(5, 0), Some(0.0));
+        assert_eq!(freqs.weight_of(5, 3), Some(0.0));
+        assert!(freqs.weight_of(5, 1).unwrap() > 0.0); // 'in' = 0.142
+    }
+
+    #[test]
+    fn tampered_weight_breaks_signature() {
+        let (mut resp, params) = setup();
+        // Inflate a revealed weight in doc 5's proof.
+        let dv = resp.vo.docs.iter_mut().find(|d| d.doc == 5).unwrap();
+        let idx = dv.revealed.iter().position(|&(_, _, w)| w > 0.0).unwrap();
+        dv.revealed[idx].2 *= 2.0;
+        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        assert_eq!(err, VerifyError::DocSignature { doc: 5 });
+    }
+
+    #[test]
+    fn dropped_leaf_breaks_proof_shape() {
+        let (mut resp, params) = setup();
+        let dv = &mut resp.vo.docs[0];
+        dv.revealed.remove(0);
+        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::MalformedProof(_) | VerifyError::DocSignature { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_result_content_rejected() {
+        let (mut resp, params) = setup();
+        resp.contents.remove(0);
+        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        assert!(matches!(err, VerifyError::MissingContent { .. }));
+    }
+
+    #[test]
+    fn tampered_result_content_breaks_signature() {
+        let (mut resp, params) = setup();
+        resp.contents[0].1 = b"forged document body".to_vec();
+        let doc = resp.contents[0].0;
+        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        assert_eq!(err, VerifyError::DocSignature { doc });
+    }
+
+    #[test]
+    fn duplicate_doc_proof_rejected() {
+        let (mut resp, params) = setup();
+        let dup = resp.vo.docs[0].clone();
+        resp.vo.docs.push(dup);
+        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        assert!(matches!(err, VerifyError::MalformedProof(_)));
+    }
+}

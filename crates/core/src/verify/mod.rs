@@ -1,0 +1,608 @@
+//! User-side result verification.
+//!
+//! The verifier receives the query result, the VO, and (for TRA) the
+//! result documents themselves, and decides whether the result satisfies
+//! the paper's correctness criteria with respect to the owner's signed
+//! index. The strategy:
+//!
+//! 1. **Authenticate the inputs**: reconstruct every term-(chain-)MHT
+//!    root from the VO's list prefixes and complementary digests and check
+//!    the owner's signature (which binds term, `f_t`, and root); for TRA
+//!    likewise authenticate every document-MHT and resolve the query-term
+//!    frequency of every encountered document (present value, or a proven
+//!    absence via adjacent-leaf bounding).
+//! 2. **Replay the deterministic threshold algorithm** over exactly those
+//!    authenticated inputs. If the replay ever needs data the VO does not
+//!    substantiate, the VO is insufficient and the result is rejected; a
+//!    replay that terminates must reproduce the reported result exactly.
+//!
+//! Authentic prefixes + deterministic replay imply the correctness
+//! criteria of §3.1: the threshold logic guarantees no unseen document
+//! can outscore the reported ones (completeness), the recomputed scores
+//! guarantee correct ranking, and signatures rule out spurious entries.
+
+mod docproof;
+
+use crate::access::{AccessError, FreqAccess, ListAccess};
+use crate::auth::serve::QueryResponse;
+use crate::auth::{dict_leaf_digest, dict_message, term_message};
+use crate::types::{Query, QueryResult};
+use crate::vo::{Mechanism, PrefixData, TermProof, TermVo, VerificationObject, VoSize};
+use crate::{tnra, tra};
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::{reconstruct_head, reconstruct_root, Digest, RsaPublicKey};
+use authsearch_index::{BlockLayout, ImpactEntry};
+use std::collections::HashMap;
+use std::fmt;
+
+pub use docproof::ResolvedFreqs;
+
+/// Why a query result was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// VO does not match the query's shape (missing/mismatched terms).
+    QueryShapeMismatch(String),
+    /// A term list's signature did not validate.
+    TermSignature {
+        /// The offending term.
+        term: TermId,
+    },
+    /// A document-MHT signature did not validate.
+    DocSignature {
+        /// The offending document.
+        doc: DocId,
+    },
+    /// The dictionary-MHT signature did not validate.
+    DictSignature,
+    /// A Merkle/chain proof had the wrong shape.
+    MalformedProof(String),
+    /// A TNRA prefix was not in non-increasing weight order.
+    PrefixNotOrdered {
+        /// The offending term.
+        term: TermId,
+    },
+    /// The replay needed data the VO does not substantiate.
+    InsufficientData(String),
+    /// A query-term frequency could be neither proven present nor absent.
+    FrequencyUnproven {
+        /// Document in question.
+        doc: DocId,
+        /// Query term in question.
+        term: TermId,
+    },
+    /// An encountered document lacks its document-MHT proof.
+    MissingDocProof {
+        /// The document.
+        doc: DocId,
+    },
+    /// A result document's content was not delivered (or does not match).
+    MissingContent {
+        /// The document.
+        doc: DocId,
+    },
+    /// The replayed result differs from the reported one.
+    ResultMismatch(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::QueryShapeMismatch(w) => write!(f, "VO/query mismatch: {w}"),
+            VerifyError::TermSignature { term } => {
+                write!(f, "invalid signature on term {term}'s inverted list")
+            }
+            VerifyError::DocSignature { doc } => {
+                write!(f, "invalid signature on document {doc}'s MHT")
+            }
+            VerifyError::DictSignature => write!(f, "invalid dictionary-MHT signature"),
+            VerifyError::MalformedProof(w) => write!(f, "malformed proof: {w}"),
+            VerifyError::PrefixNotOrdered { term } => {
+                write!(f, "term {term}'s prefix violates frequency ordering")
+            }
+            VerifyError::InsufficientData(w) => write!(f, "VO insufficient: {w}"),
+            VerifyError::FrequencyUnproven { doc, term } => {
+                write!(f, "frequency of term {term} in document {doc} unproven")
+            }
+            VerifyError::MissingDocProof { doc } => {
+                write!(f, "no document-MHT proof for encountered document {doc}")
+            }
+            VerifyError::MissingContent { doc } => {
+                write!(f, "content of result document {doc} missing")
+            }
+            VerifyError::ResultMismatch(w) => write!(f, "result incorrect: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<AccessError> for VerifyError {
+    fn from(e: AccessError) -> Self {
+        VerifyError::InsufficientData(e.what)
+    }
+}
+
+/// A verified result plus bookkeeping for the evaluation metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedResult {
+    /// The result, now known to satisfy the correctness criteria.
+    pub result: QueryResult,
+    /// Size breakdown of the VO that was checked.
+    pub vo_size: VoSize,
+}
+
+/// Public parameters the verifier needs (distributed by the data owner
+/// alongside the public key).
+#[derive(Debug, Clone)]
+pub struct VerifierParams {
+    /// The owner's public key.
+    pub public_key: RsaPublicKey,
+    /// Block layout (for chain-MHT capacities).
+    pub layout: BlockLayout,
+    /// The mechanism the owner deployed.
+    pub mechanism: Mechanism,
+    /// Collection size `n` (public metadata; feeds `w_{Q,t}`).
+    pub num_docs: usize,
+    /// Okapi parameters the index was built with.
+    pub okapi: authsearch_index::OkapiParams,
+}
+
+impl VerifierParams {
+    fn chain_capacity(&self) -> usize {
+        let leaf = if self.mechanism.is_tra() { 4 } else { 8 };
+        self.layout.chain_capacity(leaf)
+    }
+}
+
+/// Score comparison tolerance: engine and verifier execute the identical
+/// f64 operations in the identical order, so any real discrepancy is a
+/// lie; the epsilon only absorbs platform-level FMA contraction.
+const SCORE_EPS: f64 = 1e-9;
+
+/// Verify a response against a query whose weights the caller already
+/// trusts (`query.wq` computed locally, or the toy example's published
+/// weights). `r` is the result size the user requested.
+pub fn verify(
+    params: &VerifierParams,
+    query: &Query,
+    r: usize,
+    response: &QueryResponse,
+) -> Result<VerifiedResult, VerifyError> {
+    let vo = &response.vo;
+    if vo.mechanism != params.mechanism {
+        return Err(VerifyError::QueryShapeMismatch(format!(
+            "mechanism {} but owner deployed {}",
+            vo.mechanism.name(),
+            params.mechanism.name()
+        )));
+    }
+    if vo.terms.len() != query.terms.len() {
+        return Err(VerifyError::QueryShapeMismatch(format!(
+            "{} term proofs for {} query terms",
+            vo.terms.len(),
+            query.terms.len()
+        )));
+    }
+    for (tv, qt) in vo.terms.iter().zip(&query.terms) {
+        if tv.term != qt.term {
+            return Err(VerifyError::QueryShapeMismatch(format!(
+                "term proof for {} where query has {}",
+                tv.term, qt.term
+            )));
+        }
+    }
+
+    // Step 1: authenticate every list prefix.
+    let mut term_roots = Vec::with_capacity(vo.terms.len());
+    for tv in &vo.terms {
+        term_roots.push(verify_term_prefix(params, tv)?);
+    }
+    verify_term_signatures(params, vo, &term_roots)?;
+
+    // Step 2: mechanism-specific replay.
+    let replayed = if params.mechanism.is_tra() {
+        let freqs = docproof::resolve_doc_proofs(params, query, response)?;
+        let lists = TraVoLists::build(query, vo, &freqs)?;
+        tra::run(&lists, &freqs, query, r)?
+    } else {
+        let lists = TnraVoLists::build(vo)?;
+        tnra::run(&lists, query, r)?
+    };
+
+    // Step 3: the reported result must equal the replayed one.
+    compare_results(&replayed.result, &response.result)?;
+
+    Ok(VerifiedResult {
+        result: response.result.clone(),
+        vo_size: vo.size(),
+    })
+}
+
+/// Reconstruct one term's root/head digest from its prefix + proof.
+fn verify_term_prefix(params: &VerifierParams, tv: &TermVo) -> Result<Digest, VerifyError> {
+    let li = tv.ft as usize;
+    let k = tv.prefix.len();
+    if k > li {
+        return Err(VerifyError::MalformedProof(format!(
+            "term {}: prefix of {k} entries exceeds f_t = {li}",
+            tv.term
+        )));
+    }
+    let leaf_digests: Vec<Digest> = match (&tv.prefix, params.mechanism.is_tra()) {
+        (PrefixData::DocIds(ids), true) => ids
+            .iter()
+            .map(|&d| crate::auth::tra_leaf_digest(d))
+            .collect(),
+        (PrefixData::Entries(entries), false) => {
+            entries.iter().map(crate::auth::tnra_leaf_digest).collect()
+        }
+        _ => {
+            return Err(VerifyError::MalformedProof(format!(
+                "term {}: prefix payload does not match mechanism",
+                tv.term
+            )))
+        }
+    };
+
+    match (&tv.proof, params.mechanism.is_cmht()) {
+        (TermProof::Mht(proof), false) => {
+            let pairs: Vec<(usize, Digest)> = leaf_digests
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i, d))
+                .collect();
+            reconstruct_root(li, &pairs, proof).ok_or_else(|| {
+                VerifyError::MalformedProof(format!("term {}: MHT proof shape", tv.term))
+            })
+        }
+        (TermProof::Cmht(proof), true) => {
+            reconstruct_head(li, params.chain_capacity(), &leaf_digests, proof).ok_or_else(
+                || VerifyError::MalformedProof(format!("term {}: chain proof shape", tv.term)),
+            )
+        }
+        _ => Err(VerifyError::MalformedProof(format!(
+            "term {}: proof kind does not match mechanism",
+            tv.term
+        ))),
+    }
+}
+
+/// Check per-list signatures, or the single dictionary-MHT signature.
+fn verify_term_signatures(
+    params: &VerifierParams,
+    vo: &VerificationObject,
+    term_roots: &[Digest],
+) -> Result<(), VerifyError> {
+    if let Some(dict) = &vo.dict {
+        // §3.4 mode: reconstruct the dictionary root from the terms' leaf
+        // digests and the multiproof.
+        let mut pairs: Vec<(usize, Digest)> = vo
+            .terms
+            .iter()
+            .zip(term_roots)
+            .map(|(tv, root)| (tv.term as usize, dict_leaf_digest(tv.term, tv.ft, root)))
+            .collect();
+        pairs.sort_unstable_by_key(|&(p, _)| p);
+        pairs.dedup_by_key(|&mut (p, _)| p);
+        let root = reconstruct_root(dict.num_terms as usize, &pairs, &dict.proof)
+            .ok_or_else(|| VerifyError::MalformedProof("dictionary-MHT proof shape".into()))?;
+        params
+            .public_key
+            .verify(&dict_message(dict.num_terms, &root), &dict.signature)
+            .map_err(|_| VerifyError::DictSignature)?;
+        return Ok(());
+    }
+    for (tv, root) in vo.terms.iter().zip(term_roots) {
+        let sig = tv
+            .signature
+            .as_ref()
+            .ok_or_else(|| VerifyError::MalformedProof("missing list signature".into()))?;
+        params
+            .public_key
+            .verify(&term_message(tv.term, tv.ft, root), sig)
+            .map_err(|_| VerifyError::TermSignature { term: tv.term })?;
+    }
+    Ok(())
+}
+
+fn compare_results(replayed: &QueryResult, reported: &QueryResult) -> Result<(), VerifyError> {
+    if replayed.entries.len() != reported.entries.len() {
+        return Err(VerifyError::ResultMismatch(format!(
+            "{} entries reported, replay yields {}",
+            reported.entries.len(),
+            replayed.entries.len()
+        )));
+    }
+    for (a, b) in replayed.entries.iter().zip(&reported.entries) {
+        if a.doc != b.doc {
+            return Err(VerifyError::ResultMismatch(format!(
+                "rank holds document {} but replay yields {}",
+                b.doc, a.doc
+            )));
+        }
+        if (a.score - b.score).abs() > SCORE_EPS {
+            return Err(VerifyError::ResultMismatch(format!(
+                "document {} reported score {} but replay yields {}",
+                b.doc, b.score, a.score
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---- VO-backed data sources for the replay --------------------------------
+
+/// TNRA replay lists: the `⟨d, f⟩` prefixes from the VO.
+struct TnraVoLists {
+    lens: Vec<usize>,
+    prefixes: Vec<Vec<ImpactEntry>>,
+}
+
+impl TnraVoLists {
+    fn build(vo: &VerificationObject) -> Result<TnraVoLists, VerifyError> {
+        let mut lens = Vec::with_capacity(vo.terms.len());
+        let mut prefixes = Vec::with_capacity(vo.terms.len());
+        for tv in &vo.terms {
+            let PrefixData::Entries(entries) = &tv.prefix else {
+                return Err(VerifyError::MalformedProof(
+                    "TNRA VO without impact entries".into(),
+                ));
+            };
+            // Defense in depth: the owner's lists are frequency-ordered;
+            // an out-of-order prefix can only be a corrupt artifact.
+            if entries.windows(2).any(|w| w[0].weight < w[1].weight) {
+                return Err(VerifyError::PrefixNotOrdered { term: tv.term });
+            }
+            lens.push(tv.ft as usize);
+            prefixes.push(entries.clone());
+        }
+        Ok(TnraVoLists { lens, prefixes })
+    }
+}
+
+impl ListAccess for TnraVoLists {
+    fn list_len(&self, i: usize) -> usize {
+        self.lens[i]
+    }
+
+    fn entry(&self, i: usize, pos: usize) -> Result<Option<ImpactEntry>, AccessError> {
+        if pos >= self.lens[i] {
+            return Ok(None);
+        }
+        self.prefixes[i].get(pos).copied().map(Some).ok_or_else(|| {
+            AccessError::new(format!(
+                "replay needs entry {pos} of query list {i}, prefix has {}",
+                self.prefixes[i].len()
+            ))
+        })
+    }
+}
+
+/// TRA replay lists: doc-id prefixes whose weights are resolved *lazily*
+/// through the authenticated document-MHT frequencies. Laziness matters:
+/// buddy inclusion pads prefixes with entries beyond the cut-off whose
+/// documents were never encountered and thus carry no document proof —
+/// the replay never reads them, so they must not trigger a rejection.
+struct TraVoLists<'a> {
+    lens: Vec<usize>,
+    prefixes: Vec<Vec<DocId>>,
+    freqs: &'a ResolvedFreqs,
+}
+
+impl<'a> TraVoLists<'a> {
+    fn build(
+        _query: &Query,
+        vo: &VerificationObject,
+        freqs: &'a ResolvedFreqs,
+    ) -> Result<TraVoLists<'a>, VerifyError> {
+        let mut lens = Vec::with_capacity(vo.terms.len());
+        let mut prefixes = Vec::with_capacity(vo.terms.len());
+        for tv in &vo.terms {
+            let PrefixData::DocIds(ids) = &tv.prefix else {
+                return Err(VerifyError::MalformedProof(
+                    "TRA VO without doc-id prefix".into(),
+                ));
+            };
+            lens.push(tv.ft as usize);
+            prefixes.push(ids.clone());
+        }
+        Ok(TraVoLists {
+            lens,
+            prefixes,
+            freqs,
+        })
+    }
+}
+
+impl ListAccess for TraVoLists<'_> {
+    fn list_len(&self, i: usize) -> usize {
+        self.lens[i]
+    }
+
+    fn entry(&self, i: usize, pos: usize) -> Result<Option<ImpactEntry>, AccessError> {
+        if pos >= self.lens[i] {
+            return Ok(None);
+        }
+        let Some(&doc) = self.prefixes[i].get(pos) else {
+            return Err(AccessError::new(format!(
+                "replay needs entry {pos} of query list {i}, prefix has {}",
+                self.prefixes[i].len()
+            )));
+        };
+        let weight = self.freqs.weight_of(doc, i).ok_or_else(|| {
+            AccessError::new(format!(
+                "prefix doc {doc} of query list {i} has no certified frequency"
+            ))
+        })?;
+        Ok(Some(ImpactEntry { doc, weight }))
+    }
+}
+
+impl FreqAccess for ResolvedFreqs {
+    fn weight(&self, d: DocId, i: usize) -> Result<f32, AccessError> {
+        self.weight_of(d, i).ok_or_else(|| {
+            AccessError::new(format!("frequency of doc {d} for query term #{i} unproven"))
+        })
+    }
+}
+
+/// Lookup map `doc → per-query-term weight` produced by document-proof
+/// resolution; shared with the replay as its [`FreqAccess`].
+pub(crate) type FreqMap = HashMap<DocId, Vec<Option<f32>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{AuthConfig, AuthenticatedIndex};
+    use crate::toy::{toy_contents, toy_index, toy_query};
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+
+    fn setup(mechanism: Mechanism) -> (AuthenticatedIndex, VerifierParams) {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let auth = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+        let params = VerifierParams {
+            public_key: key.public_key().clone(),
+            layout: config.layout,
+            mechanism,
+            num_docs: 9,
+            okapi: authsearch_index::OkapiParams::default(),
+        };
+        (auth, params)
+    }
+
+    #[test]
+    fn missing_term_proof_rejected() {
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        resp.vo.terms.pop();
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::QueryShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn prefix_longer_than_ft_rejected() {
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        // Claim a tiny ft for a list with a longer prefix.
+        resp.vo.terms[2].ft = 1;
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn prefix_kind_mismatch_rejected() {
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        // Swap in a TRA-style doc-id prefix under a TNRA mechanism.
+        let ids = match &resp.vo.terms[0].prefix {
+            PrefixData::Entries(entries) => entries.iter().map(|e| e.doc).collect(),
+            PrefixData::DocIds(ids) => ids.clone(),
+        };
+        resp.vo.terms[0].prefix = PrefixData::DocIds(ids);
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn proof_kind_mismatch_rejected() {
+        let (auth, params) = setup(Mechanism::TnraCmht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        // Replace the chain proof with a plain-MHT proof.
+        let digests = match &resp.vo.terms[0].proof {
+            TermProof::Cmht(p) => p.tail.digests.clone(),
+            TermProof::Mht(p) => p.digests.clone(),
+        };
+        resp.vo.terms[0].proof = TermProof::Mht(authsearch_crypto::MerkleProof { digests });
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn missing_per_list_signature_rejected() {
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        resp.vo.terms[1].signature = None;
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn unordered_tnra_prefix_rejected() {
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        // Make a prefix weight-increasing; even with a fixed-up proof the
+        // ordering screen fires first.
+        if let PrefixData::Entries(entries) = &mut resp.vo.terms[2].prefix {
+            entries.reverse();
+        }
+        let err = verify(&params, &toy_query(), 2, &resp).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::PrefixNotOrdered { .. } | VerifyError::TermSignature { .. }
+        ));
+    }
+
+    #[test]
+    fn doc_proof_for_unencountered_doc_is_harmless_but_duplicates_reject() {
+        // Adding an unrelated (valid) doc proof is not itself an attack —
+        // the result must still match — but duplicates are rejected.
+        let (auth, params) = setup(Mechanism::TraMht);
+        let resp = auth.query(&toy_query(), 2, &toy_contents());
+        let mut dup = resp.clone();
+        dup.vo.docs.push(resp.vo.docs[0].clone());
+        assert!(matches!(
+            verify(&params, &toy_query(), 2, &dup),
+            Err(VerifyError::MalformedProof(_))
+        ));
+    }
+
+    #[test]
+    fn extra_unrelated_content_rejected_only_if_results_differ() {
+        // Appending extra content for a non-result doc changes nothing
+        // the verifier checks (contents are looked up by result doc id).
+        let (auth, params) = setup(Mechanism::TraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        resp.contents.push((8, b"irrelevant".to_vec()));
+        assert!(verify(&params, &toy_query(), 2, &resp).is_ok());
+    }
+
+    #[test]
+    fn dict_proof_on_per_list_deployment_rejected() {
+        // The owner deployed per-list signatures; a VO claiming a
+        // dictionary-MHT signature cannot produce a valid signature for
+        // the dict message.
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query(&toy_query(), 2, &toy_contents());
+        let digests = vec![authsearch_crypto::Digest::ZERO; 4];
+        resp.vo.dict = Some(crate::vo::DictVo {
+            num_terms: 16,
+            proof: authsearch_crypto::MerkleProof { digests },
+            signature: vec![0u8; 64],
+        });
+        assert!(verify(&params, &toy_query(), 2, &resp).is_err());
+    }
+
+    #[test]
+    fn empty_query_verifies_trivially() {
+        let (auth, params) = setup(Mechanism::TnraCmht);
+        let q = Query::default();
+        let resp = auth.query(&q, 5, &toy_contents());
+        assert!(resp.result.entries.is_empty());
+        let verified = verify(&params, &q, 5, &resp).unwrap();
+        assert!(verified.result.entries.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Verification objects: the integrity proofs returned with every query
+//! result, and their size accounting (the paper's Figures 13(d), 14(d),
+//! 15(d) and Table 2).
+
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::{ChainPrefixProof, Digest, MerkleProof, DIGEST_LEN};
+use authsearch_index::ImpactEntry;
+
+/// The four authentication mechanisms evaluated in the paper (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Threshold with Random Access + plain Merkle-hash-tree lists.
+    TraMht,
+    /// Threshold with Random Access + chain-MHT lists (with buddy
+    /// inclusion by default).
+    TraCmht,
+    /// Threshold with No Random Access + plain MHT lists.
+    TnraMht,
+    /// Threshold with No Random Access + chain-MHT lists.
+    TnraCmht,
+}
+
+impl Mechanism {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Mechanism; 4] = [
+        Mechanism::TraMht,
+        Mechanism::TraCmht,
+        Mechanism::TnraMht,
+        Mechanism::TnraCmht,
+    ];
+
+    /// True for the TRA query-processing variants.
+    pub fn is_tra(self) -> bool {
+        matches!(self, Mechanism::TraMht | Mechanism::TraCmht)
+    }
+
+    /// True for the chain-MHT authentication variants.
+    pub fn is_cmht(self) -> bool {
+        matches!(self, Mechanism::TraCmht | Mechanism::TnraCmht)
+    }
+
+    /// Display name used in benchmark tables ("TRA-MHT" etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::TraMht => "TRA-MHT",
+            Mechanism::TraCmht => "TRA-CMHT",
+            Mechanism::TnraMht => "TNRA-MHT",
+            Mechanism::TnraCmht => "TNRA-CMHT",
+        }
+    }
+}
+
+/// The authenticated prefix of one query term's inverted list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrefixData {
+    /// TRA lists: document identifiers only (4 bytes each); their
+    /// frequencies travel in the document-MHTs.
+    DocIds(Vec<DocId>),
+    /// TNRA lists: full `⟨d, f⟩` impact entries (8 bytes each).
+    Entries(Vec<ImpactEntry>),
+}
+
+impl PrefixData {
+    /// Number of entries in the prefix.
+    pub fn len(&self) -> usize {
+        match self {
+            PrefixData::DocIds(v) => v.len(),
+            PrefixData::Entries(v) => v.len(),
+        }
+    }
+
+    /// True when no entries were read.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// VO bytes of the prefix data.
+    pub fn data_bytes(&self) -> usize {
+        match self {
+            PrefixData::DocIds(v) => v.len() * 4,
+            PrefixData::Entries(v) => v.len() * ImpactEntry::BYTES,
+        }
+    }
+}
+
+/// Complementary digests for one inverted-list prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermProof {
+    /// Plain MHT over the whole list (the server reads the entire list to
+    /// regenerate these).
+    Mht(MerkleProof),
+    /// Chain-MHT: digests confined to the last-touched block plus its
+    /// successor's digest.
+    Cmht(ChainPrefixProof),
+}
+
+impl TermProof {
+    /// Number of digests carried.
+    pub fn num_digests(&self) -> usize {
+        match self {
+            TermProof::Mht(p) => p.digests.len(),
+            TermProof::Cmht(p) => p.num_digests(),
+        }
+    }
+}
+
+/// Per-query-term verification data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermVo {
+    /// The query term this list belongs to.
+    pub term: TermId,
+    /// `f_t` from the dictionary (covered by the list signature).
+    pub ft: u32,
+    /// Authenticated prefix (processed entries, buddy-padded under CMHT).
+    pub prefix: PrefixData,
+    /// Complementary digests.
+    pub proof: TermProof,
+    /// Per-list signature (absent in dictionary-MHT mode).
+    pub signature: Option<Vec<u8>>,
+}
+
+/// Per-document verification data (TRA only): certifies the query-term
+/// frequencies of one encountered document via its document-MHT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocVo {
+    /// The document.
+    pub doc: DocId,
+    /// Total leaves in the document-MHT (distinct terms in the document).
+    pub num_leaves: u32,
+    /// Revealed leaves as `(position, term, w_{d,t})`, ascending position:
+    /// the query terms present in the document, the boundary pairs proving
+    /// absent query terms, and any buddies.
+    pub revealed: Vec<(u32, TermId, f32)>,
+    /// Complementary digests up to the document-MHT root.
+    pub proof: MerkleProof,
+    /// `h(doc)` for non-result documents; result documents are delivered
+    /// in full and the user hashes them itself.
+    pub content_digest: Option<Digest>,
+    /// Signature over the document-MHT root.
+    pub signature: Vec<u8>,
+}
+
+/// Proof connecting per-term root digests to the single dictionary-MHT
+/// signature (§3.4's space optimization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictVo {
+    /// Dictionary size `m` (tree shape parameter).
+    pub num_terms: u32,
+    /// Multi-proof for the query terms' leaf positions.
+    pub proof: MerkleProof,
+    /// Signature over the dictionary-MHT root.
+    pub signature: Vec<u8>,
+}
+
+/// The complete verification object for one query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationObject {
+    /// Which mechanism produced this VO.
+    pub mechanism: Mechanism,
+    /// One entry per query term, in query order.
+    pub terms: Vec<TermVo>,
+    /// Document proofs (TRA mechanisms only), in encounter order.
+    pub docs: Vec<DocVo>,
+    /// Dictionary-MHT proof when per-list signatures are consolidated.
+    pub dict: Option<DictVo>,
+}
+
+/// Byte breakdown of a VO — the paper's Table 2 splits VOs into data
+/// (leaf) bytes and digest bytes; signatures are reported separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoSize {
+    /// Leaf/data bytes: prefix entries, revealed document-MHT leaves,
+    /// and fixed per-item headers.
+    pub data: usize,
+    /// Digest bytes (16 per digest, including content digests).
+    pub digest: usize,
+    /// Signature bytes.
+    pub signature: usize,
+}
+
+impl VoSize {
+    /// Total VO size in bytes.
+    pub fn total(&self) -> usize {
+        self.data + self.digest + self.signature
+    }
+
+    /// Data share in percent (Table 2's "Data (%)", computed over
+    /// data + digest as in the paper).
+    pub fn data_pct(&self) -> f64 {
+        let base = (self.data + self.digest) as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * self.data as f64 / base
+        }
+    }
+
+    /// Digest share in percent (Table 2's "Digest (%)").
+    pub fn digest_pct(&self) -> f64 {
+        let base = (self.data + self.digest) as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * self.digest as f64 / base
+        }
+    }
+}
+
+impl std::ops::Add for VoSize {
+    type Output = VoSize;
+    fn add(self, rhs: VoSize) -> VoSize {
+        VoSize {
+            data: self.data + rhs.data,
+            digest: self.digest + rhs.digest,
+            signature: self.signature + rhs.signature,
+        }
+    }
+}
+
+impl VerificationObject {
+    /// Compute the byte breakdown.
+    pub fn size(&self) -> VoSize {
+        let mut s = VoSize::default();
+        for t in &self.terms {
+            s.data += 8; // term id + f_t header
+            s.data += t.prefix.data_bytes();
+            s.digest += t.proof.num_digests() * DIGEST_LEN;
+            if let Some(sig) = &t.signature {
+                s.signature += sig.len();
+            }
+        }
+        for d in &self.docs {
+            s.data += 8; // doc id + leaf count header
+            s.data += d.revealed.len() * 8; // ⟨t, w⟩ leaves
+            s.digest += d.proof.digests.len() * DIGEST_LEN;
+            if d.content_digest.is_some() {
+                s.digest += DIGEST_LEN;
+            }
+            s.signature += d.signature.len();
+        }
+        if let Some(dict) = &self.dict {
+            s.data += 4;
+            s.digest += dict.proof.digests.len() * DIGEST_LEN;
+            s.signature += dict.signature.len();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_predicates() {
+        assert!(Mechanism::TraMht.is_tra());
+        assert!(Mechanism::TraCmht.is_tra() && Mechanism::TraCmht.is_cmht());
+        assert!(!Mechanism::TnraMht.is_cmht());
+        assert!(Mechanism::TnraCmht.is_cmht() && !Mechanism::TnraCmht.is_tra());
+        assert_eq!(Mechanism::ALL.len(), 4);
+    }
+
+    #[test]
+    fn prefix_data_bytes() {
+        assert_eq!(PrefixData::DocIds(vec![1, 2, 3]).data_bytes(), 12);
+        let entries = vec![ImpactEntry { doc: 1, weight: 0.5 }];
+        assert_eq!(PrefixData::Entries(entries).data_bytes(), 8);
+    }
+
+    #[test]
+    fn vo_size_accounting() {
+        let vo = VerificationObject {
+            mechanism: Mechanism::TnraMht,
+            terms: vec![TermVo {
+                term: 7,
+                ft: 10,
+                prefix: PrefixData::Entries(vec![
+                    ImpactEntry { doc: 1, weight: 0.5 },
+                    ImpactEntry { doc: 2, weight: 0.4 },
+                ]),
+                proof: TermProof::Mht(MerkleProof {
+                    digests: vec![Digest::ZERO; 3],
+                }),
+                signature: Some(vec![0u8; 128]),
+            }],
+            docs: vec![],
+            dict: None,
+        };
+        let s = vo.size();
+        assert_eq!(s.data, 8 + 16);
+        assert_eq!(s.digest, 48);
+        assert_eq!(s.signature, 128);
+        assert_eq!(s.total(), 8 + 16 + 48 + 128);
+    }
+
+    #[test]
+    fn table2_percentages() {
+        let s = VoSize {
+            data: 30,
+            digest: 70,
+            signature: 128,
+        };
+        assert!((s.data_pct() - 30.0).abs() < 1e-12);
+        assert!((s.digest_pct() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vo_pct_is_zero() {
+        let s = VoSize::default();
+        assert_eq!(s.data_pct(), 0.0);
+        assert_eq!(s.digest_pct(), 0.0);
+    }
+}

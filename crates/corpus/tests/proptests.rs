@@ -1,0 +1,88 @@
+//! Property-based tests of the text substrate.
+
+use authsearch_corpus::{tokenizer, CorpusBuilder, SyntheticConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tokens_are_lowercase_alphanumeric_nonstop(text in ".{0,300}") {
+        for token in tokenizer::tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(token.clone(), token.to_lowercase());
+            prop_assert!(!authsearch_corpus::stopwords::is_stopword(&token));
+        }
+    }
+
+    #[test]
+    fn tokenize_all_is_superset(text in "[a-zA-Z ,.]{0,200}") {
+        let with: Vec<String> = tokenizer::tokenize_all(&text).collect();
+        let without: Vec<String> = tokenizer::tokenize(&text).collect();
+        prop_assert!(without.len() <= with.len());
+        // Every content token appears in the unfiltered stream.
+        for t in &without {
+            prop_assert!(with.contains(t));
+        }
+    }
+
+    #[test]
+    fn builder_counts_match_token_stream(texts in proptest::collection::vec("[a-z ]{0,80}", 1..8)) {
+        let corpus = CorpusBuilder::new().min_df(1).add_texts(texts.clone()).build();
+        for (i, text) in texts.iter().enumerate() {
+            let doc = corpus.doc(i as u32);
+            let stream_len = tokenizer::tokenize(text).count() as u32;
+            prop_assert_eq!(doc.token_len, stream_len);
+            // Sum of counts ≤ stream length (rare-term pruning can only
+            // remove distinct terms under min_df > 1; with min_df = 1 they
+            // must be equal).
+            let total: u32 = doc.counts.iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(total, stream_len);
+        }
+    }
+
+    #[test]
+    fn synthetic_corpus_invariants(seed in any::<u64>(), docs in 20usize..120) {
+        let corpus = SyntheticConfig::tiny(docs, seed).generate();
+        prop_assert_eq!(corpus.num_docs(), docs);
+        for doc in corpus.docs() {
+            prop_assert!(doc.counts.windows(2).all(|w| w[0].0 < w[1].0));
+            let all_valid = doc
+                .counts
+                .iter()
+                .all(|&(t, c)| (t as usize) < corpus.num_terms() && c > 0);
+            prop_assert!(all_valid);
+            // Distinct terms never exceed the token length.
+            let counted: u32 = doc.counts.iter().map(|&(_, c)| c).sum();
+            prop_assert!(counted <= doc.token_len);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_in_range(
+        num_terms in 50usize..500,
+        q in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let a = authsearch_corpus::workload::synthetic(num_terms, 5, q, seed);
+        let b = authsearch_corpus::workload::synthetic(num_terms, 5, q, seed);
+        prop_assert_eq!(&a, &b);
+        for query in &a {
+            prop_assert_eq!(query.len(), q);
+            prop_assert!(query.iter().all(|&t| (t as usize) < num_terms));
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone(n in 1usize..500, s in 0.0f64..2.0) {
+        let z = authsearch_corpus::zipf::Zipf::new(n, s);
+        let mut acc = 0.0;
+        for k in 0..n {
+            let p = z.pmf(k);
+            prop_assert!(p >= 0.0);
+            acc += p;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Key management helpers.
+//!
+//! RSA key generation is by far the most expensive crypto operation in the
+//! stack (seconds for 1024-bit keys in debug builds), while the rest of the
+//! system only needs *a* valid keypair. This module memoizes one keypair
+//! per modulus size for the lifetime of the process so tests, examples, and
+//! benchmarks never regenerate keys.
+
+use crate::rsa::RsaPrivateKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Modulus size used throughout the paper (Table 1: |sign| = 1024 bits).
+pub const PAPER_KEY_BITS: usize = 1024;
+
+/// Modulus size used by unit tests that only need signature plumbing.
+pub const TEST_KEY_BITS: usize = 512;
+
+static KEY_CACHE: OnceLock<Mutex<HashMap<usize, RsaPrivateKey>>> = OnceLock::new();
+
+/// A process-wide cached keypair with a `bits`-bit modulus.
+///
+/// The key is generated from a fixed seed, so repeated runs produce
+/// identical signatures — convenient for golden tests, irrelevant for
+/// security (benchmark key material only; real deployments generate keys
+/// with [`RsaPrivateKey::generate`] and an OS RNG).
+pub fn cached_keypair(bits: usize) -> RsaPrivateKey {
+    let cache = KEY_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("key cache poisoned");
+    guard
+        .entry(bits)
+        .or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(0xa117_5ea6_c000_0000 ^ bits as u64);
+            RsaPrivateKey::generate(bits, &mut rng)
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_equivalent_keys() {
+        let a = cached_keypair(TEST_KEY_BITS);
+        let b = cached_keypair(TEST_KEY_BITS);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn different_sizes_differ() {
+        let a = cached_keypair(TEST_KEY_BITS);
+        let b = cached_keypair(768);
+        assert_ne!(
+            a.public_key().signature_len(),
+            b.public_key().signature_len()
+        );
+    }
+
+    #[test]
+    fn cached_key_signs() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let sig = key.sign(b"cached key works").unwrap();
+        key.public_key().verify(b"cached key works", &sig).unwrap();
+    }
+}

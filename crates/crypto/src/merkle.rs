@@ -1,0 +1,361 @@
+//! Merkle hash trees with multi-leaf proofs.
+//!
+//! The tree shape follows the paper's figures exactly: leaves are paired
+//! left-to-right and an odd trailing node is *promoted* unchanged to the
+//! next level (Figure 8 shows seven leaves combining as
+//! `h12 h34 h56 h7 → h1-4 h5-7 → h1-7`). Under this pairing, the node at
+//! position `i` of level `l` covers the leaf range
+//! `[i·2^l, min((i+1)·2^l, n))`, which makes proof generation and
+//! verification symmetric recursions over that range structure.
+//!
+//! A [`MerkleProof`] authenticates an arbitrary subset of leaves: it holds
+//! the digests of the maximal subtrees containing no revealed leaf, in
+//! root-to-leaf DFS order. The paper's VOs are built from these proofs
+//! (plus the buddy-inclusion policy applied by the caller when choosing the
+//! revealed set).
+
+use crate::digest::Digest;
+
+/// A Merkle hash tree materialized over a set of leaf digests.
+///
+/// The paper stores only the root and the leaves, regenerating internal
+/// digests at runtime ([13]); accordingly this structure is cheap to build
+/// on demand from the stored leaf layer.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests; last level has exactly one digest.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// Complementary digests proving membership of a revealed leaf subset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MerkleProof {
+    /// Digests of maximal unrevealed subtrees, in root-to-leaf DFS order.
+    pub digests: Vec<Digest>,
+}
+
+impl MerkleProof {
+    /// Serialized size in bytes (16 bytes per digest) — the quantity the
+    /// paper charges to the VO.
+    pub fn size_bytes(&self) -> usize {
+        self.digests.len() * crate::digest::DIGEST_LEN
+    }
+}
+
+impl MerkleTree {
+    /// Build a tree over pre-hashed leaves. Panics on zero leaves (an empty
+    /// inverted list is never indexed; the dictionary drops such terms).
+    pub fn from_leaf_digests(leaves: Vec<Digest>) -> MerkleTree {
+        assert!(!leaves.is_empty(), "Merkle tree over zero leaves");
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < prev.len() {
+                next.push(Digest::combine(&prev[i], &prev[i + 1]));
+                i += 2;
+            }
+            if i < prev.len() {
+                // Odd node: promoted unchanged (paper Figure 8).
+                next.push(prev[i]);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Build a tree by hashing raw leaf encodings.
+    pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
+        Self::from_leaf_digests(leaves.iter().map(|l| Digest::hash(l.as_ref())).collect())
+    }
+
+    /// Root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Leaf digests (the stored layer).
+    pub fn leaf_digests(&self) -> &[Digest] {
+        &self.levels[0]
+    }
+
+    /// Produce the complementary digests for `revealed` leaf positions
+    /// (must be sorted and in range; duplicates are tolerated).
+    pub fn prove(&self, revealed: &[usize]) -> MerkleProof {
+        let n = self.num_leaves();
+        debug_assert!(revealed.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(revealed.iter().all(|&i| i < n));
+        let mut digests = Vec::new();
+        let top = self.levels.len() - 1;
+        self.prove_rec(top, 0, revealed, &mut digests);
+        MerkleProof { digests }
+    }
+
+    fn prove_rec(&self, level: usize, idx: usize, revealed: &[usize], out: &mut Vec<Digest>) {
+        let n = self.num_leaves();
+        let lo = idx << level;
+        let hi = ((idx + 1) << level).min(n);
+        if !range_has_revealed(revealed, lo, hi) {
+            out.push(self.levels[level][idx]);
+            return;
+        }
+        if level == 0 {
+            return; // revealed leaf: verifier computes its digest itself
+        }
+        let child_count = self.levels[level - 1].len();
+        let left = 2 * idx;
+        self.prove_rec(level - 1, left, revealed, out);
+        if left + 1 < child_count {
+            self.prove_rec(level - 1, left + 1, revealed, out);
+        }
+    }
+}
+
+/// True when some revealed position falls inside `[lo, hi)`.
+fn range_has_revealed(revealed: &[usize], lo: usize, hi: usize) -> bool {
+    let start = revealed.partition_point(|&p| p < lo);
+    start < revealed.len() && revealed[start] < hi
+}
+
+/// Recompute the root of an `n`-leaf tree from revealed `(position, digest)`
+/// pairs (sorted by position) and a proof. Returns `None` when the proof
+/// does not have exactly the required shape — a malformed VO.
+pub fn reconstruct_root(
+    n: usize,
+    revealed: &[(usize, Digest)],
+    proof: &MerkleProof,
+) -> Option<Digest> {
+    if n == 0 {
+        return None;
+    }
+    if revealed.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return None; // unsorted or duplicate positions
+    }
+    if revealed.iter().any(|&(p, _)| p >= n) {
+        return None;
+    }
+    let positions: Vec<usize> = revealed.iter().map(|&(p, _)| p).collect();
+    let mut levels = 0;
+    let mut width = n;
+    while width > 1 {
+        width = width.div_ceil(2);
+        levels += 1;
+    }
+    let mut cursor = 0usize;
+    let root = reconstruct_rec(levels, 0, n, revealed, &positions, proof, &mut cursor)?;
+    if cursor != proof.digests.len() {
+        return None; // trailing digests: proof longer than the shape allows
+    }
+    Some(root)
+}
+
+fn reconstruct_rec(
+    level: usize,
+    idx: usize,
+    n: usize,
+    revealed: &[(usize, Digest)],
+    positions: &[usize],
+    proof: &MerkleProof,
+    cursor: &mut usize,
+) -> Option<Digest> {
+    let lo = idx << level;
+    let hi = ((idx + 1) << level).min(n);
+    if !range_has_revealed(positions, lo, hi) {
+        let d = proof.digests.get(*cursor)?;
+        *cursor += 1;
+        return Some(*d);
+    }
+    if level == 0 {
+        // A revealed leaf; find its digest.
+        let i = revealed.binary_search_by_key(&lo, |&(p, _)| p).ok()?;
+        return Some(revealed[i].1);
+    }
+    // Mirror the construction: children live at level-1 with width
+    // ceil over remaining leaves.
+    let child_width = level_width(n, level - 1);
+    let left = 2 * idx;
+    let l = reconstruct_rec(level - 1, left, n, revealed, positions, proof, cursor)?;
+    if left + 1 < child_width {
+        let r = reconstruct_rec(level - 1, left + 1, n, revealed, positions, proof, cursor)?;
+        Some(Digest::combine(&l, &r))
+    } else {
+        Some(l) // promoted odd node
+    }
+}
+
+/// Number of nodes at `level` of an `n`-leaf tree.
+fn level_width(n: usize, level: usize) -> usize {
+    let mut w = n;
+    for _ in 0..level {
+        w = w.div_ceil(2);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    fn leaf_digest(i: usize) -> Digest {
+        Digest::hash(format!("leaf-{i}").as_bytes())
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_digest() {
+        let t = MerkleTree::from_leaves(&leaves(1));
+        assert_eq!(t.root(), leaf_digest(0));
+    }
+
+    #[test]
+    fn four_leaf_root_matches_manual() {
+        // Figure 3 of the paper: N1,2,3,4 = h(h(N1|N2) | h(N3|N4)).
+        let t = MerkleTree::from_leaves(&leaves(4));
+        let n12 = Digest::combine(&leaf_digest(0), &leaf_digest(1));
+        let n34 = Digest::combine(&leaf_digest(2), &leaf_digest(3));
+        assert_eq!(t.root(), Digest::combine(&n12, &n34));
+    }
+
+    #[test]
+    fn seven_leaf_promotion_matches_figure8() {
+        // h1-7 = h( h(h12|h34) | h(h56|h7) ): the odd h7 is promoted.
+        let t = MerkleTree::from_leaves(&leaves(7));
+        let h: Vec<Digest> = (0..7).map(leaf_digest).collect();
+        let h12 = Digest::combine(&h[0], &h[1]);
+        let h34 = Digest::combine(&h[2], &h[3]);
+        let h56 = Digest::combine(&h[4], &h[5]);
+        let h1_4 = Digest::combine(&h12, &h34);
+        let h5_7 = Digest::combine(&h56, &h[6]);
+        assert_eq!(t.root(), Digest::combine(&h1_4, &h5_7));
+    }
+
+    #[test]
+    fn figure3_single_leaf_proof() {
+        // Authenticate m1 out of four: VO = {N2, N3,4}.
+        let t = MerkleTree::from_leaves(&leaves(4));
+        let proof = t.prove(&[0]);
+        assert_eq!(proof.digests.len(), 2);
+        let n34 = Digest::combine(&leaf_digest(2), &leaf_digest(3));
+        assert_eq!(proof.digests[0], leaf_digest(1)); // N2
+        assert_eq!(proof.digests[1], n34); // N3,4
+
+        let root = reconstruct_root(4, &[(0, leaf_digest(0))], &proof).unwrap();
+        assert_eq!(root, t.root());
+    }
+
+    #[test]
+    fn prefix_proofs_all_sizes() {
+        // Term-MHT usage: reveal a prefix of the list (Figure 7).
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 33] {
+            let t = MerkleTree::from_leaves(&leaves(n));
+            for k in 1..=n {
+                let revealed: Vec<usize> = (0..k).collect();
+                let proof = t.prove(&revealed);
+                let pairs: Vec<(usize, Digest)> =
+                    (0..k).map(|i| (i, leaf_digest(i))).collect();
+                let root = reconstruct_root(n, &pairs, &proof).unwrap();
+                assert_eq!(root, t.root(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_prefix_of_four_over_eight() {
+        // Figure 7: 8-entry list, first 4 processed → exactly one digest
+        // (h5-8) in the VO.
+        let t = MerkleTree::from_leaves(&leaves(8));
+        let proof = t.prove(&[0, 1, 2, 3]);
+        assert_eq!(proof.digests.len(), 1);
+    }
+
+    #[test]
+    fn scattered_subsets_verify() {
+        let n = 21;
+        let t = MerkleTree::from_leaves(&leaves(n));
+        let subsets: &[&[usize]] = &[
+            &[0],
+            &[20],
+            &[0, 20],
+            &[3, 4, 5],
+            &[0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20],
+            &[7, 13],
+        ];
+        for subset in subsets {
+            let proof = t.prove(subset);
+            let pairs: Vec<(usize, Digest)> =
+                subset.iter().map(|&i| (i, leaf_digest(i))).collect();
+            assert_eq!(
+                reconstruct_root(n, &pairs, &proof),
+                Some(t.root()),
+                "subset={subset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_digest_changes_root() {
+        let t = MerkleTree::from_leaves(&leaves(8));
+        let proof = t.prove(&[2]);
+        let bad = Digest::hash(b"forged");
+        let root = reconstruct_root(8, &[(2, bad)], &proof).unwrap();
+        assert_ne!(root, t.root());
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let t = MerkleTree::from_leaves(&leaves(8));
+        let mut proof = t.prove(&[0]);
+        proof.digests.pop();
+        assert_eq!(reconstruct_root(8, &[(0, leaf_digest(0))], &proof), None);
+    }
+
+    #[test]
+    fn oversized_proof_rejected() {
+        let t = MerkleTree::from_leaves(&leaves(8));
+        let mut proof = t.prove(&[0]);
+        proof.digests.push(Digest::ZERO);
+        assert_eq!(reconstruct_root(8, &[(0, leaf_digest(0))], &proof), None);
+    }
+
+    #[test]
+    fn out_of_range_position_rejected() {
+        let t = MerkleTree::from_leaves(&leaves(4));
+        let proof = t.prove(&[0]);
+        assert_eq!(reconstruct_root(4, &[(9, leaf_digest(0))], &proof), None);
+    }
+
+    #[test]
+    fn unsorted_positions_rejected() {
+        let t = MerkleTree::from_leaves(&leaves(4));
+        let proof = t.prove(&[0, 1]);
+        let pairs = [(1, leaf_digest(1)), (0, leaf_digest(0))];
+        assert_eq!(reconstruct_root(4, &pairs, &proof), None);
+    }
+
+    #[test]
+    fn full_reveal_needs_no_digests() {
+        let n = 11;
+        let t = MerkleTree::from_leaves(&leaves(n));
+        let all: Vec<usize> = (0..n).collect();
+        let proof = t.prove(&all);
+        assert!(proof.digests.is_empty());
+        let pairs: Vec<(usize, Digest)> = (0..n).map(|i| (i, leaf_digest(i))).collect();
+        assert_eq!(reconstruct_root(n, &pairs, &proof), Some(t.root()));
+    }
+
+    #[test]
+    fn proof_size_bytes() {
+        let t = MerkleTree::from_leaves(&leaves(8));
+        let proof = t.prove(&[0]);
+        assert_eq!(proof.size_bytes(), proof.digests.len() * 16);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the cryptographic substrate: algebraic
+//! identities for the bignum layer (cross-checked against `u128`),
+//! round-trips for Merkle multi-proofs and chain-MHT prefix proofs over
+//! arbitrary shapes, and RSA sign/verify with tampering.
+
+use authsearch_crypto::bignum::BigUint;
+use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+use authsearch_crypto::{reconstruct_head, reconstruct_root, ChainMht, Digest, MerkleTree};
+use proptest::prelude::*;
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // ---- bignum vs primitive arithmetic --------------------------------
+
+    #[test]
+    fn add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let (x, y) = (BigUint::from_u128(a), BigUint::from_u128(b));
+        let sum = &x + &y;
+        prop_assert_eq!(&sum - &y, x.clone());
+        prop_assert_eq!(&sum - &x, y);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+        prop_assert_eq!(prod, BigUint::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_identity(a in proptest::collection::vec(any::<u8>(), 1..48),
+                        b in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let x = big(&a);
+        let y = big(&b);
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(&y);
+        prop_assert!(r < y);
+        prop_assert_eq!(&(&q * &y) + &r, x);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..32),
+                       s in 0usize..200) {
+        let x = big(&a);
+        prop_assert_eq!(x.shl_bits(s).shr_bits(s), x);
+    }
+
+    #[test]
+    fn mod_pow_addition_law(base in 2u64..1000, e1 in 0u64..64, e2 in 0u64..64,
+                            m in 3u64..1_000_000) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let b = BigUint::from_u64(base);
+        let modulus = BigUint::from_u64(m);
+        let lhs = b.mod_pow(&BigUint::from_u64(e1 + e2), &modulus);
+        let rhs = b
+            .mod_pow(&BigUint::from_u64(e1), &modulus)
+            .mul_mod(&b.mod_pow(&BigUint::from_u64(e2), &modulus), &modulus);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in 1u64..1_000_000) {
+        // Modulo a prime, every non-multiple has an inverse.
+        let p = BigUint::from_u64(1_000_000_007);
+        let x = BigUint::from_u64(a);
+        let inv = x.mod_inverse(&p).expect("prime modulus");
+        prop_assert!(x.mul_mod(&inv, &p).is_one());
+    }
+
+    #[test]
+    fn byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let x = big(&bytes);
+        prop_assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+    }
+
+    // ---- Merkle multi-proofs -------------------------------------------
+
+    #[test]
+    fn merkle_any_subset_verifies(
+        n in 1usize..60,
+        seed in any::<u64>(),
+        mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::hash(&(seed ^ i as u64).to_le_bytes()))
+            .collect();
+        let tree = MerkleTree::from_leaf_digests(leaves.clone());
+        let revealed: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        let proof = tree.prove(&revealed);
+        let pairs: Vec<(usize, Digest)> =
+            revealed.iter().map(|&i| (i, leaves[i])).collect();
+        prop_assert_eq!(reconstruct_root(n, &pairs, &proof), Some(tree.root()));
+    }
+
+    #[test]
+    fn merkle_tampered_leaf_rejected(
+        n in 2usize..40,
+        pos in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let pos = pos % n;
+        let leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::hash(&(seed ^ i as u64).to_le_bytes()))
+            .collect();
+        let tree = MerkleTree::from_leaf_digests(leaves.clone());
+        let proof = tree.prove(&[pos]);
+        let forged = Digest::hash(b"forged");
+        prop_assume!(forged != leaves[pos]);
+        let root = reconstruct_root(n, &[(pos, forged)], &proof).unwrap();
+        prop_assert_ne!(root, tree.root());
+    }
+
+    // ---- chain-MHT prefix proofs ---------------------------------------
+
+    #[test]
+    fn chain_any_prefix_verifies(
+        n in 1usize..120,
+        cap in 1usize..16,
+        k_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::hash(&(seed ^ i as u64).to_le_bytes()))
+            .collect();
+        let chain = ChainMht::build(leaves.clone(), cap);
+        let k = ((n as f64) * k_frac) as usize;
+        let proof = chain.prove_prefix(k);
+        prop_assert_eq!(
+            reconstruct_head(n, cap, &leaves[..k], &proof),
+            Some(chain.head_digest())
+        );
+    }
+
+    #[test]
+    fn chain_prefix_swap_rejected(
+        n in 4usize..80,
+        cap in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::hash(&(seed ^ i as u64).to_le_bytes()))
+            .collect();
+        let chain = ChainMht::build(leaves.clone(), cap);
+        let k = n / 2 + 2;
+        let proof = chain.prove_prefix(k);
+        let mut swapped = leaves[..k].to_vec();
+        swapped.swap(0, 1);
+        prop_assume!(swapped[0] != swapped[1]);
+        let head = reconstruct_head(n, cap, &swapped, &proof).unwrap();
+        prop_assert_ne!(head, chain.head_digest());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rsa_roundtrip_and_tamper(msg in proptest::collection::vec(any::<u8>(), 0..200),
+                                flip in any::<u8>()) {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let sig = key.sign(&msg).unwrap();
+        prop_assert!(key.public_key().verify(&msg, &sig).is_ok());
+        // Any bit flip in the signature must fail.
+        let mut bad = sig.clone();
+        let idx = (flip as usize) % bad.len();
+        bad[idx] ^= 0x01;
+        prop_assert!(key.public_key().verify(&msg, &bad).is_err());
+        // Any appended byte changes the message → fail.
+        let mut msg2 = msg.clone();
+        msg2.push(flip);
+        prop_assert!(key.public_key().verify(&msg2, &sig).is_err());
+    }
+}

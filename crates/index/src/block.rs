@@ -1,0 +1,124 @@
+//! Disk block layout (paper §3.3.2 and §4.1).
+//!
+//! The evaluation system stores inverted lists in 1-KByte disk blocks
+//! (the Linux default of the paper's testbed). An authenticated
+//! (chain-MHT) block reserves 4 bytes for the successor's disk address and
+//! 16 bytes for the successor's digest; the remaining space holds ρ leaf
+//! entries:
+//!
+//! ```text
+//! ρ  = ⌊(1024 − 4 − 16) / 4⌋ = 251   (4-byte doc-id leaves, TRA)
+//! ρ′ = ⌊(1024 − 4 − 16) / 8⌋ = 125   (8-byte ⟨d,f⟩ leaves, TNRA)
+//! ```
+
+/// A block layout: sizes from which every capacity in the paper derives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Disk block size in bytes (paper: 1024).
+    pub block_bytes: usize,
+    /// Disk address size (paper: 4).
+    pub addr_bytes: usize,
+    /// Digest size (paper: 16 = 128 bits).
+    pub digest_bytes: usize,
+}
+
+impl Default for BlockLayout {
+    fn default() -> Self {
+        BlockLayout {
+            block_bytes: 1024,
+            addr_bytes: 4,
+            digest_bytes: 16,
+        }
+    }
+}
+
+impl BlockLayout {
+    /// Entries per chain-MHT block holding `leaf_bytes`-byte leaves
+    /// (the paper's ρ / ρ′).
+    pub fn chain_capacity(&self, leaf_bytes: usize) -> usize {
+        assert!(leaf_bytes > 0);
+        let usable = self
+            .block_bytes
+            .checked_sub(self.addr_bytes + self.digest_bytes)
+            .expect("block smaller than its header");
+        let cap = usable / leaf_bytes;
+        assert!(cap > 0, "block too small for a single leaf");
+        cap
+    }
+
+    /// Entries per *plain* (unauthenticated) list block of
+    /// `entry_bytes`-byte entries; plain blocks need only a 4-byte next
+    /// pointer.
+    pub fn plain_capacity(&self, entry_bytes: usize) -> usize {
+        assert!(entry_bytes > 0);
+        ((self.block_bytes - self.addr_bytes) / entry_bytes).max(1)
+    }
+
+    /// Blocks needed to store `n` entries at `capacity` entries per block.
+    pub fn blocks_for(&self, n: usize, capacity: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            n.div_ceil(capacity)
+        }
+    }
+
+    /// Blocks needed to store `bytes` of sequential data (document MHTs,
+    /// raw documents).
+    pub fn blocks_for_bytes(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.block_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rho_values() {
+        let layout = BlockLayout::default();
+        // §3.3.2: ρ = ⌊(1024-4-16)/4⌋ = 251 for doc-id leaves.
+        assert_eq!(layout.chain_capacity(4), 251);
+        // §3.4: ρ′ with 8-byte ⟨d,f⟩ leaves.
+        assert_eq!(layout.chain_capacity(8), 125);
+    }
+
+    #[test]
+    fn plain_capacity_128_entries() {
+        let layout = BlockLayout::default();
+        assert_eq!(layout.plain_capacity(8), 127); // (1024-4)/8
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let layout = BlockLayout::default();
+        assert_eq!(layout.blocks_for(0, 251), 0);
+        assert_eq!(layout.blocks_for(1, 251), 1);
+        assert_eq!(layout.blocks_for(251, 251), 1);
+        assert_eq!(layout.blocks_for(252, 251), 2);
+    }
+
+    #[test]
+    fn blocks_for_bytes_rounds_up() {
+        let layout = BlockLayout::default();
+        assert_eq!(layout.blocks_for_bytes(0), 0);
+        assert_eq!(layout.blocks_for_bytes(1), 1);
+        assert_eq!(layout.blocks_for_bytes(1024), 1);
+        assert_eq!(layout.blocks_for_bytes(1025), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block smaller")]
+    fn degenerate_layout_rejected() {
+        BlockLayout {
+            block_bytes: 8,
+            addr_bytes: 4,
+            digest_bytes: 16,
+        }
+        .chain_capacity(4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Binary persistence for indexes and corpora.
+//!
+//! Hand-rolled little-endian format (no serde): the data owner in the
+//! paper's system model *transfers* the collection and index to the
+//! third-party search engine, so both need a durable wire form. The same
+//! files double as a cache for the benchmark harness, which would
+//! otherwise regenerate the WSJ-scale corpus on every run.
+
+use crate::dictionary::InvertedIndex;
+use crate::okapi::OkapiParams;
+use crate::postings::{ImpactEntry, InvertedList};
+use authsearch_corpus::{Corpus, TokenizedDoc};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const INDEX_MAGIC: &[u8; 4] = b"ASIX";
+const CORPUS_MAGIC: &[u8; 4] = b"ASCO";
+const VERSION: u32 = 1;
+
+/// Errors from (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or truncated file.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn corrupt(why: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(why.into())
+}
+
+// ---- primitive encoders -------------------------------------------------
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn get_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(get_u64(r)?))
+}
+
+fn get_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
+    let len = get_u32(r)? as usize;
+    if len > 1 << 24 {
+        return Err(corrupt("string length implausible"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("invalid utf-8"))
+}
+
+// ---- index --------------------------------------------------------------
+
+/// Serialize an index to any writer.
+pub fn write_index<W: Write>(w: &mut W, index: &InvertedIndex) -> Result<(), PersistError> {
+    w.write_all(INDEX_MAGIC)?;
+    put_u32(w, VERSION)?;
+    put_f64(w, index.params().k1)?;
+    put_f64(w, index.params().b)?;
+    put_u64(w, index.num_docs() as u64)?;
+    put_f64(w, index.avg_doc_len())?;
+    put_u64(w, index.num_terms() as u64)?;
+    for t in 0..index.num_terms() as u32 {
+        let list = index.list(t);
+        put_u32(w, list.len() as u32)?;
+        for e in list.entries() {
+            w.write_all(&e.encode())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize an index from any reader.
+pub fn read_index<R: Read>(r: &mut R) -> Result<InvertedIndex, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != INDEX_MAGIC {
+        return Err(corrupt("bad index magic"));
+    }
+    if get_u32(r)? != VERSION {
+        return Err(corrupt("unsupported index version"));
+    }
+    let k1 = get_f64(r)?;
+    let b = get_f64(r)?;
+    if !(k1.is_finite() && b.is_finite()) {
+        return Err(corrupt("non-finite Okapi parameters"));
+    }
+    let num_docs = get_u64(r)? as usize;
+    let avg = get_f64(r)?;
+    let m = get_u64(r)? as usize;
+    if m > 1 << 28 {
+        return Err(corrupt("dictionary size implausible"));
+    }
+    let mut ft = Vec::with_capacity(m);
+    let mut lists = Vec::with_capacity(m);
+    let mut entry_buf = [0u8; 8];
+    for _ in 0..m {
+        let len = get_u32(r)? as usize;
+        if len > num_docs {
+            return Err(corrupt("list longer than collection"));
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            r.read_exact(&mut entry_buf)?;
+            entries.push(ImpactEntry::decode(&entry_buf));
+        }
+        // Untrusted input: validate the canonical ordering invariant
+        // before wrapping (from_sorted only debug-asserts it).
+        let canonical = entries.windows(2).all(|w| {
+            w[0].weight > w[1].weight || (w[0].weight == w[1].weight && w[0].doc < w[1].doc)
+        });
+        if !canonical {
+            return Err(corrupt("list not frequency-ordered"));
+        }
+        ft.push(len as u32);
+        lists.push(InvertedList::from_sorted(entries));
+    }
+    Ok(InvertedIndex::from_parts(
+        OkapiParams { k1, b },
+        num_docs,
+        avg,
+        ft,
+        lists,
+    ))
+}
+
+/// Save an index to a file.
+pub fn save_index(path: &Path, index: &InvertedIndex) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_index(&mut w, index)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load an index from a file.
+pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_index(&mut r)
+}
+
+// ---- corpus ---------------------------------------------------------------
+
+/// Serialize a corpus to any writer.
+pub fn write_corpus<W: Write>(w: &mut W, corpus: &Corpus) -> Result<(), PersistError> {
+    w.write_all(CORPUS_MAGIC)?;
+    put_u32(w, VERSION)?;
+    put_u64(w, corpus.num_terms() as u64)?;
+    for term in corpus.dictionary() {
+        put_str(w, term)?;
+    }
+    put_u64(w, corpus.num_docs() as u64)?;
+    for doc in corpus.docs() {
+        put_u32(w, doc.token_len)?;
+        put_u32(w, doc.counts.len() as u32)?;
+        for &(t, c) in &doc.counts {
+            put_u32(w, t)?;
+            put_u32(w, c)?;
+        }
+    }
+    let has_texts = corpus.num_docs() > 0 && corpus.text(0).is_some();
+    w.write_all(&[u8::from(has_texts)])?;
+    if has_texts {
+        for id in 0..corpus.num_docs() as u32 {
+            put_str(w, corpus.text(id).expect("texts present"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a corpus from any reader.
+pub fn read_corpus<R: Read>(r: &mut R) -> Result<Corpus, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != CORPUS_MAGIC {
+        return Err(corrupt("bad corpus magic"));
+    }
+    if get_u32(r)? != VERSION {
+        return Err(corrupt("unsupported corpus version"));
+    }
+    let m = get_u64(r)? as usize;
+    if m > 1 << 28 {
+        return Err(corrupt("dictionary size implausible"));
+    }
+    let mut dictionary = Vec::with_capacity(m);
+    for _ in 0..m {
+        dictionary.push(get_str(r)?);
+    }
+    if dictionary.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(corrupt("dictionary not sorted"));
+    }
+    let n = get_u64(r)? as usize;
+    if n > 1 << 28 {
+        return Err(corrupt("collection size implausible"));
+    }
+    let mut docs = Vec::with_capacity(n);
+    for id in 0..n {
+        let token_len = get_u32(r)?;
+        let k = get_u32(r)? as usize;
+        if k > m {
+            return Err(corrupt("doc has more distinct terms than dictionary"));
+        }
+        let mut counts = Vec::with_capacity(k);
+        for _ in 0..k {
+            let t = get_u32(r)?;
+            let c = get_u32(r)?;
+            if t as usize >= m {
+                return Err(corrupt("term id out of range"));
+            }
+            counts.push((t, c));
+        }
+        if counts.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(corrupt("doc counts not sorted by term id"));
+        }
+        docs.push(TokenizedDoc {
+            id: id as u32,
+            counts,
+            token_len,
+        });
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let texts = if flag[0] == 1 {
+        let mut texts = Vec::with_capacity(n);
+        for _ in 0..n {
+            texts.push(get_str(r)?);
+        }
+        Some(texts)
+    } else {
+        None
+    };
+    Ok(Corpus::from_parts(dictionary, docs, texts))
+}
+
+/// Save a corpus to a file.
+pub fn save_corpus(path: &Path, corpus: &Corpus) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_corpus(&mut w, corpus)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a corpus from a file.
+pub fn load_corpus(path: &Path) -> Result<Corpus, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_corpus(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_index;
+    use authsearch_corpus::{CorpusBuilder, SyntheticConfig};
+    use std::io::Cursor;
+
+    #[test]
+    fn index_roundtrip() {
+        let corpus = SyntheticConfig::tiny(80, 5).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        let back = read_index(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back.num_docs(), index.num_docs());
+        assert_eq!(back.num_terms(), index.num_terms());
+        for t in 0..index.num_terms() as u32 {
+            assert_eq!(back.list(t), index.list(t), "term {t}");
+            assert_eq!(back.ft(t), index.ft(t));
+        }
+    }
+
+    #[test]
+    fn corpus_roundtrip_synthetic() {
+        let corpus = SyntheticConfig::tiny(60, 9).generate();
+        let mut buf = Vec::new();
+        write_corpus(&mut buf, &corpus).unwrap();
+        let back = read_corpus(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back.num_docs(), corpus.num_docs());
+        assert_eq!(back.dictionary(), corpus.dictionary());
+        assert_eq!(back.docs(), corpus.docs());
+        assert_eq!(back.text(0), None);
+    }
+
+    #[test]
+    fn corpus_roundtrip_with_texts() {
+        let corpus = CorpusBuilder::new()
+            .min_df(1)
+            .add_text("alpha beta gamma")
+            .add_text("beta delta")
+            .build();
+        let mut buf = Vec::new();
+        write_corpus(&mut buf, &corpus).unwrap();
+        let back = read_corpus(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back.text(0), Some("alpha beta gamma"));
+        assert_eq!(back.content_bytes(1), corpus.content_bytes(1));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_index(&mut Cursor::new(b"NOPE....".to_vec())).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let corpus = SyntheticConfig::tiny(30, 2).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_index(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn corrupted_ordering_rejected() {
+        // Flip the weight bytes of the first entry of the first non-trivial
+        // list so it is no longer frequency-ordered.
+        let corpus = SyntheticConfig::tiny(50, 3).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &index).unwrap();
+        // Header: 4 magic + 4 version + 8 k1 + 8 b + 8 n + 8 avg + 8 m = 48;
+        // then first list: 4 len + entries. Zero the first weight.
+        let off = 48 + 4 + 4;
+        buf[off..off + 4].copy_from_slice(&0f32.to_bits().to_le_bytes());
+        let res = read_index(&mut Cursor::new(&buf));
+        assert!(matches!(res, Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("authsearch-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.bin");
+        let corpus = SyntheticConfig::tiny(40, 4).generate();
+        let index = build_index(&corpus, OkapiParams::default());
+        save_index(&path, &index).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(back.total_entries(), index.total_entries());
+        std::fs::remove_file(&path).ok();
+    }
+}

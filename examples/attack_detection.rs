@@ -1,0 +1,79 @@
+//! The full threat-model catalogue (§3.1), demonstrated: every attack a
+//! compromised engine can mount against a query result, and its
+//! detection, under each mechanism it applies to.
+//!
+//! ```sh
+//! cargo run --release -p authsearch-core --example attack_detection
+//! ```
+
+use authsearch_core::attacks::{truncated_prefix_response, Attack};
+use authsearch_core::{verify, AuthConfig, DataOwner, Mechanism, Query};
+use authsearch_corpus::SyntheticConfig;
+
+fn main() {
+    let corpus = SyntheticConfig::tiny(300, 2024).generate();
+    let owner = DataOwner::with_cached_key(512);
+
+    let mut detected = 0usize;
+    let mut mounted = 0usize;
+
+    for mechanism in Mechanism::ALL {
+        let config = AuthConfig {
+            key_bits: 512,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish(&corpus, config);
+        let terms = authsearch_corpus::workload::synthetic(
+            publication.auth.index().num_terms(),
+            1,
+            3,
+            7,
+        )
+        .remove(0);
+        let query = Query::from_term_ids(publication.auth.index(), &terms);
+        let honest = publication.auth.query(&query, 10, &corpus);
+        assert!(
+            verify::verify(&publication.verifier_params, &query, 10, &honest).is_ok(),
+            "honest baseline must verify"
+        );
+        println!("\n=== {} ===", mechanism.name());
+
+        let attacks = Attack::COMMON.iter().chain(if mechanism.is_tra() {
+            Attack::TRA_ONLY.iter()
+        } else {
+            [].iter()
+        });
+        for &attack in attacks {
+            let mut tampered = honest.clone();
+            if !attack.apply(&mut tampered) {
+                println!("  -  {:<28} (not applicable)", attack.name());
+                continue;
+            }
+            mounted += 1;
+            match verify::verify(&publication.verifier_params, &query, 10, &tampered) {
+                Err(e) => {
+                    detected += 1;
+                    println!("  ✓  {:<28} rejected: {e}", attack.name());
+                }
+                Ok(_) => println!("  ✗  {:<28} ACCEPTED — bug!", attack.name()),
+            }
+        }
+
+        // The subtle one: a well-formed VO over truncated prefixes.
+        if let Some(tampered) =
+            truncated_prefix_response(&publication.auth, &query, 10, &corpus)
+        {
+            mounted += 1;
+            match verify::verify(&publication.verifier_params, &query, 10, &tampered) {
+                Err(e) => {
+                    detected += 1;
+                    println!("  ✓  {:<28} rejected: {e}", "truncate prefixes");
+                }
+                Ok(_) => println!("  ✗  {:<28} ACCEPTED — bug!", "truncate prefixes"),
+            }
+        }
+    }
+
+    println!("\n{detected}/{mounted} attacks detected");
+    assert_eq!(detected, mounted, "verifier must reject every attack");
+}

@@ -1,0 +1,208 @@
+//! Threat-model test suite (§3.1): every simulated attack by a
+//! compromised search engine must be rejected by the verifier, under
+//! every mechanism it applies to. A verifier that accepts any of these
+//! responses would defeat the entire construction, so these tests are the
+//! security contract of the library.
+
+use authsearch_core::attacks::{truncated_prefix_response, Attack};
+use authsearch_core::toy::{toy_contents, toy_index, toy_query};
+use authsearch_core::{verify, AuthConfig, DataOwner, Mechanism, Publication, VerifyError};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::keys::TEST_KEY_BITS;
+
+fn publish(mechanism: Mechanism) -> (Publication, authsearch_corpus::Corpus) {
+    let corpus = SyntheticConfig::tiny(200, 99).generate();
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    };
+    let publication = owner.publish(&corpus, config);
+    (publication, corpus)
+}
+
+fn sample_query(
+    publication: &Publication,
+    seed: u64,
+) -> authsearch_core::Query {
+    let terms = authsearch_corpus::workload::synthetic(
+        publication.auth.index().num_terms(),
+        1,
+        3,
+        seed,
+    )
+    .remove(0);
+    authsearch_core::Query::from_term_ids(publication.auth.index(), &terms)
+}
+
+#[test]
+fn every_common_attack_rejected_under_every_mechanism() {
+    for mechanism in Mechanism::ALL {
+        let (publication, corpus) = publish(mechanism);
+        let query = sample_query(&publication, 4);
+        let honest = publication.auth.query(&query, 10, &corpus);
+        // The honest response must verify (otherwise the attacks below
+        // prove nothing).
+        verify::verify(&publication.verifier_params, &query, 10, &honest)
+            .unwrap_or_else(|e| panic!("{}: honest response rejected: {e}", mechanism.name()));
+
+        for attack in Attack::COMMON {
+            let mut tampered = honest.clone();
+            if !attack.apply(&mut tampered) {
+                continue; // not applicable under this mechanism
+            }
+            let outcome =
+                verify::verify(&publication.verifier_params, &query, 10, &tampered);
+            assert!(
+                outcome.is_err(),
+                "{}: attack '{}' was NOT detected",
+                mechanism.name(),
+                attack.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tra_specific_attacks_rejected() {
+    for mechanism in [Mechanism::TraMht, Mechanism::TraCmht] {
+        let (publication, corpus) = publish(mechanism);
+        let query = sample_query(&publication, 5);
+        let honest = publication.auth.query(&query, 10, &corpus);
+
+        for attack in Attack::TRA_ONLY {
+            let mut tampered = honest.clone();
+            assert!(
+                attack.apply(&mut tampered),
+                "{}: attack '{}' not applicable",
+                mechanism.name(),
+                attack.name()
+            );
+            let outcome =
+                verify::verify(&publication.verifier_params, &query, 10, &tampered);
+            assert!(
+                outcome.is_err(),
+                "{}: attack '{}' was NOT detected",
+                mechanism.name(),
+                attack.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_prefix_with_valid_proofs_rejected() {
+    // The clever attack: perfectly well-formed VO over shortened
+    // prefixes. Every signature checks out; only the replay notices the
+    // result is unsubstantiated.
+    for mechanism in Mechanism::ALL {
+        let (publication, corpus) = publish(mechanism);
+        let query = sample_query(&publication, 6);
+        let Some(tampered) =
+            truncated_prefix_response(&publication.auth, &query, 10, &corpus)
+        else {
+            continue;
+        };
+        let outcome = verify::verify(&publication.verifier_params, &query, 10, &tampered);
+        assert!(
+            matches!(
+                outcome,
+                Err(VerifyError::InsufficientData(_)) | Err(VerifyError::ResultMismatch(_))
+            ),
+            "{}: truncated prefixes not detected ({outcome:?})",
+            mechanism.name()
+        );
+    }
+}
+
+#[test]
+fn attacks_rejected_on_the_paper_example() {
+    // The MicroPatent story, concretely: every attack on the worked
+    // example's result is caught.
+    for mechanism in Mechanism::ALL {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish_index(toy_index(), config, &toy_contents());
+        let honest = publication.auth.query(&toy_query(), 2, &toy_contents());
+        verify::verify(&publication.verifier_params, &toy_query(), 2, &honest).unwrap();
+
+        let applicable = Attack::COMMON
+            .iter()
+            .chain(if mechanism.is_tra() {
+                Attack::TRA_ONLY.iter()
+            } else {
+                [].iter()
+            });
+        for &attack in applicable {
+            let mut tampered = honest.clone();
+            if !attack.apply(&mut tampered) {
+                continue;
+            }
+            assert!(
+                verify::verify(&publication.verifier_params, &toy_query(), 2, &tampered)
+                    .is_err(),
+                "{}: '{}' undetected on the toy example",
+                mechanism.name(),
+                attack.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_key_rejected() {
+    let (publication, corpus) = publish(Mechanism::TnraCmht);
+    let query = sample_query(&publication, 7);
+    let honest = publication.auth.query(&query, 10, &corpus);
+    // A verifier configured with a different owner's key must reject.
+    let other_key = authsearch_crypto::keys::cached_keypair(768);
+    let mut params = publication.verifier_params.clone();
+    params.public_key = other_key.public_key().clone();
+    assert!(verify::verify(&params, &query, 10, &honest).is_err());
+}
+
+#[test]
+fn vo_for_different_query_rejected() {
+    // Replaying a (legitimate) response to a different query must fail:
+    // the term binding in the signatures catches it.
+    let (publication, corpus) = publish(Mechanism::TnraMht);
+    let query_a = sample_query(&publication, 8);
+    let query_b = sample_query(&publication, 9);
+    assert_ne!(
+        query_a.terms[0].term, query_b.terms[0].term,
+        "seeds must give distinct queries"
+    );
+    let response_a = publication.auth.query(&query_a, 10, &corpus);
+    let outcome = verify::verify(&publication.verifier_params, &query_b, 10, &response_a);
+    assert!(matches!(outcome, Err(VerifyError::QueryShapeMismatch(_))));
+}
+
+#[test]
+fn wrong_r_rejected() {
+    // Asking for 10 but verifying as if 5 were requested: the replay
+    // produces a different result length.
+    let (publication, corpus) = publish(Mechanism::TnraCmht);
+    let query = sample_query(&publication, 10);
+    let response = publication.auth.query(&query, 10, &corpus);
+    if response.result.entries.len() > 5 {
+        let outcome = verify::verify(&publication.verifier_params, &query, 5, &response);
+        assert!(matches!(outcome, Err(VerifyError::ResultMismatch(_))));
+    }
+}
+
+#[test]
+fn mechanism_confusion_rejected() {
+    // A TNRA response presented to a TRA verifier (and vice versa).
+    let (pub_tnra, corpus) = publish(Mechanism::TnraMht);
+    let query = sample_query(&pub_tnra, 11);
+    let response = pub_tnra.auth.query(&query, 10, &corpus);
+    let mut params = pub_tnra.verifier_params.clone();
+    params.mechanism = Mechanism::TraMht;
+    assert!(matches!(
+        verify::verify(&params, &query, 10, &response),
+        Err(VerifyError::QueryShapeMismatch(_))
+    ));
+}

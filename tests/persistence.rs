@@ -1,0 +1,109 @@
+//! Persistence integration: the owner's transfer artifacts (corpus +
+//! index) survive a round trip through the binary format, and an engine
+//! rebuilt from the persisted artifacts produces byte-identical VOs.
+
+use authsearch_core::{verify, AuthConfig, DataOwner, Mechanism, Query};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::keys::TEST_KEY_BITS;
+use authsearch_index::persist;
+use authsearch_index::{build_index, OkapiParams};
+use std::io::Cursor;
+
+#[test]
+fn engine_rebuilt_from_persisted_index_is_equivalent() {
+    let corpus = SyntheticConfig::tiny(150, 3).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+
+    // Round-trip the index through the binary format.
+    let mut buf = Vec::new();
+    persist::write_index(&mut buf, &index).unwrap();
+    let restored = persist::read_index(&mut Cursor::new(&buf)).unwrap();
+
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(Mechanism::TnraCmht)
+    };
+    let pub_a = owner.publish_index(index, config, &corpus);
+    let pub_b = owner.publish_index(restored, config, &corpus);
+
+    let terms =
+        authsearch_corpus::workload::synthetic(pub_a.auth.index().num_terms(), 1, 3, 17)
+            .remove(0);
+    let query = Query::from_term_ids(pub_a.auth.index(), &terms);
+    let resp_a = pub_a.auth.query(&query, 10, &corpus);
+    let resp_b = pub_b.auth.query(&query, 10, &corpus);
+
+    // Identical artifacts → identical results and identical VOs.
+    assert_eq!(resp_a.result, resp_b.result);
+    assert_eq!(resp_a.vo, resp_b.vo);
+    assert_eq!(resp_a.io, resp_b.io);
+
+    verify::verify(&pub_a.verifier_params, &query, 10, &resp_b).unwrap();
+}
+
+#[test]
+fn corpus_roundtrip_preserves_queries() {
+    let corpus = SyntheticConfig::tiny(100, 9).generate();
+    let mut buf = Vec::new();
+    persist::write_corpus(&mut buf, &corpus).unwrap();
+    let restored = persist::read_corpus(&mut Cursor::new(&buf)).unwrap();
+
+    let index_a = build_index(&corpus, OkapiParams::default());
+    let index_b = build_index(&restored, OkapiParams::default());
+    assert_eq!(index_a.num_terms(), index_b.num_terms());
+    assert_eq!(index_a.total_entries(), index_b.total_entries());
+    for t in 0..index_a.num_terms() as u32 {
+        assert_eq!(index_a.list(t), index_b.list(t), "term {t}");
+    }
+    // Content digests must also survive (they feed doc signatures).
+    for d in 0..corpus.num_docs() as u32 {
+        assert_eq!(corpus.content_bytes(d), restored.content_bytes(d));
+    }
+}
+
+#[test]
+fn file_level_roundtrip_in_tempdir() {
+    let dir = std::env::temp_dir().join("authsearch-persistence-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus_path = dir.join("corpus.bin");
+    let index_path = dir.join("index.bin");
+
+    let corpus = SyntheticConfig::tiny(80, 12).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+    persist::save_corpus(&corpus_path, &corpus).unwrap();
+    persist::save_index(&index_path, &index).unwrap();
+
+    let corpus2 = persist::load_corpus(&corpus_path).unwrap();
+    let index2 = persist::load_index(&index_path).unwrap();
+    assert_eq!(corpus2.num_docs(), corpus.num_docs());
+    assert_eq!(index2.total_entries(), index.total_entries());
+
+    std::fs::remove_file(&corpus_path).ok();
+    std::fs::remove_file(&index_path).ok();
+}
+
+#[test]
+fn public_key_distribution_roundtrip() {
+    // The owner's public key travels to clients out of band; its byte
+    // form must verify signatures produced before serialization.
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let corpus = SyntheticConfig::tiny(60, 4).generate();
+    let config = AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(Mechanism::TnraMht)
+    };
+    let publication = owner.publish(&corpus, config);
+
+    let key_bytes = publication.verifier_params.public_key.to_bytes();
+    let restored = authsearch_crypto::RsaPublicKey::from_bytes(&key_bytes).unwrap();
+    let mut params = publication.verifier_params.clone();
+    params.public_key = restored;
+
+    let terms =
+        authsearch_corpus::workload::synthetic(publication.auth.index().num_terms(), 1, 2, 5)
+            .remove(0);
+    let query = Query::from_term_ids(publication.auth.index(), &terms);
+    let response = publication.auth.query(&query, 5, &corpus);
+    verify::verify(&params, &query, 5, &response).unwrap();
+}
