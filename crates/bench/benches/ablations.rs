@@ -7,9 +7,7 @@
 //! 5. score-prioritised vs equal-depth polling (the paper's adaptation
 //!    of Fagin's algorithms vs the originals), measured in entries read.
 
-use authsearch_core::{
-    verify, AuthConfig, AuthenticatedIndex, Mechanism, Query, VerifierParams,
-};
+use authsearch_core::{verify, AuthConfig, AuthenticatedIndex, Mechanism, Query, VerifierParams};
 use authsearch_corpus::{Corpus, SyntheticConfig};
 use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS, TEST_KEY_BITS};
 use authsearch_index::{build_index, BlockLayout, OkapiParams};

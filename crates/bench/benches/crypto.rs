@@ -1,9 +1,10 @@
 //! Micro-benchmarks of the cryptographic substrate: the per-operation
 //! costs from which every VO construction/verification time is composed.
 
+use authsearch_crypto::bignum::{BigUint, Montgomery};
 use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS};
-use authsearch_crypto::{ChainMht, Digest, MerkleTree};
 use authsearch_crypto::{md5::Md5, sha1::Sha1, sha256::Sha256};
+use authsearch_crypto::{ChainMht, Digest, MerkleTree};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
@@ -53,9 +54,11 @@ fn merkle_trees(c: &mut Criterion) {
             b.iter(|| t.prove(&prefix))
         });
         // Chain-MHT with the paper's ρ' = 125 blocks.
-        group.bench_with_input(BenchmarkId::new("chain_build_rho125", n), &leaves, |b, l| {
-            b.iter(|| ChainMht::build(l.clone(), 125))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_build_rho125", n),
+            &leaves,
+            |b, l| b.iter(|| ChainMht::build(l.clone(), 125)),
+        );
         let chain = ChainMht::build(leaves.clone(), 125);
         group.bench_with_input(
             BenchmarkId::new("chain_prove_prefix", n),
@@ -75,10 +78,53 @@ fn rsa(c: &mut Criterion) {
     let key = cached_keypair(PAPER_KEY_BITS);
     let msg = b"root digest of an inverted list's chain-MHT";
     group.bench_function("sign_crt", |b| b.iter(|| key.sign(msg).unwrap()));
+    // The pre-Montgomery baseline: same CRT structure, division-based
+    // exponentiation. The ratio of these two is the PR's sign speedup.
+    group.bench_function("sign_crt_schoolbook_baseline", |b| {
+        b.iter(|| key.sign_schoolbook_reference(msg).unwrap())
+    });
     let sig = key.sign(msg).unwrap();
     group.bench_function("verify", |b| {
         b.iter(|| key.public_key().verify(msg, &sig).unwrap())
     });
+    group.bench_function("verify_schoolbook_baseline", |b| {
+        b.iter(|| {
+            key.public_key()
+                .verify_schoolbook_reference(msg, &sig)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Montgomery-form windowed exponentiation against the schoolbook
+/// (Algorithm-D-per-step) implementation it replaced on the hot path.
+fn modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modpow");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for bits in [512usize, 1024, 2048] {
+        let kb = bits / 8;
+        let mut m_bytes = vec![0xb7u8; kb];
+        m_bytes[kb - 1] |= 1; // odd modulus, full width
+        let modulus = BigUint::from_bytes_be(&m_bytes);
+        let base = BigUint::from_bytes_be(&vec![0x5a; kb - 1]);
+        let exp = BigUint::from_bytes_be(&vec![0x9c; kb]);
+        let ctx = Montgomery::new(&modulus).expect("odd modulus");
+        group.bench_with_input(BenchmarkId::new("montgomery", bits), &bits, |b, _| {
+            b.iter(|| ctx.pow(&base, &exp))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("montgomery_cold_ctx", bits),
+            &bits,
+            |b, _| b.iter(|| base.mod_pow(&exp, &modulus)),
+        );
+        group.bench_with_input(BenchmarkId::new("schoolbook", bits), &bits, |b, _| {
+            b.iter(|| base.mod_pow_schoolbook(&exp, &modulus))
+        });
+    }
     group.finish();
 }
 
@@ -86,6 +132,7 @@ fn all(c: &mut Criterion) {
     let c = configure(c);
     hash_functions(c);
     merkle_trees(c);
+    modpow(c);
     rsa(c);
 }
 

@@ -59,9 +59,11 @@ fn index_construction(c: &mut Criterion) {
             b.iter(|| build_index(c, OkapiParams::default()))
         });
         let index = build_index(&corpus, OkapiParams::default());
-        group.bench_with_input(BenchmarkId::new("doc_table_transpose", docs), &index, |b, i| {
-            b.iter(|| DocTable::from_index(i))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("doc_table_transpose", docs),
+            &index,
+            |b, i| b.iter(|| DocTable::from_index(i)),
+        );
     }
     group.finish();
 }

@@ -24,7 +24,10 @@ fn setup(mechanism: Mechanism, corpus: &Corpus) -> (AuthenticatedIndex, Verifier
         num_docs: index.num_docs(),
         okapi: index.params(),
     };
-    (AuthenticatedIndex::build(index, &key, config, corpus), params)
+    (
+        AuthenticatedIndex::build(index, &key, config, corpus),
+        params,
+    )
 }
 
 fn verification(c: &mut Criterion) {
@@ -37,8 +40,7 @@ fn verification(c: &mut Criterion) {
 
     for mechanism in Mechanism::ALL {
         let (auth, params) = setup(mechanism, &corpus);
-        let workloads =
-            authsearch_corpus::workload::synthetic(auth.index().num_terms(), 10, 3, 6);
+        let workloads = authsearch_corpus::workload::synthetic(auth.index().num_terms(), 10, 3, 6);
         let cases: Vec<(Query, QueryResponse)> = workloads
             .iter()
             .map(|terms| {

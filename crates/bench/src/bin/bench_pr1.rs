@@ -1,0 +1,233 @@
+//! PR 1 perf-trajectory benchmark: Montgomery modular arithmetic and the
+//! engine structure cache, measured against the pre-PR implementations
+//! (schoolbook exponentiation; regenerate-from-leaves serving).
+//!
+//! Emits machine-readable `BENCH_PR1.json` (override the path with
+//! `--out <path>`; set the corpus with `--scale <frac>`). The JSON is
+//! the first point of the repo's performance trajectory; later PRs
+//! append `BENCH_PR<n>.json` files of the same shape.
+//!
+//! Uses plain `std::time` loops rather than criterion so the binary can
+//! run in CI without dev-dependencies; the criterion benches
+//! (`cargo bench -p authsearch-bench`) cover the same comparisons with
+//! fuller statistics.
+
+use authsearch_bench::Scale;
+use authsearch_core::{AuthConfig, AuthenticatedIndex, Mechanism, Query};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::bignum::{BigUint, Montgomery};
+use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS, TEST_KEY_BITS};
+use authsearch_index::{build_index, OkapiParams};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Run `f` repeatedly for at least `budget`, returning mean seconds/call.
+fn time_per_call<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
+    // Warm-up and calibration pass.
+    let start = Instant::now();
+    let mut calib = 0u64;
+    while start.elapsed() < budget / 4 || calib < 3 {
+        f();
+        calib += 1;
+    }
+    let per_call = start.elapsed().as_secs_f64() / calib as f64;
+    let iters = ((budget.as_secs_f64() / per_call) as u64).max(3);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Json {
+    buf: String,
+}
+
+impl Json {
+    fn new() -> Json {
+        Json {
+            buf: String::from("{\n"),
+        }
+    }
+    fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        writeln!(self.buf, "{pad}\"{key}\": {value}{comma}").unwrap();
+    }
+    fn open(&mut self, indent: usize, key: &str) {
+        let pad = "  ".repeat(indent);
+        writeln!(self.buf, "{pad}\"{key}\": {{").unwrap();
+    }
+    fn close(&mut self, indent: usize, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        writeln!(self.buf, "{pad}}}{comma}").unwrap();
+    }
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+fn num(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR1.json");
+    let mut scale_frac = 0.01f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--scale" => {
+                scale_frac = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("bad --scale value")
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: [--out <path>] [--scale <frac>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Scale::parse is the canonical CLI surface; this binary only takes
+    // the subset above but validates the default the same way.
+    let _ = Scale::parse(&[]).expect("default scale parses");
+
+    let budget = Duration::from_millis(700);
+    let mut json = Json::new();
+    json.field(1, "pr", "1", false);
+    json.field(
+        1,
+        "description",
+        "\"Montgomery modular arithmetic + cached MHT layers for the query-serving hot path\"",
+        false,
+    );
+
+    // ---- RSA 1024 (Table 1's |sign| = 1024) -----------------------------
+    eprintln!("[bench_pr1] rsa_1024…");
+    let key = cached_keypair(PAPER_KEY_BITS);
+    let msg = b"root digest of an inverted list's chain-MHT";
+    let sig = key.sign(msg).expect("sign");
+    let sign_s = time_per_call(budget, || {
+        std::hint::black_box(key.sign(msg).unwrap());
+    });
+    let sign_school_s = time_per_call(budget, || {
+        std::hint::black_box(key.sign_schoolbook_reference(msg).unwrap());
+    });
+    let verify_s = time_per_call(budget, || {
+        std::hint::black_box(key.public_key().verify(msg, &sig)).unwrap();
+    });
+    let verify_school_s = time_per_call(budget, || {
+        std::hint::black_box(key.public_key().verify_schoolbook_reference(msg, &sig)).unwrap();
+    });
+    json.open(1, "rsa_1024");
+    json.field(2, "sign_ops_per_s", &num(1.0 / sign_s), false);
+    json.field(
+        2,
+        "sign_ops_per_s_schoolbook",
+        &num(1.0 / sign_school_s),
+        false,
+    );
+    json.field(2, "sign_speedup", &num(sign_school_s / sign_s), false);
+    json.field(2, "verify_ops_per_s", &num(1.0 / verify_s), false);
+    json.field(
+        2,
+        "verify_ops_per_s_schoolbook",
+        &num(1.0 / verify_school_s),
+        false,
+    );
+    json.field(2, "verify_speedup", &num(verify_school_s / verify_s), true);
+    json.close(1, false);
+
+    // ---- raw 1024-bit modular exponentiation ----------------------------
+    eprintln!("[bench_pr1] modpow_1024…");
+    let mut m_bytes = vec![0xb7u8; 128];
+    m_bytes[127] |= 1;
+    let modulus = BigUint::from_bytes_be(&m_bytes);
+    let base = BigUint::from_bytes_be(&[0x5a; 127]);
+    let exp = BigUint::from_bytes_be(&[0x9c; 128]);
+    let ctx = Montgomery::new(&modulus).expect("odd modulus");
+    let mont_s = time_per_call(budget, || {
+        std::hint::black_box(ctx.pow(&base, &exp));
+    });
+    let school_s = time_per_call(budget, || {
+        std::hint::black_box(base.mod_pow_schoolbook(&exp, &modulus));
+    });
+    json.open(1, "modpow_1024");
+    json.field(2, "montgomery_us", &num(mont_s * 1e6), false);
+    json.field(2, "schoolbook_us", &num(school_s * 1e6), false);
+    json.field(2, "speedup", &num(school_s / mont_s), true);
+    json.close(1, false);
+
+    // ---- repeated-query VO construction: cached vs uncached -------------
+    eprintln!("[bench_pr1] vo_construction at scale {scale_frac} (synthetic WSJ)…");
+    let corpus = SyntheticConfig::wsj(scale_frac).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+    let serve_key = cached_keypair(TEST_KEY_BITS);
+    json.open(1, "vo_construction");
+    json.field(2, "corpus_scale", &format!("{scale_frac}"), false);
+    json.field(2, "num_docs", &corpus.num_docs().to_string(), false);
+    json.field(2, "num_terms", &index.num_terms().to_string(), false);
+    json.field(2, "queries_per_round", "10", false);
+    let mechanisms = Mechanism::ALL;
+    for (mi, &mechanism) in mechanisms.iter().enumerate() {
+        let mut stats = Vec::new();
+        for cached in [true, false] {
+            let config = AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                serve_cache: cached,
+                ..AuthConfig::new(mechanism)
+            };
+            let auth = AuthenticatedIndex::build(index.clone(), &serve_key, config, &corpus);
+            let workloads =
+                authsearch_corpus::workload::synthetic(auth.index().num_terms(), 10, 3, 5);
+            let queries: Vec<Query> = workloads
+                .iter()
+                .map(|terms| Query::from_term_ids(auth.index(), terms))
+                .collect();
+            // Warm structures (and branch predictors) before timing.
+            for q in &queries {
+                std::hint::black_box(auth.query(q, 10, &corpus));
+            }
+            let per_round = time_per_call(budget, || {
+                for q in &queries {
+                    std::hint::black_box(auth.query(q, 10, &corpus));
+                }
+            });
+            stats.push((per_round / queries.len() as f64, auth.cache_stats()));
+        }
+        let (cached_s, cache_stats) = (stats[0].0, stats[0].1);
+        let uncached_s = stats[1].0;
+        json.open(2, mechanism.name());
+        json.field(3, "cached_us_per_query", &num(cached_s * 1e6), false);
+        json.field(3, "uncached_us_per_query", &num(uncached_s * 1e6), false);
+        json.field(3, "speedup", &num(uncached_s / cached_s), false);
+        json.field(3, "cache_hits", &cache_stats.hits.to_string(), false);
+        json.field(3, "cache_misses", &cache_stats.misses.to_string(), false);
+        json.field(
+            3,
+            "doc_cache_hits",
+            &cache_stats.doc_hits.to_string(),
+            false,
+        );
+        json.field(
+            3,
+            "doc_cache_misses",
+            &cache_stats.doc_misses.to_string(),
+            true,
+        );
+        json.close(2, mi + 1 == mechanisms.len());
+    }
+    json.close(1, true);
+
+    let out = json.finish();
+    std::fs::write(&out_path, &out).expect("write BENCH_PR1.json");
+    eprintln!("[bench_pr1] wrote {out_path}");
+    print!("{out}");
+}

@@ -19,10 +19,7 @@ pub fn run() {
     println!("\n#### Figures 6 & 11 — \"sleeps in the dark\", top r = 2 ####");
 
     let (outcome, trace) = tra::run_traced(&lists, &freqs, &query, 2).unwrap();
-    let mut t = Table::new(
-        "Figure 6: TRA trace",
-        &["iter", "thres", "pop entry", "R"],
-    );
+    let mut t = Table::new("Figure 6: TRA trace", &["iter", "thres", "pop entry", "R"]);
     for (i, row) in trace.iter().enumerate() {
         let pop = match row.popped {
             Some((list, doc, w)) => format!("<{doc}, {w:.3}> for '{}'", term_name(list)),

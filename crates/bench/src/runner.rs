@@ -2,11 +2,11 @@
 //! authenticated-index construction, and workload aggregation.
 
 use crate::scale::Scale;
+use authsearch_core::vo::VoSize;
 use authsearch_core::{measure, AuthConfig, AuthenticatedIndex, Mechanism, Query, VerifierParams};
 use authsearch_corpus::{Corpus, SyntheticConfig, TermId};
 use authsearch_crypto::keys::cached_keypair;
 use authsearch_index::{build_index, persist, DiskModel, InvertedIndex, OkapiParams};
-use authsearch_core::vo::VoSize;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -82,6 +82,12 @@ impl Workbench {
         if !self.auths.contains_key(&mechanism) {
             let config = AuthConfig {
                 key_bits: self.scale.key_bits,
+                // Figures 13–15 time the paper's regenerate-from-leaves
+                // storage model; the serve cache (PR 1) would make the
+                // reported CPU times incomparable to the paper's. The
+                // cache's own numbers live in BENCH_PR1.json and the
+                // serve_cached_vs_uncached criterion bench.
+                serve_cache: false,
                 ..AuthConfig::new(mechanism)
             };
             let built = self.build_auth(config);
@@ -101,7 +107,11 @@ impl Workbench {
         );
         let key = cached_keypair(config.key_bits);
         let auth = AuthenticatedIndex::build(self.index.clone(), &key, config, &self.corpus);
-        eprintln!("[bench] {} ready in {:.1?}", config.mechanism.name(), t.elapsed());
+        eprintln!(
+            "[bench] {} ready in {:.1?}",
+            config.mechanism.name(),
+            t.elapsed()
+        );
         let params = VerifierParams {
             public_key: key.public_key().clone(),
             layout: config.layout,

@@ -31,9 +31,7 @@ impl Scale {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::parse(&args).unwrap_or_else(|err| {
             eprintln!("error: {err}");
-            eprintln!(
-                "usage: [--scale <frac>] [--full] [--queries <n>] [--key-bits <b>]"
-            );
+            eprintln!("usage: [--scale <frac>] [--full] [--queries <n>] [--key-bits <b>]");
             std::process::exit(2);
         })
     }

@@ -272,9 +272,10 @@ mod tests {
         };
         let publication =
             owner.publish_index(crate::toy::toy_index(), config, &crate::toy::toy_contents());
-        let honest = publication
-            .auth
-            .query(&crate::toy::toy_query(), 2, &crate::toy::toy_contents());
+        let honest =
+            publication
+                .auth
+                .query(&crate::toy::toy_query(), 2, &crate::toy::toy_contents());
         for attack in Attack::COMMON.iter().chain(Attack::TRA_ONLY.iter()) {
             let mut copy = honest.clone();
             let applied = attack.apply(&mut copy);
@@ -283,8 +284,12 @@ mod tests {
             if *attack != Attack::AlterPrefixWeight {
                 assert!(applied, "{}", attack.name());
                 assert_ne!(
-                    format!("{:?}", copy.vo) + &format!("{:?}", copy.result) + &format!("{:?}", copy.contents),
-                    format!("{:?}", honest.vo) + &format!("{:?}", honest.result) + &format!("{:?}", honest.contents),
+                    format!("{:?}", copy.vo)
+                        + &format!("{:?}", copy.result)
+                        + &format!("{:?}", copy.contents),
+                    format!("{:?}", honest.vo)
+                        + &format!("{:?}", honest.result)
+                        + &format!("{:?}", honest.contents),
                     "{} left the response unchanged",
                     attack.name()
                 );

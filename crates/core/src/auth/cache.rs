@@ -1,0 +1,311 @@
+//! Engine-side structure cache (the VO-construction hot path).
+//!
+//! The paper's storage model ([13], §3.3.1) keeps only roots and leaves
+//! on disk and regenerates every interior digest at query time; the seed
+//! reproduction did exactly that, so each query rehashed entire term
+//! structures — and, in dictionary-MHT mode, all `m` dictionary leaves.
+//! This module gives [`AuthenticatedIndex`] a server-side cache:
+//!
+//! * the **dictionary-MHT** is materialized once at construction and
+//!   reused by every query;
+//! * **term structures** (term-MHTs / chain-MHTs) are materialized on
+//!   first use and kept in a bounded [`LruCache`] keyed by [`TermId`],
+//!   so hot terms skip the leaf-layer rehash entirely.
+//!
+//! Proof **bit-compatibility** is the invariant: a cached structure is
+//! the same `MerkleTree` / `ChainMht` value that a fresh build from the
+//! stored leaves produces, so roots, proofs, and signatures are
+//! byte-identical whether the cache is on ([`AuthConfig::serve_cache`])
+//! or off (the paper's regenerate-from-leaves model, kept for the space
+//! benchmarks — see [`super::space`]).
+//!
+//! The simulated disk trace is *not* affected by the cache: the I/O
+//! metrics continue to model the paper's storage layout so Figures 13–15
+//! remain comparable; the cache removes CPU (hashing) cost only.
+
+use super::{doc_leaf_digest, term_leaves, AuthConfig, AuthenticatedIndex};
+use crate::cache::LruCache;
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::{ChainMht, Digest, MerkleTree};
+use authsearch_index::InvertedList;
+use std::sync::{Arc, Mutex};
+
+/// A materialized per-term authentication structure.
+#[derive(Debug, Clone)]
+pub(crate) enum TermStructure {
+    /// Plain term-MHT over the whole list.
+    Mht(MerkleTree),
+    /// Chain of per-block MHTs (§3.3.2).
+    Cmht(ChainMht),
+}
+
+impl TermStructure {
+    /// Build from a list's stored leaf layer — the single source of truth
+    /// for both the cached and the regenerate-from-leaves paths.
+    pub(crate) fn build(config: &AuthConfig, list: &InvertedList) -> TermStructure {
+        let leaves = term_leaves(config.mechanism, list);
+        if config.mechanism.is_cmht() {
+            TermStructure::Cmht(ChainMht::build(leaves, config.chain_capacity()))
+        } else {
+            TermStructure::Mht(MerkleTree::from_leaf_digests(leaves))
+        }
+    }
+
+    /// Root (MHT) or head (chain-MHT) digest.
+    pub(crate) fn root(&self) -> Digest {
+        match self {
+            TermStructure::Mht(tree) => tree.root(),
+            TermStructure::Cmht(chain) => chain.head_digest(),
+        }
+    }
+
+    /// Digests held resident by this materialized structure (all MHT
+    /// levels, or chain leaves + block digests) — the space-accounting
+    /// counterpart of the paper's "only roots and leaves are stored".
+    pub(crate) fn resident_digests(&self) -> usize {
+        match self {
+            TermStructure::Mht(tree) => mht_resident_digests(tree.num_leaves()) as usize,
+            TermStructure::Cmht(chain) => chain.num_leaves() + chain.num_blocks(),
+        }
+    }
+}
+
+/// Digests a fully materialized MHT over `n` leaves holds: the sum of
+/// every level's width under the odd-node-promotion shape (Figure 8).
+/// Shared by the cache accounting here and the worst-case residency
+/// bound in [`super::space`].
+pub(crate) fn mht_resident_digests(n: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut total = n as u64;
+    let mut w = n;
+    while w > 1 {
+        w = w.div_ceil(2);
+        total += w as u64;
+    }
+    total
+}
+
+/// Cache state attached to one [`AuthenticatedIndex`].
+#[derive(Debug)]
+pub(crate) struct ServeCache {
+    /// Dictionary-MHT, materialized once (dictionary mode + cache on).
+    pub(crate) dict_tree: Option<MerkleTree>,
+    /// Bounded LRU of materialized term structures.
+    pub(crate) terms: Mutex<LruCache<TermId, Arc<TermStructure>>>,
+    /// Bounded LRU of materialized document-MHTs (TRA only — TNRA
+    /// responses carry no document proofs).
+    pub(crate) docs: Mutex<LruCache<DocId, Arc<MerkleTree>>>,
+}
+
+impl ServeCache {
+    /// Empty cache sized per the configuration (capacity 0 when the
+    /// cache is disabled, which makes every lookup a miss).
+    pub(crate) fn new(config: &AuthConfig) -> ServeCache {
+        let term_capacity = if config.serve_cache {
+            config.term_cache_capacity
+        } else {
+            0
+        };
+        let doc_capacity = if config.serve_cache && config.mechanism.is_tra() {
+            config.doc_cache_capacity
+        } else {
+            0
+        };
+        ServeCache {
+            dict_tree: None,
+            terms: Mutex::new(LruCache::new(term_capacity)),
+            docs: Mutex::new(LruCache::new(doc_capacity)),
+        }
+    }
+}
+
+/// Hit/miss counters of the engine's structure caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Term lookups served from the cache.
+    pub hits: u64,
+    /// Term lookups that had to rebuild from leaves.
+    pub misses: u64,
+    /// Terms currently materialized.
+    pub resident_terms: usize,
+    /// Maximum number of materialized terms.
+    pub capacity: usize,
+    /// Document-MHT lookups served from the cache (TRA only).
+    pub doc_hits: u64,
+    /// Document-MHT lookups that had to rebuild from leaves.
+    pub doc_misses: u64,
+    /// Documents currently materialized.
+    pub resident_docs: usize,
+    /// Maximum number of materialized documents.
+    pub doc_capacity: usize,
+}
+
+impl AuthenticatedIndex {
+    /// The materialized structure for `term`: from the cache when
+    /// enabled (building and inserting on miss), fresh otherwise.
+    ///
+    /// Building happens outside the cache lock; two racing queries may
+    /// both build, but the structures are identical by construction so
+    /// either insert is correct.
+    pub(crate) fn term_structure(&self, term: TermId) -> Arc<TermStructure> {
+        if self.config.serve_cache {
+            if let Some(hit) = self
+                .cache
+                .terms
+                .lock()
+                .expect("term cache poisoned")
+                .get(&term)
+            {
+                return Arc::clone(hit);
+            }
+        }
+        let built = Arc::new(TermStructure::build(&self.config, self.index.list(term)));
+        if self.config.serve_cache {
+            self.cache
+                .terms
+                .lock()
+                .expect("term cache poisoned")
+                .put(term, Arc::clone(&built));
+        }
+        built
+    }
+
+    /// The materialized document-MHT for `d` (TRA proofs), or `None` for
+    /// a document with no indexed terms. Cached like
+    /// [`AuthenticatedIndex::term_structure`].
+    pub(crate) fn doc_structure(&self, d: DocId) -> Option<Arc<MerkleTree>> {
+        let leaves = self.doc_table.doc_terms(d);
+        if leaves.is_empty() {
+            return None;
+        }
+        if self.config.serve_cache {
+            if let Some(hit) = self.cache.docs.lock().expect("doc cache poisoned").get(&d) {
+                return Some(Arc::clone(hit));
+            }
+        }
+        let built = Arc::new(MerkleTree::from_leaf_digests(
+            leaves.iter().map(|&(t, w)| doc_leaf_digest(t, w)).collect(),
+        ));
+        if self.config.serve_cache {
+            self.cache
+                .docs
+                .lock()
+                .expect("doc cache poisoned")
+                .put(d, Arc::clone(&built));
+        }
+        Some(built)
+    }
+
+    /// Snapshot of the structure-cache counters (for benchmarks and ops).
+    pub fn cache_stats(&self) -> CacheStats {
+        let terms = self.cache.terms.lock().expect("term cache poisoned");
+        let docs = self.cache.docs.lock().expect("doc cache poisoned");
+        CacheStats {
+            hits: terms.hits(),
+            misses: terms.misses(),
+            resident_terms: terms.len(),
+            capacity: terms.capacity(),
+            doc_hits: docs.hits(),
+            doc_misses: docs.misses(),
+            resident_docs: docs.len(),
+            doc_capacity: docs.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::tests_support::test_auth;
+    use crate::toy::{toy_contents, toy_query};
+    use crate::vo::Mechanism;
+
+    #[test]
+    fn term_structures_match_fresh_builds() {
+        for mechanism in Mechanism::ALL {
+            let auth = test_auth(mechanism, true);
+            for t in 0..auth.index().num_terms() as TermId {
+                let cached = auth.term_structure(t);
+                let fresh = TermStructure::build(auth.config(), auth.index().list(t));
+                assert_eq!(cached.root(), fresh.root(), "term {t} ({mechanism:?})");
+                assert_eq!(cached.root(), auth.term_root(t));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_queries() {
+        let auth = test_auth(Mechanism::TnraCmht, true);
+        let before = auth.cache_stats();
+        assert_eq!(before.hits, 0);
+        let _ = auth.query(&toy_query(), 2, &toy_contents());
+        let after_first = auth.cache_stats();
+        assert!(after_first.misses > 0);
+        assert!(after_first.resident_terms > 0);
+        let _ = auth.query(&toy_query(), 2, &toy_contents());
+        let after_second = auth.cache_stats();
+        assert!(after_second.hits >= after_first.resident_terms as u64);
+        assert_eq!(after_second.misses, after_first.misses);
+    }
+
+    #[test]
+    fn disabled_cache_never_retains() {
+        let auth = test_auth(Mechanism::TnraCmht, false);
+        let _ = auth.query(&toy_query(), 2, &toy_contents());
+        let stats = auth.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.resident_terms, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.resident_docs, 0);
+    }
+
+    #[test]
+    fn doc_mhts_cached_for_tra_only() {
+        let tra = test_auth(Mechanism::TraMht, true);
+        let _ = tra.query(&toy_query(), 2, &toy_contents());
+        let stats = tra.cache_stats();
+        assert!(stats.doc_misses > 0);
+        assert!(stats.resident_docs > 0);
+        let _ = tra.query(&toy_query(), 2, &toy_contents());
+        let warm = tra.cache_stats();
+        assert!(warm.doc_hits > 0);
+        assert_eq!(warm.doc_misses, stats.doc_misses);
+
+        let tnra = test_auth(Mechanism::TnraMht, true);
+        let _ = tnra.query(&toy_query(), 2, &toy_contents());
+        let nstats = tnra.cache_stats();
+        assert_eq!(nstats.doc_capacity, 0);
+        assert_eq!(nstats.resident_docs, 0);
+    }
+
+    #[test]
+    fn doc_structures_match_fresh_builds() {
+        use super::super::doc_leaf_digest;
+        let auth = test_auth(Mechanism::TraCmht, true);
+        for d in 0..auth.index().num_docs() as DocId {
+            let leaves = auth.doc_table().doc_terms(d);
+            match auth.doc_structure(d) {
+                None => assert!(leaves.is_empty(), "doc {d}"),
+                Some(tree) => {
+                    let fresh = MerkleTree::from_leaf_digests(
+                        leaves.iter().map(|&(t, w)| doc_leaf_digest(t, w)).collect(),
+                    );
+                    assert_eq!(tree.root(), fresh.root(), "doc {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_digest_counts() {
+        // 7-leaf MHT: widths 7,4,2,1 → 14 digests resident.
+        let leaves: Vec<Digest> = (0..7u32).map(|i| Digest::hash(&i.to_le_bytes())).collect();
+        let mht = TermStructure::Mht(MerkleTree::from_leaf_digests(leaves.clone()));
+        assert_eq!(mht.resident_digests(), 14);
+        // Chain of 7 leaves in blocks of 3 → 7 + 3 block digests.
+        let cmht = TermStructure::Cmht(ChainMht::build(leaves, 3));
+        assert_eq!(cmht.resident_digests(), 10);
+    }
+}

@@ -15,15 +15,36 @@
 //! intermediate digests are regenerated at runtime — which is exactly why
 //! the plain-MHT variants must re-read entire inverted lists at query time
 //! while the chain-MHT variants stop at the cut-off block.
+//!
+//! ## Cache vs. the paper's storage model
+//!
+//! Regenerating interior digests on every query is the right *storage*
+//! trade-off (the paper's §3.4 space analysis depends on it) but a poor
+//! *serving* trade-off: a production engine answering heavy traffic
+//! re-hashes the same hot lists — and in dictionary-MHT mode all `m`
+//! dictionary leaves — thousands of times over. [`AuthConfig::serve_cache`]
+//! (default **on**) therefore keeps materialized structures in RAM: the
+//! dictionary-MHT is built once at construction, and term structures live
+//! in a bounded LRU ([`AuthConfig::term_cache_capacity`]). Cached and
+//! regenerated structures are *bit-identical* — same roots, same proofs,
+//! same signatures — so verification is unaffected; only engine CPU time
+//! changes. The simulated disk accounting deliberately keeps modeling the
+//! paper's on-disk layout in both modes, so the I/O figures stay
+//! comparable. Setting `serve_cache: false` restores the paper's
+//! regenerate-from-leaves behavior exactly; [`space::SpaceReport`]
+//! reports the residency cost of both modes.
 
+mod cache;
 pub mod serve;
 pub mod space;
+
+pub use cache::CacheStats;
 
 use crate::types::DocTable;
 use crate::vo::Mechanism;
 use authsearch_corpus::{DocId, TermId};
 use authsearch_crypto::keys::PAPER_KEY_BITS;
-use authsearch_crypto::{ChainMht, Digest, MerkleTree, RsaPrivateKey, RsaPublicKey};
+use authsearch_crypto::{Digest, MerkleTree, RsaPrivateKey, RsaPublicKey};
 use authsearch_index::{BlockLayout, ImpactEntry, InvertedIndex, InvertedList};
 
 /// Source of raw document contents (for `h(doc)`); implemented by
@@ -60,7 +81,34 @@ pub struct AuthConfig {
     pub dict_mht: bool,
     /// RSA modulus size (paper: 1024).
     pub key_bits: usize,
+    /// Reuse materialized authentication structures across queries at
+    /// the engine (dictionary-MHT built once; bounded term-structure
+    /// LRU). `false` reproduces the paper's regenerate-from-leaves
+    /// storage model byte-for-byte on every query. Proof output is
+    /// bit-identical either way; see the module docs for the trade-off.
+    pub serve_cache: bool,
+    /// Capacity, in terms, of the engine-side term-structure LRU
+    /// (ignored when [`AuthConfig::serve_cache`] is off).
+    pub term_cache_capacity: usize,
+    /// Capacity, in documents, of the engine-side document-MHT LRU
+    /// (TRA mechanisms only; ignored when [`AuthConfig::serve_cache`]
+    /// is off).
+    pub doc_cache_capacity: usize,
 }
+
+/// Default bound on materialized term structures held by the engine.
+///
+/// Sized for the hot head of a Zipf-distributed query workload: the
+/// paper's WSJ dictionary has ~180k terms, and a few thousand hot terms
+/// cover the bulk of query traffic while bounding residency to tens of
+/// megabytes at WSJ scale.
+pub const DEFAULT_TERM_CACHE_CAPACITY: usize = 4096;
+
+/// Default bound on materialized document-MHTs held by the engine (TRA
+/// only — TNRA ships no document proofs). An average WSJ document has a
+/// few hundred distinct terms, so 8k cached document-MHTs stay in the
+/// tens of megabytes.
+pub const DEFAULT_DOC_CACHE_CAPACITY: usize = 8192;
 
 impl AuthConfig {
     /// The paper's configuration for a mechanism.
@@ -71,6 +119,9 @@ impl AuthConfig {
             buddy: mechanism.is_cmht(),
             dict_mht: false,
             key_bits: PAPER_KEY_BITS,
+            serve_cache: true,
+            term_cache_capacity: DEFAULT_TERM_CACHE_CAPACITY,
+            doc_cache_capacity: DEFAULT_DOC_CACHE_CAPACITY,
         }
     }
 
@@ -105,7 +156,10 @@ pub(crate) fn tnra_leaf_digest(entry: &ImpactEntry) -> Digest {
 /// Term-MHT leaf digests for a list under a mechanism.
 pub(crate) fn term_leaves(mechanism: Mechanism, list: &InvertedList) -> Vec<Digest> {
     if mechanism.is_tra() {
-        list.entries().iter().map(|e| tra_leaf_digest(e.doc)).collect()
+        list.entries()
+            .iter()
+            .map(|e| tra_leaf_digest(e.doc))
+            .collect()
     } else {
         list.entries().iter().map(tnra_leaf_digest).collect()
     }
@@ -139,12 +193,7 @@ pub(crate) fn doc_root(doc_terms: &[(TermId, f32)]) -> Digest {
 
 /// Root (plain MHT) or head (chain-MHT) digest of a term's list.
 pub(crate) fn term_root(config: &AuthConfig, list: &InvertedList) -> Digest {
-    let leaves = term_leaves(config.mechanism, list);
-    if config.mechanism.is_cmht() {
-        ChainMht::build(leaves, config.chain_capacity()).head_digest()
-    } else {
-        MerkleTree::from_leaf_digests(leaves).root()
-    }
+    cache::TermStructure::build(config, list).root()
 }
 
 /// Signed message binding a term's list: `h(tag | t | f_t | digest)` —
@@ -204,6 +253,8 @@ pub struct AuthenticatedIndex {
     doc_content_digests: Vec<Digest>,
     doc_sigs: Vec<Vec<u8>>,
     public_key: RsaPublicKey,
+    /// Engine-side structure cache (see [`cache`] and the module docs).
+    cache: cache::ServeCache,
 }
 
 impl AuthenticatedIndex {
@@ -231,11 +282,18 @@ impl AuthenticatedIndex {
         for t in 0..m as TermId {
             term_roots.push(term_root(&config, index.list(t)));
         }
+        let mut serve_cache = cache::ServeCache::new(&config);
         let (term_sigs, dict_sig) = if config.dict_mht {
             let leaves: Vec<Digest> = (0..m as TermId)
                 .map(|t| dict_leaf_digest(t, index.ft(t), &term_roots[t as usize]))
                 .collect();
-            let root = MerkleTree::from_leaf_digests(leaves).root();
+            let tree = MerkleTree::from_leaf_digests(leaves);
+            let root = tree.root();
+            if config.serve_cache {
+                // Built once here; every query's dictionary proof reuses
+                // it instead of rehashing all m leaves.
+                serve_cache.dict_tree = Some(tree);
+            }
             let sig = key
                 .sign(&dict_message(m as u32, &root))
                 .expect("dictionary signature");
@@ -258,7 +316,10 @@ impl AuthenticatedIndex {
             for d in 0..n as DocId {
                 let cd = Digest::hash(&contents.content(d));
                 let root = doc_root(doc_table.doc_terms(d));
-                sigs.push(key.sign(&doc_message(d, &cd, &root)).expect("doc signature"));
+                sigs.push(
+                    key.sign(&doc_message(d, &cd, &root))
+                        .expect("doc signature"),
+                );
                 digests.push(cd);
             }
             (digests, sigs)
@@ -276,6 +337,7 @@ impl AuthenticatedIndex {
             doc_content_digests,
             doc_sigs,
             public_key: key.public_key().clone(),
+            cache: serve_cache,
         }
     }
 
@@ -302,6 +364,25 @@ impl AuthenticatedIndex {
     /// The owner's public key (what users verify against).
     pub fn public_key(&self) -> &RsaPublicKey {
         &self.public_key
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::toy::{toy_contents, toy_index};
+    use crate::vo::Mechanism;
+    use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+
+    /// Toy-collection authenticated index with the cache toggled.
+    pub(crate) fn test_auth(mechanism: Mechanism, serve_cache: bool) -> AuthenticatedIndex {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            serve_cache,
+            ..AuthConfig::new(mechanism)
+        };
+        AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents())
     }
 }
 
@@ -343,7 +424,9 @@ mod tests {
         // Spot-verify one signature.
         let t = 15u32; // 'the'
         let msg = term_message(t, auth.index.ft(t), &auth.term_root(t));
-        auth.public_key().verify(&msg, &auth.term_sigs[t as usize]).unwrap();
+        auth.public_key()
+            .verify(&msg, &auth.term_sigs[t as usize])
+            .unwrap();
     }
 
     #[test]
@@ -359,7 +442,9 @@ mod tests {
         let d = 6u32;
         let root = doc_root(auth.doc_table().doc_terms(d));
         let msg = doc_message(d, &auth.doc_content_digests[d as usize], &root);
-        auth.public_key().verify(&msg, &auth.doc_sigs[d as usize]).unwrap();
+        auth.public_key()
+            .verify(&msg, &auth.doc_sigs[d as usize])
+            .unwrap();
     }
 
     #[test]
@@ -419,8 +504,14 @@ mod tests {
     fn leaf_encodings_are_canonical() {
         assert_eq!(doc_leaf_bytes(1, 0.159).len(), 8);
         assert_ne!(tra_leaf_digest(1), tra_leaf_digest(2));
-        let e1 = ImpactEntry { doc: 1, weight: 0.5 };
-        let e2 = ImpactEntry { doc: 1, weight: 0.25 };
+        let e1 = ImpactEntry {
+            doc: 1,
+            weight: 0.5,
+        };
+        let e2 = ImpactEntry {
+            doc: 1,
+            weight: 0.25,
+        };
         assert_ne!(tnra_leaf_digest(&e1), tnra_leaf_digest(&e2));
     }
 }

@@ -9,16 +9,15 @@
 //! internal digests, chain-MHT variants stop at the cut-off block, and
 //! every document-MHT fetch is a random access.
 
-use super::{
-    doc_leaf_digest, doc_root, term_leaves, AuthenticatedIndex, ContentProvider,
-};
+use super::cache::TermStructure;
+use super::{doc_root, AuthenticatedIndex, ContentProvider};
 use crate::access::{IndexLists, TableFreqs};
 use crate::buddy::{buddy_group_size, expand_buddies, expand_prefix};
 use crate::types::{ProcessingOutcome, Query, QueryResult};
 use crate::vo::{DictVo, DocVo, PrefixData, TermProof, TermVo, VerificationObject};
 use crate::{tnra, tra};
 use authsearch_corpus::{DocId, TermId};
-use authsearch_crypto::{ChainMht, MerkleTree};
+use authsearch_crypto::MerkleTree;
 use authsearch_index::{ImpactEntry, IoStats};
 use std::collections::BTreeSet;
 
@@ -88,18 +87,31 @@ impl AuthenticatedIndex {
         };
 
         // Dictionary-MHT proof (one signature for the whole dictionary).
+        // With the serve cache the tree was materialized once at build
+        // time; the paper's storage model rehashes all m leaves here on
+        // every query.
         let dict = self.dict_sig.as_ref().map(|sig| {
             let m = self.index.num_terms();
-            let leaves: Vec<_> = (0..m as TermId)
-                .map(|t| super::dict_leaf_digest(t, self.index.ft(t), &self.term_roots[t as usize]))
-                .collect();
-            let tree = MerkleTree::from_leaf_digests(leaves);
-            let mut positions: Vec<usize> =
-                query.terms.iter().map(|qt| qt.term as usize).collect();
+            let mut positions: Vec<usize> = query.terms.iter().map(|qt| qt.term as usize).collect();
             positions.sort_unstable();
+            let proof = match &self.cache.dict_tree {
+                Some(tree) => tree.prove(&positions),
+                None => {
+                    let leaves: Vec<_> = (0..m as TermId)
+                        .map(|t| {
+                            super::dict_leaf_digest(
+                                t,
+                                self.index.ft(t),
+                                &self.term_roots[t as usize],
+                            )
+                        })
+                        .collect();
+                    MerkleTree::from_leaf_digests(leaves).prove(&positions)
+                }
+            };
             DictVo {
                 num_terms: m as u32,
-                proof: tree.prove(&positions),
+                proof,
                 signature: sig.clone(),
             }
         });
@@ -139,53 +151,59 @@ impl AuthenticatedIndex {
             Some(self.term_sigs[term as usize].clone())
         };
 
-        if config.mechanism.is_cmht() {
-            let cap = config.chain_capacity();
-            // Buddy-expand within the tail block (groups align per block
-            // MHT).
-            let kr = if k == 0 {
-                0
-            } else if config.buddy {
-                let group = buddy_group_size(leaf_bytes, 16);
-                let jb = (k - 1) / cap;
-                let lo = jb * cap;
-                let block_len = cap.min(li - lo);
-                lo + expand_prefix(k - lo, block_len, group)
-            } else {
-                k
-            };
-            let chain = ChainMht::build(term_leaves(config.mechanism, list), cap);
-            let proof = TermProof::Cmht(chain.prove_prefix(kr));
-            // Chain-MHT: only the blocks holding the prefix are read.
-            io.sequential_run(chain.blocks_touched(kr) as u64);
-            TermVo {
-                term,
-                ft: li as u32,
-                prefix: self.prefix_data(list, kr),
-                proof,
-                signature,
+        // Cached (or freshly regenerated, in paper mode) structure; both
+        // paths produce bit-identical proofs. The I/O accounting below
+        // keeps modeling the paper's on-disk layout in both modes.
+        let structure = self.term_structure(term);
+
+        match &*structure {
+            TermStructure::Cmht(chain) => {
+                let cap = config.chain_capacity();
+                // Buddy-expand within the tail block (groups align per
+                // block MHT).
+                let kr = if k == 0 {
+                    0
+                } else if config.buddy {
+                    let group = buddy_group_size(leaf_bytes, 16);
+                    let jb = (k - 1) / cap;
+                    let lo = jb * cap;
+                    let block_len = cap.min(li - lo);
+                    lo + expand_prefix(k - lo, block_len, group)
+                } else {
+                    k
+                };
+                let proof = TermProof::Cmht(chain.prove_prefix(kr));
+                // Chain-MHT: only the blocks holding the prefix are read.
+                io.sequential_run(chain.blocks_touched(kr) as u64);
+                TermVo {
+                    term,
+                    ft: li as u32,
+                    prefix: self.prefix_data(list, kr),
+                    proof,
+                    signature,
+                }
             }
-        } else {
-            let kr = if config.buddy {
-                expand_prefix(k, li, buddy_group_size(leaf_bytes, 16))
-            } else {
-                k
-            };
-            let tree = MerkleTree::from_leaf_digests(term_leaves(config.mechanism, list));
-            let revealed: Vec<usize> = (0..kr).collect();
-            let proof = TermProof::Mht(tree.prove(&revealed));
-            // Plain MHT: the whole list must be read to regenerate the
-            // complementary digests (the §3.3.1 inefficiency).
-            let stored_blocks = config
-                .layout
-                .blocks_for(li, config.layout.plain_capacity(ImpactEntry::BYTES));
-            io.sequential_run(stored_blocks as u64);
-            TermVo {
-                term,
-                ft: li as u32,
-                prefix: self.prefix_data(list, kr),
-                proof,
-                signature,
+            TermStructure::Mht(tree) => {
+                let kr = if config.buddy {
+                    expand_prefix(k, li, buddy_group_size(leaf_bytes, 16))
+                } else {
+                    k
+                };
+                let revealed: Vec<usize> = (0..kr).collect();
+                let proof = TermProof::Mht(tree.prove(&revealed));
+                // Plain MHT: the whole list must be read to regenerate the
+                // complementary digests (the §3.3.1 inefficiency).
+                let stored_blocks = config
+                    .layout
+                    .blocks_for(li, config.layout.plain_capacity(ImpactEntry::BYTES));
+                io.sequential_run(stored_blocks as u64);
+                TermVo {
+                    term,
+                    ft: li as u32,
+                    prefix: self.prefix_data(list, kr),
+                    proof,
+                    signature,
+                }
             }
         }
     }
@@ -235,13 +253,11 @@ impl AuthenticatedIndex {
             .iter()
             .map(|&p| (p as u32, leaves[p].0, leaves[p].1))
             .collect();
-        let proof = if n == 0 {
-            authsearch_crypto::MerkleProof::default()
-        } else {
-            let tree = MerkleTree::from_leaf_digests(
-                leaves.iter().map(|&(t, w)| doc_leaf_digest(t, w)).collect(),
-            );
-            tree.prove(&positions)
+        // Cached (or regenerated, in paper mode) document-MHT — same
+        // bit-identity contract as the term structures.
+        let proof = match self.doc_structure(d) {
+            None => authsearch_crypto::MerkleProof::default(),
+            Some(tree) => tree.prove(&positions),
         };
 
         // Random fetch: the document-MHT spans its leaves plus the stored
@@ -367,6 +383,89 @@ mod tests {
         assert!(ts.total() > 0 && ns.total() > 0);
         // §4.2: TRA VOs are several times larger than TNRA's.
         assert!(ts.total() > ns.total());
+    }
+
+    #[test]
+    fn cached_and_paper_modes_produce_identical_responses() {
+        // The tentpole invariant: the serve cache changes CPU cost only.
+        // Every proof, root, signature, prefix, and I/O trace must be
+        // bit-identical between cached and regenerate-from-leaves modes.
+        let key = cached_keypair(TEST_KEY_BITS);
+        for mechanism in Mechanism::ALL {
+            let build = |serve_cache: bool| {
+                AuthenticatedIndex::build(
+                    toy_index(),
+                    &key,
+                    AuthConfig {
+                        key_bits: TEST_KEY_BITS,
+                        serve_cache,
+                        ..AuthConfig::new(mechanism)
+                    },
+                    &toy_contents(),
+                )
+            };
+            let cached = build(true);
+            let paper = build(false);
+            for r in [1usize, 2, 5] {
+                // Query twice so the second cached response is served
+                // from warm structures.
+                let _ = cached.query(&toy_query(), r, &toy_contents());
+                let warm = cached.query(&toy_query(), r, &toy_contents());
+                let cold = paper.query(&toy_query(), r, &toy_contents());
+                assert_eq!(warm.vo, cold.vo, "{mechanism:?} r={r}");
+                assert_eq!(warm.result, cold.result, "{mechanism:?} r={r}");
+                assert_eq!(warm.io, cold.io, "{mechanism:?} r={r}");
+                assert_eq!(warm.entries_read, cold.entries_read);
+            }
+            assert!(cached.cache_stats().hits > 0);
+            assert_eq!(paper.cache_stats().hits, 0);
+        }
+    }
+
+    #[test]
+    fn cached_and_paper_dict_proofs_identical() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let build = |serve_cache: bool| {
+            AuthenticatedIndex::build(
+                toy_index(),
+                &key,
+                AuthConfig {
+                    key_bits: TEST_KEY_BITS,
+                    dict_mht: true,
+                    serve_cache,
+                    ..AuthConfig::new(Mechanism::TnraMht)
+                },
+                &toy_contents(),
+            )
+        };
+        let cached = build(true).query(&toy_query(), 2, &toy_contents());
+        let paper = build(false).query(&toy_query(), 2, &toy_contents());
+        assert_eq!(cached.vo.dict, paper.vo.dict);
+        assert_eq!(cached.vo, paper.vo);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_responses_correct() {
+        // A capacity-1 cache thrashes on a 4-term query; responses must
+        // still verify and match the uncached ones.
+        let key = cached_keypair(TEST_KEY_BITS);
+        let tiny_cache = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                term_cache_capacity: 1,
+                ..AuthConfig::new(Mechanism::TnraCmht)
+            },
+            &toy_contents(),
+        );
+        let reference = auth(Mechanism::TnraCmht);
+        let a = tiny_cache.query(&toy_query(), 2, &toy_contents());
+        let b = reference.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(a.vo, b.vo);
+        let stats = tiny_cache.cache_stats();
+        assert_eq!(stats.resident_terms, 1);
+        assert!(stats.misses >= 4);
     }
 
     #[test]

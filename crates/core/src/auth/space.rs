@@ -3,11 +3,16 @@
 //! extra space over a plain, non-authenticated inverted index, while TRA
 //! requires around 25% more space (due to its document-MHTs)").
 
+use super::cache::mht_resident_digests;
 use super::AuthenticatedIndex;
 use authsearch_corpus::TermId;
+use authsearch_crypto::DIGEST_LEN;
 use authsearch_index::ImpactEntry;
 
-/// Byte-level storage breakdown of an authenticated index.
+/// Byte-level storage breakdown of an authenticated index, covering both
+/// serving modes: the paper's regenerate-from-leaves model (disk only)
+/// and the cached mode, which additionally holds materialized structures
+/// in engine RAM (see [`super::cache`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpaceReport {
     /// Plain (unauthenticated) index: dictionary plus block-padded
@@ -23,12 +28,26 @@ pub struct SpaceReport {
     /// Document-side authentication (TRA): the document-MHT leaf layer
     /// plus per-document root and signature.
     pub doc_auth_bytes: u64,
+    /// Worst-case engine RAM held by the serve cache: the materialized
+    /// dictionary-MHT plus the term-structure LRU filled with the
+    /// `term_cache_capacity` longest lists. Zero in paper mode
+    /// (`serve_cache: false`) — that mode's whole point is storing
+    /// nothing beyond roots and leaves.
+    pub cache_resident_bytes: u64,
 }
 
 impl SpaceReport {
-    /// Total extra bytes attributable to authentication.
+    /// Total extra bytes attributable to authentication under the
+    /// paper's storage model (what must persist on disk — identical in
+    /// both serving modes).
     pub fn auth_extra_bytes(&self) -> i64 {
         self.term_auth_bytes + self.doc_auth_bytes as i64
+    }
+
+    /// Total extra bytes of the cached serving mode: the paper-mode
+    /// storage plus the worst-case materialized-structure residency.
+    pub fn cached_mode_extra_bytes(&self) -> i64 {
+        self.auth_extra_bytes() + self.cache_resident_bytes as i64
     }
 
     /// Extra space as a percentage of the plain index.
@@ -69,11 +88,14 @@ impl AuthenticatedIndex {
 
         let sig_len = self.public_key.signature_len() as u64;
         let m = index.num_terms() as u64;
-        let sig_total: u64 = if self.config.dict_mht { sig_len } else { m * sig_len };
+        let sig_total: u64 = if self.config.dict_mht {
+            sig_len
+        } else {
+            m * sig_len
+        };
         // Stored per-term root/head digest (16 bytes each).
         let term_auth_bytes =
-            (auth_blocks as i64 - plain_blocks as i64) * block as i64
-                + (sig_total + m * 16) as i64;
+            (auth_blocks as i64 - plain_blocks as i64) * block as i64 + (sig_total + m * 16) as i64;
 
         let doc_auth_bytes = if self.config.mechanism.is_tra() {
             let leaf_bytes: u64 = (0..index.num_docs() as u32)
@@ -90,7 +112,78 @@ impl AuthenticatedIndex {
             contents_bytes,
             term_auth_bytes,
             doc_auth_bytes,
+            cache_resident_bytes: self.worst_case_cache_bytes(),
         }
+    }
+
+    /// Worst-case serve-cache residency in bytes: dictionary-MHT (when
+    /// materialized) plus the LRU filled with the structures of the
+    /// longest lists — the adversarial workload for cache footprint.
+    fn worst_case_cache_bytes(&self) -> u64 {
+        if !self.config.serve_cache {
+            return 0;
+        }
+        let index = &self.index;
+        let m = index.num_terms();
+        let dict_digests: u64 = if self.config.dict_mht {
+            mht_resident_digests(m)
+        } else {
+            0
+        };
+        let mut lens: Vec<usize> = (0..m as TermId).map(|t| index.list(t).len()).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let cap = self.config.term_cache_capacity.min(m);
+        let term_digests: u64 = lens[..cap]
+            .iter()
+            .map(|&li| {
+                if self.config.mechanism.is_cmht() {
+                    li as u64 + li.div_ceil(self.config.chain_capacity()) as u64
+                } else {
+                    mht_resident_digests(li)
+                }
+            })
+            .sum();
+        let doc_digests: u64 = if self.config.mechanism.is_tra() {
+            let n = index.num_docs();
+            let mut doc_lens: Vec<usize> = (0..n as u32)
+                .map(|d| self.doc_table.doc_terms(d).len())
+                .collect();
+            doc_lens.sort_unstable_by(|a, b| b.cmp(a));
+            let dcap = self.config.doc_cache_capacity.min(n);
+            doc_lens[..dcap]
+                .iter()
+                .map(|&l| mht_resident_digests(l))
+                .sum()
+        } else {
+            0
+        };
+        (dict_digests + term_digests + doc_digests) * DIGEST_LEN as u64
+    }
+
+    /// Bytes currently held by the serve cache (live residency, as
+    /// opposed to the worst-case bound in the report).
+    pub fn cache_resident_bytes_now(&self) -> u64 {
+        let dict: u64 = self
+            .cache
+            .dict_tree
+            .as_ref()
+            .map(|t| mht_resident_digests(t.num_leaves()))
+            .unwrap_or(0);
+        let guard = self.cache.terms.lock().expect("term cache poisoned");
+        let terms: u64 = guard
+            .keys_mru()
+            .iter()
+            .filter_map(|t| guard.peek(t))
+            .map(|s| s.resident_digests() as u64)
+            .sum();
+        let dguard = self.cache.docs.lock().expect("doc cache poisoned");
+        let docs: u64 = dguard
+            .keys_mru()
+            .iter()
+            .filter_map(|d| dguard.peek(d))
+            .map(|t| mht_resident_digests(t.num_leaves()))
+            .sum();
+        (dict + terms + docs) * DIGEST_LEN as u64
     }
 }
 
@@ -153,5 +246,63 @@ mod tests {
         let r = report(Mechanism::TnraCmht);
         assert!(r.overhead_vs_index_pct() >= r.overhead_vs_total_pct());
         assert!(r.plain_index_bytes > 0);
+    }
+
+    #[test]
+    fn both_serving_modes_reported() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let build = |serve_cache: bool| {
+            AuthenticatedIndex::build(
+                toy_index(),
+                &key,
+                AuthConfig {
+                    key_bits: TEST_KEY_BITS,
+                    serve_cache,
+                    ..AuthConfig::new(Mechanism::TnraMht)
+                },
+                &toy_contents(),
+            )
+        };
+        let cached = build(true).space_report(1000);
+        let paper = build(false).space_report(1000);
+        // On-disk storage is identical; only residency differs.
+        assert_eq!(cached.auth_extra_bytes(), paper.auth_extra_bytes());
+        assert_eq!(paper.cache_resident_bytes, 0);
+        assert!(cached.cache_resident_bytes > 0);
+        assert_eq!(
+            cached.cached_mode_extra_bytes(),
+            cached.auth_extra_bytes() + cached.cache_resident_bytes as i64
+        );
+        assert_eq!(paper.cached_mode_extra_bytes(), paper.auth_extra_bytes());
+    }
+
+    #[test]
+    fn live_residency_tracks_queries() {
+        use crate::toy::toy_query;
+        let key = cached_keypair(TEST_KEY_BITS);
+        let auth = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                ..AuthConfig::new(Mechanism::TnraCmht)
+            },
+            &toy_contents(),
+        );
+        assert_eq!(auth.cache_resident_bytes_now(), 0);
+        let _ = auth.query(&toy_query(), 2, &toy_contents());
+        let live = auth.cache_resident_bytes_now();
+        assert!(live > 0);
+        // Live residency never exceeds the report's worst-case bound.
+        assert!(live <= auth.space_report(0).cache_resident_bytes);
+    }
+
+    #[test]
+    fn mht_resident_digest_shapes() {
+        // 1 leaf → 1; 7 leaves → 7+4+2+1 = 14 (Figure 8's shape).
+        assert_eq!(mht_resident_digests(0), 0);
+        assert_eq!(mht_resident_digests(1), 1);
+        assert_eq!(mht_resident_digests(7), 14);
+        assert_eq!(mht_resident_digests(8), 15);
     }
 }

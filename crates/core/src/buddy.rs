@@ -82,10 +82,7 @@ mod tests {
     #[test]
     fn expand_merges_same_group() {
         assert_eq!(expand_buddies(&[1, 2], 8, 4), vec![0, 1, 2, 3]);
-        assert_eq!(
-            expand_buddies(&[1, 6], 8, 4),
-            vec![0, 1, 2, 3, 4, 5, 6, 7]
-        );
+        assert_eq!(expand_buddies(&[1, 6], 8, 4), vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! A bounded LRU cache (intrusive doubly-linked list over a slab).
+//!
+//! The query-serving hot path keeps materialized authentication
+//! structures — term-MHT levels and chain-MHT block digests — keyed by
+//! term, so hot terms skip the leaf-layer rehash that the paper's
+//! regenerate-from-leaves storage model pays on every query
+//! (see [`crate::auth`]). The cache is generic and deliberately small:
+//! `get` / `put` are O(1) hash operations plus pointer splices, eviction
+//! is exact LRU, and hit/miss counters feed the benchmark reports.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded least-recently-used map from `K` to `V`.
+///
+/// A capacity of 0 is legal and means "cache nothing": every `get`
+/// misses and every `put` is a no-op, which lets callers disable caching
+/// through configuration without branching at every call site.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    /// Most recently used entry (NIL when empty).
+    head: usize,
+    /// Least recently used entry (NIL when empty).
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            entries: Vec::with_capacity(capacity.min(4096)),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fetch and mark as most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.entries[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fetch without touching recency or the hit/miss counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.entries[idx].value)
+    }
+
+    /// Insert (or refresh) `key`, returning the evicted LRU pair when the
+    /// insertion pushed the cache over capacity.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        if self.map.len() >= self.capacity {
+            // Reuse the LRU slot in place for the new entry.
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = std::mem::replace(
+                &mut self.entries[lru],
+                Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some((old.key, old.value));
+        }
+        self.entries.push(Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let idx = self.entries.len() - 1;
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        None
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Keys from most to least recently used (test/diagnostic helper).
+    pub fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.entries[cur].key.clone());
+            cur = self.entries[cur].next;
+        }
+        out
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let mut c: LruCache<u32, String> = LruCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.put(1, "one".into());
+        assert_eq!(c.get(&1), Some(&"one".to_string()));
+        assert_eq!(c.len(), 1);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(3, 30);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(&1).is_some());
+        let evicted = c.put(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.keys_mru(), vec![4, 1, 3]);
+        assert!(c.peek(&2).is_none());
+    }
+
+    #[test]
+    fn refresh_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.put(1, 11), None);
+        assert_eq!(c.peek(&1), Some(&11));
+        assert_eq!(c.keys_mru(), vec![1, 2]);
+        // Inserting a third evicts 2, not the refreshed 1.
+        assert_eq!(c.put(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn capacity_one_always_holds_latest() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            c.put(i, i * 2);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.peek(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.put(1, 10), None);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_reorder() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.peek(&1), Some(&10));
+        // 1 is still LRU despite the peek.
+        assert_eq!(c.put(3, 30), Some((1, 10)));
+    }
+
+    #[test]
+    fn slot_reuse_keeps_links_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..100 {
+            c.put(i, i);
+            if i % 3 == 0 {
+                c.get(&i.saturating_sub(1));
+            }
+            assert!(c.len() <= 3);
+            let mru = c.keys_mru();
+            assert_eq!(mru.len(), c.len());
+        }
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 1);
+        c.get(&1);
+        c.get(&9);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        c.put(2, 2);
+        assert_eq!(c.peek(&2), Some(&2));
+    }
+}

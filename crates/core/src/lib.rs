@@ -18,7 +18,8 @@
 //! * [`tra`] / [`tnra`] — the threshold algorithms (Figs. 5, 10);
 //! * [`auth`] — owner-side structures: term-MHTs, chain-MHTs, document-
 //!   MHTs, dictionary-MHT, signatures; server-side VO construction with
-//!   disk accounting; storage reports;
+//!   disk accounting and the engine structure cache; storage reports;
+//! * [`cache`] — the bounded LRU underpinning the engine structure cache;
 //! * [`verify`] — user-side verification (authenticate, then replay);
 //! * [`buddy`] — the buddy-inclusion VO optimization (§3.3.2);
 //! * [`owner`] / [`engine`] / [`client`] — the three-party system model;
@@ -60,6 +61,7 @@ pub mod attacks;
 pub mod auth;
 pub mod baseline;
 pub mod buddy;
+pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod metrics;
@@ -74,7 +76,8 @@ pub mod vo;
 pub mod wire;
 
 pub use auth::serve::QueryResponse;
-pub use auth::{AuthConfig, AuthenticatedIndex, ContentProvider};
+pub use auth::{AuthConfig, AuthenticatedIndex, CacheStats, ContentProvider};
+pub use cache::LruCache;
 pub use client::Client;
 pub use engine::SearchEngine;
 pub use metrics::{measure, QueryMetrics};

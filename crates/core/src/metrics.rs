@@ -62,7 +62,13 @@ impl QueryMetrics {
             .entries_read
             .iter()
             .zip(&self.list_lens)
-            .map(|(&k, &l)| if l == 0 { 0.0 } else { 100.0 * k as f64 / l as f64 })
+            .map(|(&k, &l)| {
+                if l == 0 {
+                    0.0
+                } else {
+                    100.0 * k as f64 / l as f64
+                }
+            })
             .sum();
         sum / self.entries_read.len() as f64
     }

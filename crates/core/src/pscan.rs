@@ -35,7 +35,7 @@ pub fn run<L: ListAccess>(
         for (i, front) in fronts.iter().enumerate() {
             if let Some(w) = front {
                 let c = query.terms[i].wq * *w as f64;
-                if best.map_or(true, |(_, bc)| c > bc) {
+                if best.is_none_or(|(_, bc)| c > bc) {
                     best = Some((i, c));
                 }
             }

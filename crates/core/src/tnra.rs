@@ -108,9 +108,9 @@ fn run_inner<L: ListAccess>(
                 // Condition 3 first: cheapest and usually last to hold.
                 let cond3 = slb_r >= thres;
                 let cond1 = cond3
-                    && ranked[..r].windows(2).all(|w| {
-                        states[&w[0]].lb >= sub(&states[&w[1]])
-                    });
+                    && ranked[..r]
+                        .windows(2)
+                        .all(|w| states[&w[0]].lb >= sub(&states[&w[1]]));
                 // Condition 2 with early exit: ranked is ordered by lb
                 // descending and SUB(d) ≤ lb(d) + thres, so once
                 // lb(d) + thres ≤ SLB(d_r) every later candidate passes.
@@ -135,7 +135,7 @@ fn run_inner<L: ListAccess>(
         // Step 4(b): pop the highest term score (ties: lowest index).
         let mut best: Option<(usize, f64)> = None;
         for (i, &c) in cs.iter().enumerate() {
-            if fronts[i].is_some() && best.map_or(true, |(_, bc)| c > bc) {
+            if fronts[i].is_some() && best.is_none_or(|(_, bc)| c > bc) {
                 best = Some((i, c));
             }
         }
@@ -270,8 +270,7 @@ mod tests {
         let table = DocTable::from_index(&index);
         for (seed, qsize) in [(10u64, 2usize), (11, 3), (12, 4)] {
             let terms =
-                authsearch_corpus::workload::synthetic(index.num_terms(), 1, qsize, seed)
-                    .remove(0);
+                authsearch_corpus::workload::synthetic(index.num_terms(), 1, qsize, seed).remove(0);
             let q = crate::types::Query::from_term_ids(&index, &terms);
             let lists = IndexLists::new(&index, &q);
             let out = run(&lists, &q, 10).unwrap();
@@ -332,7 +331,11 @@ mod tests {
                 .prefix_lens
                 .iter()
                 .sum::<usize>();
-            tnra_total += run(&lists, &q, 10).unwrap().prefix_lens.iter().sum::<usize>();
+            tnra_total += run(&lists, &q, 10)
+                .unwrap()
+                .prefix_lens
+                .iter()
+                .sum::<usize>();
         }
         assert!(
             tnra_total >= tra_total,

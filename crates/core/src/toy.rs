@@ -12,8 +12,8 @@ use authsearch_index::{ImpactEntry, InvertedIndex, InvertedList, OkapiParams};
 
 /// Term names of Figure 1 in dictionary order (term id = position).
 pub const TOY_TERMS: [&str; 16] = [
-    "and", "big", "dark", "did", "gown", "had", "house", "in", "keep", "keeper", "keeps",
-    "light", "night", "old", "sleeps", "the",
+    "and", "big", "dark", "did", "gown", "had", "house", "in", "keep", "keeper", "keeps", "light",
+    "night", "old", "sleeps", "the",
 ];
 
 /// Term id of a toy term.
@@ -97,10 +97,10 @@ pub fn toy_index() -> InvertedIndex {
 /// query-side weights.
 pub fn toy_query() -> Query {
     Query::with_weights(&[
-        (toy_term_id("sleeps"), 11f64.ln()),   // 2.3979
-        (toy_term_id("in"), 3f64.ln()),        // 1.0986
+        (toy_term_id("sleeps"), 11f64.ln()),     // 2.3979
+        (toy_term_id("in"), 3f64.ln()),          // 1.0986
         (toy_term_id("the"), (8f64 / 3.0).ln()), // 0.9808
-        (toy_term_id("dark"), 11f64.ln()),     // 2.3979
+        (toy_term_id("dark"), 11f64.ln()),       // 2.3979
     ])
 }
 

@@ -97,7 +97,7 @@ fn run_inner<L: ListAccess, F: FreqAccess>(
         for (i, front) in fronts.iter().enumerate() {
             if let Some((_, w)) = front {
                 let c = query.terms[i].wq * *w as f64;
-                if best.map_or(true, |(_, bc)| c > bc) {
+                if best.is_none_or(|(_, bc)| c > bc) {
                     best = Some((i, c));
                 }
             }
@@ -214,23 +214,14 @@ mod tests {
         let table = DocTable::from_index(&index);
         // A few deterministic queries over different term ranges.
         for (seed, qsize) in [(1u64, 2usize), (2, 3), (3, 5)] {
-            let terms = authsearch_corpus::workload::synthetic(
-                index.num_terms(),
-                1,
-                qsize,
-                seed,
-            )
-            .remove(0);
+            let terms =
+                authsearch_corpus::workload::synthetic(index.num_terms(), 1, qsize, seed).remove(0);
             let q = Query::from_term_ids(&index, &terms);
             let lists = IndexLists::new(&index, &q);
             let freqs = TableFreqs::new(&table, &q);
             let tra = run(&lists, &freqs, &q, 10).unwrap();
             let naive = pscan::naive_topk(&table, &q, 10);
-            assert_eq!(
-                tra.result.docs(),
-                naive.docs(),
-                "seed={seed} qsize={qsize}"
-            );
+            assert_eq!(tra.result.docs(), naive.docs(), "seed={seed} qsize={qsize}");
         }
     }
 
@@ -275,8 +266,7 @@ mod tests {
         let corpus = SyntheticConfig::tiny(200, 8).generate();
         let index = build_index(&corpus, OkapiParams::default());
         let table = DocTable::from_index(&index);
-        let terms =
-            authsearch_corpus::workload::synthetic(index.num_terms(), 1, 3, 9).remove(0);
+        let terms = authsearch_corpus::workload::synthetic(index.num_terms(), 1, 3, 9).remove(0);
         let q = Query::from_term_ids(&index, &terms);
         let lists = IndexLists::new(&index, &q);
         let freqs = TableFreqs::new(&table, &q);

@@ -107,9 +107,9 @@ pub struct QueryResult {
 impl QueryResult {
     /// Checks the ordering half of the paper's correctness criteria.
     pub fn is_ordered(&self) -> bool {
-        self.entries.windows(2).all(|w| {
-            w[0].score > w[1].score || (w[0].score == w[1].score && w[0].doc < w[1].doc)
-        })
+        self.entries
+            .windows(2)
+            .all(|w| w[0].score > w[1].score || (w[0].score == w[1].score && w[0].doc < w[1].doc))
     }
 
     /// Documents only.
@@ -190,9 +190,7 @@ impl DocTable {
 /// (ties by ascending doc id). Shared by PSCAN / TRA and the verifier's
 /// replay.
 pub(crate) fn insert_ranked(entries: &mut Vec<ResultEntry>, doc: DocId, score: f64) {
-    let pos = entries.partition_point(|e| {
-        e.score > score || (e.score == score && e.doc < doc)
-    });
+    let pos = entries.partition_point(|e| e.score > score || (e.score == score && e.doc < doc));
     entries.insert(pos, ResultEntry { doc, score });
 }
 

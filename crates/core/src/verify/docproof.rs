@@ -152,9 +152,7 @@ fn verify_one(
                 let upper = dv.revealed.get(i).copied();
                 let absent = match (lower, upper) {
                     // Adjacent positions with terms bracketing t.
-                    (Some((pl, tl, _)), Some((pu, tu, _))) => {
-                        pu == pl + 1 && tl < t && t < tu
-                    }
+                    (Some((pl, tl, _)), Some((pu, tu, _))) => pu == pl + 1 && tl < t && t < tu,
                     // t below the first leaf: position 0 must be revealed.
                     (None, Some((pu, tu, _))) => pu == 0 && t < tu,
                     // t above the last leaf: position n-1 must be revealed.
@@ -206,7 +204,7 @@ mod tests {
         let (resp, params) = setup();
         let freqs = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap();
         assert_eq!(freqs.num_docs(), 4); // docs 5, 3, 6, 1
-        // d6 contains all four query terms (Figure 8).
+                                         // d6 contains all four query terms (Figure 8).
         for i in 0..4 {
             let w = freqs.weight_of(6, i).unwrap();
             assert!(w > 0.0, "term #{i}");

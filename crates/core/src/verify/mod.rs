@@ -256,9 +256,9 @@ fn verify_term_prefix(params: &VerifierParams, tv: &TermVo) -> Result<Digest, Ve
             })
         }
         (TermProof::Cmht(proof), true) => {
-            reconstruct_head(li, params.chain_capacity(), &leaf_digests, proof).ok_or_else(
-                || VerifyError::MalformedProof(format!("term {}: chain proof shape", tv.term)),
-            )
+            reconstruct_head(li, params.chain_capacity(), &leaf_digests, proof).ok_or_else(|| {
+                VerifyError::MalformedProof(format!("term {}: chain proof shape", tv.term))
+            })
         }
         _ => Err(VerifyError::MalformedProof(format!(
             "term {}: proof kind does not match mechanism",

@@ -263,7 +263,10 @@ mod tests {
     #[test]
     fn prefix_data_bytes() {
         assert_eq!(PrefixData::DocIds(vec![1, 2, 3]).data_bytes(), 12);
-        let entries = vec![ImpactEntry { doc: 1, weight: 0.5 }];
+        let entries = vec![ImpactEntry {
+            doc: 1,
+            weight: 0.5,
+        }];
         assert_eq!(PrefixData::Entries(entries).data_bytes(), 8);
     }
 
@@ -275,8 +278,14 @@ mod tests {
                 term: 7,
                 ft: 10,
                 prefix: PrefixData::Entries(vec![
-                    ImpactEntry { doc: 1, weight: 0.5 },
-                    ImpactEntry { doc: 2, weight: 0.4 },
+                    ImpactEntry {
+                        doc: 1,
+                        weight: 0.5,
+                    },
+                    ImpactEntry {
+                        doc: 2,
+                        weight: 0.4,
+                    },
                 ]),
                 proof: TermProof::Mht(MerkleProof {
                     digests: vec![Digest::ZERO; 3],

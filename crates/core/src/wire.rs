@@ -6,9 +6,7 @@
 //! deliberately plain — every field the size model of [`crate::vo`]
 //! charges appears exactly once.
 
-use crate::vo::{
-    DictVo, DocVo, Mechanism, PrefixData, TermProof, TermVo, VerificationObject,
-};
+use crate::vo::{DictVo, DocVo, Mechanism, PrefixData, TermProof, TermVo, VerificationObject};
 use authsearch_crypto::{ChainPrefixProof, Digest, MerkleProof, DIGEST_LEN};
 use authsearch_index::ImpactEntry;
 
@@ -332,10 +330,7 @@ mod tests {
             ..AuthConfig::new(mechanism)
         };
         let publication = owner.publish_index(toy_index(), config, &toy_contents());
-        publication
-            .auth
-            .query(&toy_query(), 2, &toy_contents())
-            .vo
+        publication.auth.query(&toy_query(), 2, &toy_contents()).vo
     }
 
     #[test]

@@ -322,11 +322,30 @@ mod tests {
             token_len: 3,
         };
         let c = Corpus::from_parts(
-            vec!["a1".into(), "b2".into(), "c3".into(), "d4".into(), "e5".into(), "f6".into()],
             vec![
-                TokenizedDoc { id: 0, counts: vec![], token_len: 0 },
-                TokenizedDoc { id: 1, counts: vec![], token_len: 0 },
-                TokenizedDoc { id: 2, counts: vec![], token_len: 0 },
+                "a1".into(),
+                "b2".into(),
+                "c3".into(),
+                "d4".into(),
+                "e5".into(),
+                "f6".into(),
+            ],
+            vec![
+                TokenizedDoc {
+                    id: 0,
+                    counts: vec![],
+                    token_len: 0,
+                },
+                TokenizedDoc {
+                    id: 1,
+                    counts: vec![],
+                    token_len: 0,
+                },
+                TokenizedDoc {
+                    id: 2,
+                    counts: vec![],
+                    token_len: 0,
+                },
                 doc,
             ],
             None,

@@ -19,9 +19,7 @@ impl<'a> Iterator for Tokens<'a> {
     fn next(&mut self) -> Option<String> {
         loop {
             // Skip separators.
-            let start = self
-                .rest
-                .find(|c: char| c.is_alphanumeric())?;
+            let start = self.rest.find(|c: char| c.is_alphanumeric())?;
             let rest = &self.rest[start..];
             let end = rest
                 .find(|c: char| !c.is_alphanumeric())
@@ -71,7 +69,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(toks("MicroPatent WEB Portal"), vec!["micropatent", "web", "portal"]);
+        assert_eq!(
+            toks("MicroPatent WEB Portal"),
+            vec!["micropatent", "web", "portal"]
+        );
     }
 
     #[test]
@@ -89,7 +90,10 @@ mod tests {
 
     #[test]
     fn numbers_are_tokens() {
-        assert_eq!(toks("TREC-2 topics 101 to 200"), vec!["trec", "2", "topics", "101", "200"]);
+        assert_eq!(
+            toks("TREC-2 topics 101 to 200"),
+            vec!["trec", "2", "topics", "101", "200"]
+        );
     }
 
     #[test]

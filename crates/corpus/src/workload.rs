@@ -34,9 +34,11 @@ pub fn synthetic(
     assert!(num_terms >= terms_per_query, "query longer than dictionary");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..num_queries)
-        .map(|_| draw_distinct(num_terms, terms_per_query, &mut rng, |rng| {
-            rng.gen_range(0..num_terms)
-        }))
+        .map(|_| {
+            draw_distinct(num_terms, terms_per_query, &mut rng, |rng| {
+                rng.gen_range(0..num_terms)
+            })
+        })
         .collect()
 }
 
@@ -125,11 +127,7 @@ mod tests {
         // more often than any individual rare term.
         let df: Vec<u32> = (0..1000).map(|i| if i < 5 { 50_000 } else { 2 }).collect();
         let w = trec_like(&df, 200, 0.35, 3);
-        let common_hits: usize = w
-            .iter()
-            .flatten()
-            .filter(|&&t| (t as usize) < 5)
-            .count();
+        let common_hits: usize = w.iter().flatten().filter(|&&t| (t as usize) < 5).count();
         let queries_with_common = w
             .iter()
             .filter(|q| q.iter().any(|&t| (t as usize) < 5))

@@ -4,7 +4,8 @@
 //! 1024-bit signatures, Table 1). Limbs are little-endian `u64`s; all
 //! intermediate products use `u128`. The module provides exactly what RSA
 //! needs — comparison, add/sub/mul, Knuth Algorithm D division, modular
-//! exponentiation, modular inverse, and Miller–Rabin primality — with no
+//! exponentiation (Montgomery REDC for odd moduli, schoolbook division
+//! otherwise), modular inverse, and Miller–Rabin primality — with no
 //! attempt at constant-time behaviour (this library authenticates public
 //! query results; it does not defend the signer against local timing
 //! side channels).
@@ -12,8 +13,10 @@
 mod arith;
 mod div;
 mod modpow;
+mod montgomery;
 mod prime;
 
+pub use montgomery::Montgomery;
 pub use prime::{gen_prime, is_probable_prime};
 
 use std::cmp::Ordering;
@@ -50,7 +53,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }

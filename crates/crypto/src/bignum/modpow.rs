@@ -8,13 +8,33 @@ impl BigUint {
         (self * other).rem(m)
     }
 
-    /// `self^exponent mod modulus` by 4-bit fixed-window square-and-multiply.
+    /// `self^exponent mod modulus`.
     ///
-    /// A 1024-bit exponent costs ~1024 squarings + ~256 window
-    /// multiplications; with schoolbook `u128` limb products this signs in
-    /// well under a millisecond in release builds, which is all the
-    /// benchmark harness needs.
+    /// For odd moduli (every RSA modulus, prime, and CRT factor in this
+    /// library) the whole windowed loop runs in Montgomery form via
+    /// [`super::Montgomery`], eliminating one Algorithm-D division per
+    /// squaring/multiply. Even moduli fall back to
+    /// [`BigUint::mod_pow_schoolbook`].
+    ///
+    /// Callers that exponentiate repeatedly under one modulus (RSA keys,
+    /// Miller–Rabin witnesses) should build a [`super::Montgomery`]
+    /// context once and call [`super::Montgomery::pow`] directly; this
+    /// convenience wrapper re-derives the context on every call.
     pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_pow with zero modulus");
+        if let Some(ctx) = super::Montgomery::new(modulus) {
+            return ctx.pow(self, exponent);
+        }
+        self.mod_pow_schoolbook(exponent, modulus)
+    }
+
+    /// `self^exponent mod modulus` by 4-bit fixed-window square-and-multiply
+    /// with a full multiply + Knuth Algorithm-D division per step.
+    ///
+    /// Kept as the even-modulus fallback, as the reference the Montgomery
+    /// property tests cross-check against, and for the
+    /// `modpow_montgomery_vs_schoolbook` benchmark.
+    pub fn mod_pow_schoolbook(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "mod_pow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();

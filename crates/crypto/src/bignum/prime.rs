@@ -1,7 +1,7 @@
 //! Probabilistic primality testing and random prime generation
 //! (for RSA key generation).
 
-use super::BigUint;
+use super::{BigUint, Montgomery};
 use rand::Rng;
 
 /// Small primes used to cheaply reject most composite candidates before
@@ -47,18 +47,25 @@ pub fn is_probable_prime<R: Rng>(n: &BigUint, rounds: u32, rng: &mut R) -> bool 
         s += 1;
     }
 
+    // One Montgomery context per candidate (n is odd past the screens
+    // above), shared by every witness: the entire exponentiate-then-square
+    // loop runs in Montgomery form, with no per-operation division.
+    let ctx = Montgomery::new(n).expect("candidate is odd and > 2");
+    let one_m = ctx.one();
+    let minus_one_m = ctx.to_montgomery(&n_minus_1);
+
     'witness: for _ in 0..rounds {
         let a = random_below(&n_minus_1, rng);
         if a.is_zero() || a.is_one() {
             continue;
         }
-        let mut x = a.mod_pow(&d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = ctx.pow_montgomery(&ctx.to_montgomery(&a), &d);
+        if x == one_m || x == minus_one_m {
             continue;
         }
         for _ in 0..s - 1 {
-            x = x.mul_mod(&x, n);
-            if x == n_minus_1 {
+            x = ctx.sqr(&x);
+            if x == minus_one_m {
                 continue 'witness;
             }
         }
@@ -108,8 +115,8 @@ pub fn gen_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
     loop {
         let mut candidate = random_bits(bits, rng);
         // Force exact bit width with top-two-bits set, and oddness.
-        candidate = &candidate
-            | &(&BigUint::one().shl_bits(bits - 1) + &BigUint::one().shl_bits(bits - 2));
+        candidate =
+            &candidate | &(&BigUint::one().shl_bits(bits - 1) + &BigUint::one().shl_bits(bits - 2));
         if candidate.is_even() {
             candidate = &candidate + &BigUint::one();
         }
@@ -163,7 +170,7 @@ mod tests {
             5,
             65537,
             1_000_000_007,
-            (1 << 31) - 1, // Mersenne
+            (1 << 31) - 1,              // Mersenne
             18_446_744_073_709_551_557, // largest u64 prime
         ] {
             assert!(
@@ -180,9 +187,9 @@ mod tests {
             1u64,
             4,
             100,
-            561,       // Carmichael
-            41041,     // Carmichael
-            825265,    // Carmichael
+            561,           // Carmichael
+            41041,         // Carmichael
+            825265,        // Carmichael
             (1 << 11) - 1, // 2047 = 23*89, strong pseudoprime base 2
         ] {
             assert!(

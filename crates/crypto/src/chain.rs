@@ -196,10 +196,7 @@ mod tests {
         let l = leaves(5);
         let chain = ChainMht::build(l.clone(), 8);
         assert_eq!(chain.num_blocks(), 1);
-        assert_eq!(
-            chain.head_digest(),
-            MerkleTree::from_leaf_digests(l).root()
-        );
+        assert_eq!(chain.head_digest(), MerkleTree::from_leaf_digests(l).root());
     }
 
     #[test]
@@ -223,11 +220,7 @@ mod tests {
                 for k in 0..=n {
                     let proof = chain.prove_prefix(k);
                     let head = reconstruct_head(n, cap, &l[..k], &proof);
-                    assert_eq!(
-                        head,
-                        Some(chain.head_digest()),
-                        "n={n} cap={cap} k={k}"
-                    );
+                    assert_eq!(head, Some(chain.head_digest()), "n={n} cap={cap} k={k}");
                 }
             }
         }

@@ -8,7 +8,8 @@
 //! * [`sha256::Sha256`], [`sha1::Sha1`], [`md5::Md5`] — streaming hash
 //!   implementations from FIPS 180-4 / RFC 1321 with standard test vectors.
 //! * [`bignum::BigUint`] — arbitrary-precision arithmetic (Knuth Algorithm D
-//!   division, windowed modular exponentiation, Miller–Rabin primes).
+//!   division, windowed modular exponentiation in Montgomery form via
+//!   [`bignum::Montgomery`], Miller–Rabin primes).
 //! * [`rsa`] — PKCS#1 v1.5 signatures over SHA-256 with CRT signing
 //!   (Table 1: |sign| = 1024 bits).
 //! * [`merkle`] — Merkle hash trees with multi-leaf proofs, matching the
@@ -59,9 +60,7 @@ mod integration_tests {
     #[test]
     fn signed_chain_head_end_to_end() {
         let key = cached_keypair(TEST_KEY_BITS);
-        let leaves: Vec<Digest> = (0..40u32)
-            .map(|i| Digest::hash(&i.to_le_bytes()))
-            .collect();
+        let leaves: Vec<Digest> = (0..40u32).map(|i| Digest::hash(&i.to_le_bytes())).collect();
         let chain = ChainMht::build(leaves.clone(), 8);
         let sig = key.sign(chain.head_digest().as_bytes()).unwrap();
 

@@ -260,8 +260,7 @@ mod tests {
             for k in 1..=n {
                 let revealed: Vec<usize> = (0..k).collect();
                 let proof = t.prove(&revealed);
-                let pairs: Vec<(usize, Digest)> =
-                    (0..k).map(|i| (i, leaf_digest(i))).collect();
+                let pairs: Vec<(usize, Digest)> = (0..k).map(|i| (i, leaf_digest(i))).collect();
                 let root = reconstruct_root(n, &pairs, &proof).unwrap();
                 assert_eq!(root, t.root(), "n={n} k={k}");
             }
@@ -291,8 +290,7 @@ mod tests {
         ];
         for subset in subsets {
             let proof = t.prove(subset);
-            let pairs: Vec<(usize, Digest)> =
-                subset.iter().map(|&i| (i, leaf_digest(i))).collect();
+            let pairs: Vec<(usize, Digest)> = subset.iter().map(|&i| (i, leaf_digest(i))).collect();
             assert_eq!(
                 reconstruct_root(n, &pairs, &proof),
                 Some(t.root()),

@@ -6,15 +6,15 @@
 //! the standard CRT speed-up, and verification. The `ablation_rsa_crt`
 //! benchmark compares CRT against plain exponentiation.
 
-use crate::bignum::{gen_prime, BigUint};
+use crate::bignum::{gen_prime, BigUint, Montgomery};
 use crate::sha256::Sha256;
 use rand::Rng;
 use std::fmt;
 
 /// DER encoding of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Errors from signature operations.
@@ -48,15 +48,34 @@ impl fmt::Display for RsaError {
 impl std::error::Error for RsaError {}
 
 /// RSA public key: enough to verify any signature from the data owner.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Carries a precomputed [`Montgomery`] context for `n` so the verifier
+/// (the paper's *user*) pays the per-modulus REDC setup once per key, not
+/// once per signature check.
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
     /// Modulus length in bytes; every signature is exactly this long.
     k: usize,
+    /// Montgomery context for `n` (RSA moduli are odd by construction).
+    ctx_n: Montgomery,
 }
 
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // ctx_n is a pure function of n; comparing it would be redundant.
+        self.n == other.n && self.e == other.e && self.k == other.k
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
 /// RSA private key with CRT parameters.
+///
+/// The CRT factors carry their own precomputed [`Montgomery`] contexts:
+/// every signature is two half-width Montgomery exponentiations with no
+/// division in the loop.
 #[derive(Clone)]
 pub struct RsaPrivateKey {
     public: RsaPublicKey,
@@ -66,6 +85,8 @@ pub struct RsaPrivateKey {
     d_p: BigUint,
     d_q: BigUint,
     q_inv: BigUint,
+    ctx_p: Montgomery,
+    ctx_q: Montgomery,
 }
 
 impl fmt::Debug for RsaPublicKey {
@@ -104,7 +125,38 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(RsaError::VerificationFailed);
         }
-        let em = s.mod_pow(&self.e, &self.n);
+        let em = self.ctx_n.pow(&s, &self.e);
+        let em_bytes = em
+            .to_bytes_be_padded(self.k)
+            .ok_or(RsaError::VerificationFailed)?;
+        let expected = pkcs1_v15_encode(message, self.k)?;
+        if em_bytes == expected {
+            Ok(())
+        } else {
+            Err(RsaError::VerificationFailed)
+        }
+    }
+
+    /// Verify using the schoolbook (division-based) exponentiation — the
+    /// pre-Montgomery implementation, kept as the baseline for the
+    /// perf-trajectory benchmarks (`BENCH_PR1.json`).
+    #[doc(hidden)]
+    pub fn verify_schoolbook_reference(
+        &self,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), RsaError> {
+        if signature.len() != self.k {
+            return Err(RsaError::BadSignatureLength {
+                expected: self.k,
+                got: signature.len(),
+            });
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return Err(RsaError::VerificationFailed);
+        }
+        let em = s.mod_pow_schoolbook(&self.e, &self.n);
         let em_bytes = em
             .to_bytes_be_padded(self.k)
             .ok_or(RsaError::VerificationFailed)?;
@@ -155,7 +207,9 @@ impl RsaPublicKey {
             return None;
         }
         let k = n.bit_length().div_ceil(8);
-        Some(RsaPublicKey { n, e, k })
+        // Even moduli are not valid RSA moduli (p, q are odd primes).
+        let ctx_n = Montgomery::new(&n)?;
+        Some(RsaPublicKey { n, e, k, ctx_n })
     }
 }
 
@@ -187,14 +241,19 @@ impl RsaPrivateKey {
                 continue;
             };
             let k = bits.div_ceil(8);
+            let ctx_n = Montgomery::new(&n).expect("product of odd primes is odd");
+            let ctx_p = Montgomery::new(&p).expect("prime factor is odd");
+            let ctx_q = Montgomery::new(&q).expect("prime factor is odd");
             return RsaPrivateKey {
-                public: RsaPublicKey { n, e, k },
+                public: RsaPublicKey { n, e, k, ctx_n },
                 d,
                 p,
                 q,
                 d_p,
                 d_q,
                 q_inv,
+                ctx_p,
+                ctx_q,
             };
         }
     }
@@ -218,7 +277,21 @@ impl RsaPrivateKey {
     pub fn sign_no_crt(&self, message: &[u8]) -> Result<Vec<u8>, RsaError> {
         let em = pkcs1_v15_encode(message, self.public.k)?;
         let m = BigUint::from_bytes_be(&em);
-        let s = m.mod_pow(&self.d, &self.public.n);
+        let s = self.public.ctx_n.pow(&m, &self.d);
+        s.to_bytes_be_padded(self.public.k)
+            .ok_or(RsaError::VerificationFailed)
+    }
+
+    /// Sign via CRT but with the schoolbook (division-based) modular
+    /// exponentiation — the pre-Montgomery implementation, kept as the
+    /// baseline for the perf-trajectory benchmarks (`BENCH_PR1.json`).
+    #[doc(hidden)]
+    pub fn sign_schoolbook_reference(&self, message: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let em = pkcs1_v15_encode(message, self.public.k)?;
+        let m = BigUint::from_bytes_be(&em);
+        let m1 = m.mod_pow_schoolbook(&self.d_p, &self.p);
+        let m2 = m.mod_pow_schoolbook(&self.d_q, &self.q);
+        let s = self.crt_combine(m1, m2);
         s.to_bytes_be_padded(self.public.k)
             .ok_or(RsaError::VerificationFailed)
     }
@@ -226,8 +299,13 @@ impl RsaPrivateKey {
     /// RSA private operation via the Chinese Remainder Theorem:
     /// roughly 4x faster than a full-width exponentiation.
     fn private_op_crt(&self, m: &BigUint) -> BigUint {
-        let m1 = m.mod_pow(&self.d_p, &self.p);
-        let m2 = m.mod_pow(&self.d_q, &self.q);
+        let m1 = self.ctx_p.pow(m, &self.d_p);
+        let m2 = self.ctx_q.pow(m, &self.d_q);
+        self.crt_combine(m1, m2)
+    }
+
+    /// Garner recombination `m2 + q · (q_inv · (m1 - m2) mod p)`.
+    fn crt_combine(&self, m1: BigUint, m2: BigUint) -> BigUint {
         // h = q_inv * (m1 - m2) mod p
         let diff = if m1 >= m2 {
             (&m1 - &m2).rem(&self.p)
@@ -316,6 +394,25 @@ mod tests {
         for msg in [&b"a"[..], b"bb", b"a longer message with entropy 12345"] {
             assert_eq!(key.sign(msg).unwrap(), key.sign_no_crt(msg).unwrap());
         }
+    }
+
+    #[test]
+    fn schoolbook_reference_paths_match_fast_paths() {
+        // The benchmark baselines must stay byte-identical to the
+        // shipping (Montgomery) implementations.
+        let key = test_key();
+        let sig = key.sign(b"reference check").unwrap();
+        assert_eq!(
+            key.sign_schoolbook_reference(b"reference check").unwrap(),
+            sig
+        );
+        key.public_key()
+            .verify_schoolbook_reference(b"reference check", &sig)
+            .unwrap();
+        assert!(key
+            .public_key()
+            .verify_schoolbook_reference(b"other message", &sig)
+            .is_err());
     }
 
     #[test]

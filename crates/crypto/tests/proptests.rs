@@ -3,7 +3,7 @@
 //! round-trips for Merkle multi-proofs and chain-MHT prefix proofs over
 //! arbitrary shapes, and RSA sign/verify with tampering.
 
-use authsearch_crypto::bignum::BigUint;
+use authsearch_crypto::bignum::{BigUint, Montgomery};
 use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
 use authsearch_crypto::{reconstruct_head, reconstruct_root, ChainMht, Digest, MerkleTree};
 use proptest::prelude::*;
@@ -75,6 +75,81 @@ proptest! {
     fn byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
         let x = big(&bytes);
         prop_assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+    }
+
+    // ---- Montgomery vs schoolbook modular exponentiation ---------------
+
+    #[test]
+    fn montgomery_mod_pow_matches_schoolbook(
+        base in proptest::collection::vec(any::<u8>(), 1..40),
+        exp in proptest::collection::vec(any::<u8>(), 1..24),
+        modulus in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let b = big(&base);
+        let e = big(&exp);
+        // Force an odd modulus > 1 so the Montgomery path engages.
+        let mut m = big(&modulus);
+        if m.is_even() {
+            m = &m + &BigUint::one();
+        }
+        prop_assume!(!m.is_one());
+        let ctx = Montgomery::new(&m).expect("odd modulus > 1");
+        let via_ctx = ctx.pow(&b, &e);
+        let via_dispatch = b.mod_pow(&e, &m);
+        let schoolbook = b.mod_pow_schoolbook(&e, &m);
+        prop_assert_eq!(&via_ctx, &schoolbook);
+        prop_assert_eq!(&via_dispatch, &schoolbook);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_mul_mod(
+        a in proptest::collection::vec(any::<u8>(), 1..40),
+        b in proptest::collection::vec(any::<u8>(), 1..40),
+        modulus in proptest::collection::vec(any::<u8>(), 2..40),
+    ) {
+        let mut m = big(&modulus);
+        if m.is_even() {
+            m = &m + &BigUint::one();
+        }
+        prop_assume!(!m.is_one());
+        let ctx = Montgomery::new(&m).expect("odd modulus > 1");
+        let (x, y) = (big(&a), big(&b));
+        let got = ctx.from_montgomery(
+            &ctx.mul(&ctx.to_montgomery(&x), &ctx.to_montgomery(&y)),
+        );
+        prop_assert_eq!(got, x.mul_mod(&y, &m));
+    }
+
+    #[test]
+    fn montgomery_roundtrip_is_identity(
+        value in proptest::collection::vec(any::<u8>(), 0..48),
+        modulus in proptest::collection::vec(any::<u8>(), 2..40),
+    ) {
+        let mut m = big(&modulus);
+        if m.is_even() {
+            m = &m + &BigUint::one();
+        }
+        prop_assume!(!m.is_one());
+        let ctx = Montgomery::new(&m).expect("odd modulus > 1");
+        let x = big(&value).rem(&m);
+        prop_assert_eq!(ctx.from_montgomery(&ctx.to_montgomery(&x)), x);
+    }
+
+    #[test]
+    fn mod_pow_even_modulus_falls_back(
+        base in any::<u64>(),
+        exp in 0u64..1000,
+        m in 2u64..1_000_000,
+    ) {
+        // Even moduli exercise the schoolbook fallback; both entry points
+        // must agree regardless of parity.
+        let b = BigUint::from_u64(base);
+        let e = BigUint::from_u64(exp);
+        let modulus = BigUint::from_u64(m);
+        prop_assert_eq!(
+            b.mod_pow(&e, &modulus),
+            b.mod_pow_schoolbook(&e, &modulus)
+        );
     }
 
     // ---- Merkle multi-proofs -------------------------------------------

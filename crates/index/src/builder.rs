@@ -23,10 +23,8 @@ pub fn build_index(corpus: &Corpus, params: OkapiParams) -> InvertedIndex {
             ft[t as usize] += 1;
         }
     }
-    let mut lists: Vec<Vec<ImpactEntry>> = ft
-        .iter()
-        .map(|&f| Vec::with_capacity(f as usize))
-        .collect();
+    let mut lists: Vec<Vec<ImpactEntry>> =
+        ft.iter().map(|&f| Vec::with_capacity(f as usize)).collect();
 
     // Second pass fills impact entries. Documents are visited in id order,
     // so equal-weight entries arrive in ascending doc id and the final
@@ -34,7 +32,10 @@ pub fn build_index(corpus: &Corpus, params: OkapiParams) -> InvertedIndex {
     for doc in corpus.docs() {
         for &(t, f_dt) in &doc.counts {
             let w = params.doc_weight(f_dt, doc.token_len, avg_len);
-            lists[t as usize].push(ImpactEntry { doc: doc.id, weight: w });
+            lists[t as usize].push(ImpactEntry {
+                doc: doc.id,
+                weight: w,
+            });
         }
     }
 

@@ -28,10 +28,7 @@ impl InvertedIndex {
         lists: Vec<InvertedList>,
     ) -> InvertedIndex {
         assert_eq!(ft.len(), lists.len(), "dictionary/list count mismatch");
-        debug_assert!(ft
-            .iter()
-            .zip(&lists)
-            .all(|(&f, l)| f as usize == l.len()));
+        debug_assert!(ft.iter().zip(&lists).all(|(&f, l)| f as usize == l.len()));
         InvertedIndex {
             params,
             num_docs,

@@ -69,7 +69,10 @@ mod tests {
         let d = DiskModel::seagate_st973401kc();
         assert_eq!(d.block_bytes, 1024);
         // One random 1K block ≈ 7.1 ms dominated by positioning.
-        let t = d.service_time(IoStats { seeks: 1, blocks: 1 });
+        let t = d.service_time(IoStats {
+            seeks: 1,
+            blocks: 1,
+        });
         assert!(t > 0.007 && t < 0.008, "t={t}");
     }
 
@@ -77,17 +80,29 @@ mod tests {
     fn sequential_reads_are_cheap() {
         let d = DiskModel::default();
         // 1000 sequential blocks after one seek: ~13 ms transfer.
-        let seq = d.service_time(IoStats { seeks: 1, blocks: 1000 });
+        let seq = d.service_time(IoStats {
+            seeks: 1,
+            blocks: 1000,
+        });
         // 1000 random single blocks: ~7.1 s.
-        let rand = d.service_time(IoStats { seeks: 1000, blocks: 1000 });
+        let rand = d.service_time(IoStats {
+            seeks: 1000,
+            blocks: 1000,
+        });
         assert!(rand / seq > 100.0, "ratio={}", rand / seq);
     }
 
     #[test]
     fn service_time_is_linear() {
         let d = DiskModel::default();
-        let a = d.service_time(IoStats { seeks: 2, blocks: 10 });
-        let b = d.service_time(IoStats { seeks: 4, blocks: 20 });
+        let a = d.service_time(IoStats {
+            seeks: 2,
+            blocks: 10,
+        });
+        let b = d.service_time(IoStats {
+            seeks: 4,
+            blocks: 20,
+        });
         assert!((b - 2.0 * a).abs() < 1e-12);
     }
 

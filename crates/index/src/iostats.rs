@@ -65,7 +65,13 @@ mod tests {
     fn sequential_run_counts_one_seek() {
         let mut s = IoStats::new();
         s.sequential_run(10);
-        assert_eq!(s, IoStats { seeks: 1, blocks: 10 });
+        assert_eq!(
+            s,
+            IoStats {
+                seeks: 1,
+                blocks: 10
+            }
+        );
     }
 
     #[test]
@@ -80,15 +86,39 @@ mod tests {
         let mut s = IoStats::new();
         s.sequential_run(2);
         s.continue_run(3);
-        assert_eq!(s, IoStats { seeks: 1, blocks: 5 });
+        assert_eq!(
+            s,
+            IoStats {
+                seeks: 1,
+                blocks: 5
+            }
+        );
     }
 
     #[test]
     fn merge_and_add() {
-        let mut a = IoStats { seeks: 1, blocks: 2 };
-        let b = IoStats { seeks: 3, blocks: 4 };
+        let mut a = IoStats {
+            seeks: 1,
+            blocks: 2,
+        };
+        let b = IoStats {
+            seeks: 3,
+            blocks: 4,
+        };
         a.merge(b);
-        assert_eq!(a, IoStats { seeks: 4, blocks: 6 });
-        assert_eq!(a + b, IoStats { seeks: 7, blocks: 10 });
+        assert_eq!(
+            a,
+            IoStats {
+                seeks: 4,
+                blocks: 6
+            }
+        );
+        assert_eq!(
+            a + b,
+            IoStats {
+                seeks: 7,
+                blocks: 10
+            }
+        );
     }
 }

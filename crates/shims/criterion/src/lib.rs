@@ -1,0 +1,374 @@
+//! Offline stand-in for the `criterion` crate (0.5-compatible subset).
+//!
+//! The build environment cannot fetch crates.io, so the workspace
+//! vendors the benchmarking surface it uses: benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then runs `sample_size` samples; each sample executes a batch of
+//! iterations sized so one sample lasts roughly
+//! `measurement_time / sample_size`. The reported statistic is the median
+//! of per-iteration sample means — robust to scheduler noise, comparable
+//! run-to-run, and printed in a `criterion`-like one-line format. There
+//! is no HTML report, outlier analysis, or statistical regression test.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export site for the measurement marker type, mirroring criterion's
+/// module layout (`criterion::measurement::WallTime`).
+pub mod measurement {
+    /// Wall-clock time measurement (the only measurement this shim has).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `name` with a parameter, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// Parameter-only id (criterion renders these under the group name).
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_owned(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name, param: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.param) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Work-per-iteration declaration, for ops/s-style reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total timed duration budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// End the group (criterion API parity; drops the borrow).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some(est) = bencher.estimate() else {
+            eprintln!(
+                "{}/{id}  (no measurement: Bencher::iter never called)",
+                self.name
+            );
+            return;
+        };
+        let mut line = if self.name.is_empty() {
+            format!("{id:<40} time: [{}]", format_time(est))
+        } else {
+            format!(
+                "{:<40} time: [{}]",
+                format!("{}/{id}", self.name),
+                format_time(est)
+            )
+        };
+        match self.throughput {
+            Some(Throughput::Bytes(b)) if est > 0.0 => {
+                let rate = b as f64 / est; // bytes per second
+                line.push_str(&format!("  thrpt: [{}/s]", format_bytes(rate)));
+            }
+            Some(Throughput::Elements(n)) if est > 0.0 => {
+                let rate = n as f64 / est;
+                line.push_str(&format!("  thrpt: [{rate:.4e} elem/s]"));
+            }
+            _ => {}
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean seconds per iteration of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Bencher {
+        Bencher {
+            warm_up,
+            measurement,
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `f`, called repeatedly; the routine's wall-clock per call is
+    /// the reported statistic.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating iterations-per-sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    /// Median seconds per iteration, if `iter` ran.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn format_bytes(rate: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if rate >= GIB {
+        format!("{:.3} GiB", rate / GIB)
+    } else if rate >= MIB {
+        format!("{:.3} MiB", rate / MIB)
+    } else if rate >= KIB {
+        format!("{:.3} KiB", rate / KIB)
+    } else {
+        format!("{rate:.1} B")
+    }
+}
+
+/// Bundle benchmark functions into a single runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("sign", 1024).to_string(), "sign/1024");
+        assert_eq!(BenchmarkId::from("verify").to_string(), "verify");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(20), 5);
+        b.iter(|| black_box(42u64).wrapping_mul(3));
+        let est = b.estimate().unwrap();
+        assert!(est > 0.0 && est < 0.01, "estimate {est} out of range");
+    }
+
+    #[test]
+    fn group_runs_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6));
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.5e-9), "2.500 ns");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5), "2.500 s");
+    }
+}

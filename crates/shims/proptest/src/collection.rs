@@ -1,0 +1,105 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Admissible sizes for a generated collection (inclusive bounds).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from the size
+/// range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy over an element strategy and a size specification
+/// (a fixed `usize` or a `usize` range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let strat = vec(any::<u8>(), 12usize);
+        let mut rng = TestRng::for_case("fixed", 0);
+        assert_eq!(strat.generate(&mut rng).len(), 12);
+    }
+
+    #[test]
+    fn range_sizes_cover_span() {
+        let strat = vec(any::<u8>(), 0..4);
+        let mut rng = TestRng::for_case("span", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lengths seen: {seen:?}");
+    }
+
+    #[test]
+    fn nested_string_elements() {
+        let strat = vec("[a-z]{1,3}", 2..=5);
+        let mut rng = TestRng::for_case("nested", 0);
+        let v = strat.generate(&mut rng);
+        assert!((2..=5).contains(&v.len()));
+        for s in v {
+            assert!((1..=3).contains(&s.chars().count()));
+        }
+    }
+}

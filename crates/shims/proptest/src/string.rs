@@ -1,0 +1,231 @@
+//! String generation from a regex subset.
+//!
+//! Supports exactly the pattern shapes the workspace's tests use: a
+//! sequence of atoms, where an atom is `.` (any printable char, with an
+//! occasional non-ASCII letter to exercise Unicode paths), a character
+//! class `[a-z 0-9,.]` of literal chars and ranges, or a literal
+//! character; each atom may carry a `{m,n}` / `{n}` / `*` / `+` / `?`
+//! quantifier. Anything else panics loudly — better a broken build than a
+//! property test silently generating the wrong language.
+
+use crate::TestRng;
+
+/// One parsed pattern element.
+enum Atom {
+    /// `.` — any character from the test alphabet.
+    AnyChar,
+    /// `[...]` — one of an explicit set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` draws from: all printable ASCII plus a sprinkling of
+/// multi-byte letters so tokenizer-style consumers see real Unicode.
+const UNICODE_EXTRAS: [char; 8] = ['é', 'Ω', 'ß', 'λ', 'Ж', '中', 'ñ', 'Ü'];
+
+/// Draw one "any" character (used by `.` and `any::<char>()`).
+pub(crate) fn any_char(rng: &mut TestRng) -> char {
+    if rng.below(16) == 0 {
+        UNICODE_EXTRAS[rng.below(UNICODE_EXTRAS.len() as u64) as usize]
+    } else {
+        // Printable ASCII 0x20..=0x7e.
+        char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).expect("printable ASCII")
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for q in &atoms {
+        let span = q.max - q.min + 1;
+        let count = q.min + rng.below(span as u64) as usize;
+        for _ in 0..count {
+            out.push(match &q.atom {
+                Atom::AnyChar => any_char(rng),
+                Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+                Atom::Literal(c) => *c,
+            });
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let body = &chars[i + 1..i + close];
+                i += close + 1;
+                Atom::Class(parse_class(body, pattern))
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            c if !"{}*+?()|".contains(c) => {
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => panic!("unsupported regex construct {c:?} in pattern {pattern:?}"),
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in class of pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+/// Parse an optional quantifier at `*i`, returning `(min, max)` counts.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    // Unbounded quantifiers get a pragmatic cap: proptest inputs should
+    // be small enough to run thousands of cases quickly.
+    const CAP: usize = 32;
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let min = lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier bound {lo:?} in pattern {pattern:?}")
+                    });
+                    let max = hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier bound {hi:?} in pattern {pattern:?}")
+                    });
+                    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                    (min, max)
+                }
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {body:?} in pattern {pattern:?}")
+                    });
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, CAP)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string_tests", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z ,.]{0,20}", &mut r);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || c == ' ' || c == ',' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_chars() {
+        let mut r = rng();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for c in generate(".{10,30}", &mut r).chars() {
+                distinct.insert(c);
+            }
+        }
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct chars",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("x{4}", &mut r), "xxxx");
+        let s = generate("a?b+", &mut r);
+        assert!(s.ends_with('b') && s.contains('b'));
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            saw_empty |= generate("[a-z]{0,2}", &mut r).is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_rejected() {
+        generate("a|b", &mut rng());
+    }
+}

@@ -23,13 +23,9 @@ fn main() {
             ..AuthConfig::new(mechanism)
         };
         let publication = owner.publish(&corpus, config);
-        let terms = authsearch_corpus::workload::synthetic(
-            publication.auth.index().num_terms(),
-            1,
-            3,
-            7,
-        )
-        .remove(0);
+        let terms =
+            authsearch_corpus::workload::synthetic(publication.auth.index().num_terms(), 1, 3, 7)
+                .remove(0);
         let query = Query::from_term_ids(publication.auth.index(), &terms);
         let honest = publication.auth.query(&query, 10, &corpus);
         assert!(
@@ -60,9 +56,7 @@ fn main() {
         }
 
         // The subtle one: a well-formed VO over truncated prefixes.
-        if let Some(tampered) =
-            truncated_prefix_response(&publication.auth, &query, 10, &corpus)
-        {
+        if let Some(tampered) = truncated_prefix_response(&publication.auth, &query, 10, &corpus) {
             mounted += 1;
             match verify::verify(&publication.verifier_params, &query, 10, &tampered) {
                 Err(e) => {

@@ -21,17 +21,10 @@ fn publish(mechanism: Mechanism) -> (Publication, authsearch_corpus::Corpus) {
     (publication, corpus)
 }
 
-fn sample_query(
-    publication: &Publication,
-    seed: u64,
-) -> authsearch_core::Query {
-    let terms = authsearch_corpus::workload::synthetic(
-        publication.auth.index().num_terms(),
-        1,
-        3,
-        seed,
-    )
-    .remove(0);
+fn sample_query(publication: &Publication, seed: u64) -> authsearch_core::Query {
+    let terms =
+        authsearch_corpus::workload::synthetic(publication.auth.index().num_terms(), 1, 3, seed)
+            .remove(0);
     authsearch_core::Query::from_term_ids(publication.auth.index(), &terms)
 }
 
@@ -51,8 +44,7 @@ fn every_common_attack_rejected_under_every_mechanism() {
             if !attack.apply(&mut tampered) {
                 continue; // not applicable under this mechanism
             }
-            let outcome =
-                verify::verify(&publication.verifier_params, &query, 10, &tampered);
+            let outcome = verify::verify(&publication.verifier_params, &query, 10, &tampered);
             assert!(
                 outcome.is_err(),
                 "{}: attack '{}' was NOT detected",
@@ -78,8 +70,7 @@ fn tra_specific_attacks_rejected() {
                 mechanism.name(),
                 attack.name()
             );
-            let outcome =
-                verify::verify(&publication.verifier_params, &query, 10, &tampered);
+            let outcome = verify::verify(&publication.verifier_params, &query, 10, &tampered);
             assert!(
                 outcome.is_err(),
                 "{}: attack '{}' was NOT detected",
@@ -98,8 +89,7 @@ fn truncated_prefix_with_valid_proofs_rejected() {
     for mechanism in Mechanism::ALL {
         let (publication, corpus) = publish(mechanism);
         let query = sample_query(&publication, 6);
-        let Some(tampered) =
-            truncated_prefix_response(&publication.auth, &query, 10, &corpus)
+        let Some(tampered) = truncated_prefix_response(&publication.auth, &query, 10, &corpus)
         else {
             continue;
         };
@@ -129,21 +119,18 @@ fn attacks_rejected_on_the_paper_example() {
         let honest = publication.auth.query(&toy_query(), 2, &toy_contents());
         verify::verify(&publication.verifier_params, &toy_query(), 2, &honest).unwrap();
 
-        let applicable = Attack::COMMON
-            .iter()
-            .chain(if mechanism.is_tra() {
-                Attack::TRA_ONLY.iter()
-            } else {
-                [].iter()
-            });
+        let applicable = Attack::COMMON.iter().chain(if mechanism.is_tra() {
+            Attack::TRA_ONLY.iter()
+        } else {
+            [].iter()
+        });
         for &attack in applicable {
             let mut tampered = honest.clone();
             if !attack.apply(&mut tampered) {
                 continue;
             }
             assert!(
-                verify::verify(&publication.verifier_params, &toy_query(), 2, &tampered)
-                    .is_err(),
+                verify::verify(&publication.verifier_params, &toy_query(), 2, &tampered).is_err(),
                 "{}: '{}' undetected on the toy example",
                 mechanism.name(),
                 attack.name()

@@ -76,8 +76,7 @@ fn toy_example_verifies_under_all_mechanisms() {
     use authsearch_core::toy::{toy_contents, toy_index, toy_query};
     for mechanism in Mechanism::ALL {
         let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
-        let publication =
-            owner.publish_index(toy_index(), test_config(mechanism), &toy_contents());
+        let publication = owner.publish_index(toy_index(), test_config(mechanism), &toy_contents());
         let response = publication.auth.query(&toy_query(), 2, &toy_contents());
         assert_eq!(response.result.docs(), vec![6, 5], "{}", mechanism.name());
         let verified = verify::verify(&publication.verifier_params, &toy_query(), 2, &response)
@@ -124,19 +123,15 @@ fn buddy_ablation_both_settings_verify() {
             let publication = owner.publish(&corpus, config);
             let engine = SearchEngine::new(publication.auth, corpus);
             let client = Client::new(publication.verifier_params);
-            let terms = authsearch_corpus::workload::synthetic(
-                engine.auth().index().num_terms(),
-                1,
-                3,
-                13,
-            )
-            .remove(0);
+            let terms =
+                authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 1, 3, 13)
+                    .remove(0);
             let query = Query::from_term_ids(engine.auth().index(), &terms);
             let response = engine.search(&query, 10);
             let pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
-            client.verify_terms(&pairs, 10, &response).unwrap_or_else(|e| {
-                panic!("{} buddy={buddy}: {e}", mechanism.name())
-            });
+            client
+                .verify_terms(&pairs, 10, &response)
+                .unwrap_or_else(|e| panic!("{} buddy={buddy}: {e}", mechanism.name()));
         }
     }
 }
@@ -145,9 +140,8 @@ fn buddy_ablation_both_settings_verify() {
 fn result_size_sweep_verifies() {
     let (engine, params) = synthetic_setup(Mechanism::TnraCmht, 250, 21);
     let client = Client::new(params);
-    let terms =
-        authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 1, 3, 30)
-            .remove(0);
+    let terms = authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 1, 3, 30)
+        .remove(0);
     let query = Query::from_term_ids(engine.auth().index(), &terms);
     let pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
     for r in [1usize, 5, 10, 40, 80, 10_000] {
@@ -177,8 +171,7 @@ fn single_term_and_repeated_term_queries() {
         let alpha = corpus.term_id("alpha").unwrap();
         let qt = query.terms.iter().find(|t| t.term == alpha).unwrap();
         assert_eq!(qt.f_qt, 2);
-        let pairs: Vec<(TermId, u32)> =
-            query.terms.iter().map(|t| (t.term, t.f_qt)).collect();
+        let pairs: Vec<(TermId, u32)> = query.terms.iter().map(|t| (t.term, t.f_qt)).collect();
         client
             .verify_terms(&pairs, 2, &response)
             .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
@@ -188,9 +181,8 @@ fn single_term_and_repeated_term_queries() {
 #[test]
 fn vo_reports_sane_sizes() {
     let (engine, _params) = synthetic_setup(Mechanism::TnraCmht, 200, 55);
-    let terms =
-        authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 1, 3, 2)
-            .remove(0);
+    let terms = authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 1, 3, 2)
+        .remove(0);
     let query = Query::from_term_ids(engine.auth().index(), &terms);
     let response = engine.search(&query, 10);
     let size = response.vo.size();
@@ -230,11 +222,7 @@ fn baseline_full_list_scheme_vs_threshold_mechanisms() {
     let corpus = SyntheticConfig::tiny(400, 60).generate();
     let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
     let index = build_index(&corpus, OkapiParams::default());
-    let baseline = BaselineIndex::build(
-        index.clone(),
-        owner.key(),
-        BlockLayout::default(),
-    );
+    let baseline = BaselineIndex::build(index.clone(), owner.key(), BlockLayout::default());
     let publication = owner.publish(&corpus, test_config(Mechanism::TnraCmht));
     let engine = SearchEngine::new(publication.auth, corpus);
 
@@ -247,8 +235,7 @@ fn baseline_full_list_scheme_vs_threshold_mechanisms() {
     let query = Query::from_term_ids(&index, &terms);
 
     let base_resp = baseline.query(&query, 10);
-    let base_verified =
-        verify_baseline(baseline.public_key(), &query, 10, &base_resp).unwrap();
+    let base_verified = verify_baseline(baseline.public_key(), &query, 10, &base_resp).unwrap();
     let auth_resp = engine.search(&query, 10);
     let client = Client::new(publication.verifier_params);
     let pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();

@@ -40,7 +40,11 @@ fn figure6_tra_trace() {
     ];
     assert_eq!(trace.len(), expected.len(), "iteration count");
     for (it, (row, &(want_thres, want_pop))) in trace.iter().zip(&expected).enumerate() {
-        assert_close(row.thres, want_thres, &format!("iteration {} thres", it + 1));
+        assert_close(
+            row.thres,
+            want_thres,
+            &format!("iteration {} thres", it + 1),
+        );
         match (row.popped, want_pop) {
             (Some((list, doc, _)), Some((want_list, want_doc))) => {
                 assert_eq!(list, want_list, "iteration {} list", it + 1);
@@ -94,7 +98,11 @@ fn figure11_tnra_trace() {
     ];
     assert_eq!(trace.len(), expected.len(), "iteration count");
     for (it, (row, &(want_thres, want_pop))) in trace.iter().zip(&expected).enumerate() {
-        assert_close(row.thres, want_thres, &format!("iteration {} thres", it + 1));
+        assert_close(
+            row.thres,
+            want_thres,
+            &format!("iteration {} thres", it + 1),
+        );
         match (row.popped, want_pop) {
             (Some((list, doc, _)), Some((want_list, want_doc))) => {
                 assert_eq!(list, want_list, "iteration {} list", it + 1);

@@ -28,8 +28,7 @@ fn engine_rebuilt_from_persisted_index_is_equivalent() {
     let pub_b = owner.publish_index(restored, config, &corpus);
 
     let terms =
-        authsearch_corpus::workload::synthetic(pub_a.auth.index().num_terms(), 1, 3, 17)
-            .remove(0);
+        authsearch_corpus::workload::synthetic(pub_a.auth.index().num_terms(), 1, 3, 17).remove(0);
     let query = Query::from_term_ids(pub_a.auth.index(), &terms);
     let resp_a = pub_a.auth.query(&query, 10, &corpus);
     let resp_b = pub_b.auth.query(&query, 10, &corpus);

@@ -21,13 +21,9 @@ fn single_byte_corruptions_never_verify() {
             ..AuthConfig::new(mechanism)
         };
         let publication = owner.publish(&corpus, config);
-        let terms = authsearch_corpus::workload::synthetic(
-            publication.auth.index().num_terms(),
-            1,
-            3,
-            77,
-        )
-        .remove(0);
+        let terms =
+            authsearch_corpus::workload::synthetic(publication.auth.index().num_terms(), 1, 3, 77)
+                .remove(0);
         let query = Query::from_term_ids(publication.auth.index(), &terms);
         let honest = publication.auth.query(&query, 10, &corpus);
         let encoded = wire::encode(&honest.vo);
