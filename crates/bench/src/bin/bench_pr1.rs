@@ -12,13 +12,12 @@
 //! (`cargo bench -p authsearch-bench`) cover the same comparisons with
 //! fuller statistics.
 
-use authsearch_bench::Scale;
+use authsearch_bench::json::{num, Json};
 use authsearch_core::{AuthConfig, AuthenticatedIndex, Mechanism, Query};
 use authsearch_corpus::SyntheticConfig;
 use authsearch_crypto::bignum::{BigUint, Montgomery};
 use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS, TEST_KEY_BITS};
 use authsearch_index::{build_index, OkapiParams};
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Run `f` repeatedly for at least `budget`, returning mean seconds/call.
@@ -37,41 +36,6 @@ fn time_per_call<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_secs_f64() / iters as f64
-}
-
-struct Json {
-    buf: String,
-}
-
-impl Json {
-    fn new() -> Json {
-        Json {
-            buf: String::from("{\n"),
-        }
-    }
-    fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
-        let pad = "  ".repeat(indent);
-        let comma = if last { "" } else { "," };
-        writeln!(self.buf, "{pad}\"{key}\": {value}{comma}").unwrap();
-    }
-    fn open(&mut self, indent: usize, key: &str) {
-        let pad = "  ".repeat(indent);
-        writeln!(self.buf, "{pad}\"{key}\": {{").unwrap();
-    }
-    fn close(&mut self, indent: usize, last: bool) {
-        let pad = "  ".repeat(indent);
-        let comma = if last { "" } else { "," };
-        writeln!(self.buf, "{pad}}}{comma}").unwrap();
-    }
-    fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf.push('\n');
-        self.buf
-    }
-}
-
-fn num(v: f64) -> String {
-    format!("{v:.3}")
 }
 
 fn main() {
@@ -95,10 +59,6 @@ fn main() {
             }
         }
     }
-    // Scale::parse is the canonical CLI surface; this binary only takes
-    // the subset above but validates the default the same way.
-    let _ = Scale::parse(&[]).expect("default scale parses");
-
     let budget = Duration::from_millis(700);
     let mut json = Json::new();
     json.field(1, "pr", "1", false);

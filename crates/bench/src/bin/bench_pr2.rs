@@ -1,0 +1,147 @@
+//! PR 2 perf-trajectory benchmark: parallel owner-side index
+//! construction (`AuthenticatedIndex::build` on the scoped work-stealing
+//! pool) measured across thread counts.
+//!
+//! Emits machine-readable `BENCH_PR2.json` (override the path with
+//! `--out <path>`; set the corpus with `--scale <frac>`, the signing key
+//! with `--key-bits <n>`). The JSON records the machine's
+//! `available_parallelism` alongside the timings: the thread counts are
+//! requested pool widths, and speedups above 1x are only physically
+//! possible when the host actually has the cores — on a single-CPU
+//! container every row degenerates to the sequential paper model, which
+//! is itself the bit-compatibility guarantee under test elsewhere.
+//!
+//! Uses plain `std::time` loops rather than criterion so the binary can
+//! run in CI without dev-dependencies; the `parallel_build` criterion
+//! bench covers the same comparison with fuller statistics.
+
+use authsearch_bench::json::{num, Json};
+use authsearch_core::pool::available_parallelism;
+use authsearch_core::{AuthConfig, AuthenticatedIndex, Mechanism};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS};
+use authsearch_index::{build_index, OkapiParams};
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for one owner build.
+fn time_build(
+    reps: usize,
+    index: &authsearch_index::InvertedIndex,
+    key: &authsearch_crypto::RsaPrivateKey,
+    config: AuthConfig,
+    corpus: &authsearch_corpus::Corpus,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // Clone outside the timed region: `build` consumes the index,
+        // and the sequential copy would otherwise deflate the measured
+        // thread-scaling (Amdahl) on multi-core hosts.
+        let index = index.clone();
+        let start = Instant::now();
+        std::hint::black_box(AuthenticatedIndex::build(index, key, config, corpus));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut scale_frac = 0.01f64;
+    let mut key_bits = PAPER_KEY_BITS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--scale" => {
+                scale_frac = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("bad --scale value")
+            }
+            "--key-bits" => {
+                key_bits = it
+                    .next()
+                    .expect("--key-bits needs a value")
+                    .parse()
+                    .expect("bad --key-bits value")
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: [--out <path>] [--scale <frac>] [--key-bits <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = available_parallelism();
+    eprintln!("[bench_pr2] corpus scale {scale_frac}, key {key_bits} bits, {cores} core(s)…");
+    let corpus = SyntheticConfig::wsj(scale_frac).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+    let key = cached_keypair(key_bits);
+
+    let mut json = Json::new();
+    json.field(1, "pr", "2", false);
+    json.field(
+        1,
+        "description",
+        "\"Parallel owner-side index construction on a scoped work-stealing thread pool\"",
+        false,
+    );
+    json.open(1, "machine");
+    json.field(2, "available_parallelism", &cores.to_string(), cores >= 4);
+    if cores < 4 {
+        json.field(
+            2,
+            "note",
+            "\"host lacks the cores for the requested pool widths; speedups necessarily ~1x — re-run on a multi-core machine\"",
+            true,
+        );
+    }
+    json.close(1, false);
+
+    json.open(1, "owner_build");
+    json.field(2, "corpus_scale", &format!("{scale_frac}"), false);
+    json.field(2, "num_docs", &corpus.num_docs().to_string(), false);
+    json.field(2, "num_terms", &index.num_terms().to_string(), false);
+    json.field(2, "key_bits", &key_bits.to_string(), false);
+    // TNRA-CMHT: per-term roots + signatures only. TRA-CMHT adds the
+    // per-document digests, MHTs, and signatures — the heaviest owner
+    // preprocessing workload in the paper.
+    let mechanisms = [Mechanism::TnraCmht, Mechanism::TraCmht];
+    let thread_counts = [1usize, 2, 4, 8];
+    for (mi, &mechanism) in mechanisms.iter().enumerate() {
+        eprintln!("[bench_pr2] {}…", mechanism.name());
+        json.open(2, mechanism.name());
+        let mut secs = Vec::new();
+        for &threads in &thread_counts {
+            let config = AuthConfig {
+                key_bits,
+                threads,
+                ..AuthConfig::new(mechanism)
+            };
+            let s = time_build(2, &index, &key, config, &corpus);
+            eprintln!("[bench_pr2]   threads={threads}: {:.3}s", s);
+            secs.push(s);
+        }
+        for (i, &threads) in thread_counts.iter().enumerate() {
+            json.field(3, &format!("threads_{threads}_s"), &num(secs[i]), false);
+        }
+        for (i, &threads) in thread_counts.iter().enumerate().skip(1) {
+            json.field(
+                3,
+                &format!("speedup_{threads}"),
+                &num(secs[0] / secs[i]),
+                i + 1 == thread_counts.len(),
+            );
+        }
+        json.close(2, mi + 1 == mechanisms.len());
+    }
+    json.close(1, true);
+
+    let out = json.finish();
+    std::fs::write(&out_path, &out).expect("write BENCH_PR2.json");
+    eprintln!("[bench_pr2] wrote {out_path}");
+    print!("{out}");
+}

@@ -1,0 +1,81 @@
+//! Minimal hand-rolled JSON emitter for the perf-trajectory binaries
+//! (`bench_pr1`, `bench_pr2`), which must run without dev-dependencies
+//! and emit machine-readable `BENCH_PR<n>.json` files.
+//!
+//! Deliberately tiny: the writer emits exactly the shapes the bench
+//! binaries need (objects of pre-formatted scalar fields), with the
+//! caller responsible for quoting string values.
+
+use std::fmt::Write as _;
+
+/// Incremental writer for a single JSON object.
+pub struct Json {
+    buf: String,
+}
+
+impl Default for Json {
+    fn default() -> Self {
+        Json::new()
+    }
+}
+
+impl Json {
+    /// Start the root object.
+    pub fn new() -> Json {
+        Json {
+            buf: String::from("{\n"),
+        }
+    }
+
+    /// Emit one `"key": value` line. `value` is written verbatim —
+    /// pre-format numbers and quote strings at the call site.
+    pub fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        writeln!(self.buf, "{pad}\"{key}\": {value}{comma}").unwrap();
+    }
+
+    /// Open a nested object.
+    pub fn open(&mut self, indent: usize, key: &str) {
+        let pad = "  ".repeat(indent);
+        writeln!(self.buf, "{pad}\"{key}\": {{").unwrap();
+    }
+
+    /// Close the innermost object.
+    pub fn close(&mut self, indent: usize, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        writeln!(self.buf, "{pad}}}{comma}").unwrap();
+    }
+
+    /// Close the root object and return the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+/// Format a float with the fixed precision the trajectory files use.
+pub fn num(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nested_object() {
+        let mut j = Json::new();
+        j.field(1, "pr", "2", false);
+        j.open(1, "inner");
+        j.field(2, "x", &num(1.5), true);
+        j.close(1, true);
+        let out = j.finish();
+        assert_eq!(
+            out,
+            "{\n  \"pr\": 2,\n  \"inner\": {\n    \"x\": 1.500\n  }\n}\n"
+        );
+    }
+}

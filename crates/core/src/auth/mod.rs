@@ -11,7 +11,7 @@
 //!   replacing the per-list signatures with one signature at the cost of
 //!   extra digests per VO.
 //!
-//! Following [13] (and §3.3.1), only roots and leaves are stored;
+//! Following \[13\] (and §3.3.1), only roots and leaves are stored;
 //! intermediate digests are regenerated at runtime — which is exactly why
 //! the plain-MHT variants must re-read entire inverted lists at query time
 //! while the chain-MHT variants stop at the cut-off block.
@@ -40,6 +40,7 @@ pub mod space;
 
 pub use cache::CacheStats;
 
+use crate::pool::ThreadPool;
 use crate::types::DocTable;
 use crate::vo::Mechanism;
 use authsearch_corpus::{DocId, TermId};
@@ -49,7 +50,11 @@ use authsearch_index::{BlockLayout, ImpactEntry, InvertedIndex, InvertedList};
 
 /// Source of raw document contents (for `h(doc)`); implemented by
 /// [`authsearch_corpus::Corpus`] and by plain `Vec<Vec<u8>>` fixtures.
-pub trait ContentProvider {
+///
+/// `Sync` is a supertrait because the parallel owner build
+/// ([`AuthenticatedIndex::build`]) hashes document contents from several
+/// worker threads at once.
+pub trait ContentProvider: Sync {
     /// Canonical content bytes of document `d`.
     fn content(&self, d: DocId) -> Vec<u8>;
 }
@@ -67,6 +72,20 @@ impl ContentProvider for Vec<Vec<u8>> {
 }
 
 /// Authentication configuration.
+///
+/// [`AuthConfig::new`] is the paper's configuration for a mechanism;
+/// individual knobs are overridden with struct-update syntax:
+///
+/// ```
+/// use authsearch_core::{AuthConfig, Mechanism};
+///
+/// let config = AuthConfig {
+///     threads: 1, // exact sequential paper model (default 0 = all cores)
+///     ..AuthConfig::new(Mechanism::TnraCmht)
+/// };
+/// assert!(config.buddy); // chain-MHT mechanisms default buddy on
+/// assert_eq!(config.build_threads(), 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AuthConfig {
     /// Query-processing + authentication mechanism.
@@ -94,6 +113,14 @@ pub struct AuthConfig {
     /// (TRA mechanisms only; ignored when [`AuthConfig::serve_cache`]
     /// is off).
     pub doc_cache_capacity: usize,
+    /// Worker threads for the owner-side build
+    /// ([`AuthenticatedIndex::build`]): `0` (the default) uses the
+    /// machine's available parallelism, `1` runs the paper's sequential
+    /// owner model on the calling thread, and `n ≥ 2` fans the per-term
+    /// and per-document work out over a [`crate::pool::ThreadPool`].
+    /// The resulting artifact is **bit-identical for every value** —
+    /// only build wall-clock time changes.
+    pub threads: usize,
 }
 
 /// Default bound on materialized term structures held by the engine.
@@ -122,6 +149,17 @@ impl AuthConfig {
             serve_cache: true,
             term_cache_capacity: DEFAULT_TERM_CACHE_CAPACITY,
             doc_cache_capacity: DEFAULT_DOC_CACHE_CAPACITY,
+            threads: 0,
+        }
+    }
+
+    /// The effective owner-build worker count: [`AuthConfig::threads`],
+    /// with `0` resolved to [`crate::pool::available_parallelism`].
+    pub fn build_threads(&self) -> usize {
+        if self.threads == 0 {
+            crate::pool::available_parallelism()
+        } else {
+            self.threads
         }
     }
 
@@ -261,6 +299,42 @@ impl AuthenticatedIndex {
     /// Build every authentication structure and sign the roots. This is
     /// the owner's one-off preprocessing step (the dominant cost is one
     /// RSA signature per dictionary term, plus one per document for TRA).
+    ///
+    /// The work is embarrassingly parallel — every term's structure and
+    /// signature, and every document's content digest, MHT root, and
+    /// signature, is independent — so it fans out over a work-stealing
+    /// [`crate::pool::ThreadPool`] sized by [`AuthConfig::build_threads`]
+    /// (`threads: 1` keeps the paper's sequential owner model on the
+    /// calling thread). Workers share `key` by reference, so every
+    /// signature reuses the key's cached per-factor Montgomery contexts;
+    /// results are collected in index order, making the artifact
+    /// **bit-identical for any thread count**.
+    ///
+    /// ```
+    /// use authsearch_core::{AuthConfig, AuthenticatedIndex, Mechanism};
+    /// use authsearch_corpus::CorpusBuilder;
+    /// use authsearch_crypto::keys::{cached_keypair, TEST_KEY_BITS};
+    /// use authsearch_index::{build_index, OkapiParams};
+    ///
+    /// let corpus = CorpusBuilder::new()
+    ///     .min_df(1)
+    ///     .add_text("the night keeper keeps the keep in the town")
+    ///     .add_text("in the big old house in the big old gown")
+    ///     .build();
+    /// let index = build_index(&corpus, OkapiParams::default());
+    /// let key = cached_keypair(TEST_KEY_BITS);
+    ///
+    /// let sequential = AuthConfig {
+    ///     key_bits: TEST_KEY_BITS,
+    ///     threads: 1,
+    ///     ..AuthConfig::new(Mechanism::TnraCmht)
+    /// };
+    /// let parallel = AuthConfig { threads: 4, ..sequential };
+    /// let a = AuthenticatedIndex::build(index.clone(), &key, sequential, &corpus);
+    /// let b = AuthenticatedIndex::build(index, &key, parallel, &corpus);
+    /// // Same roots (and signatures) regardless of thread count.
+    /// assert_eq!(a.term_root(0), b.term_root(0));
+    /// ```
     pub fn build<C: ContentProvider>(
         index: InvertedIndex,
         key: &RsaPrivateKey,
@@ -276,17 +350,18 @@ impl AuthenticatedIndex {
         }
 
         let doc_table = DocTable::from_index(&index);
+        let pool = ThreadPool::new(config.build_threads());
 
-        // Term structures.
-        let mut term_roots = Vec::with_capacity(m);
-        for t in 0..m as TermId {
-            term_roots.push(term_root(&config, index.list(t)));
-        }
+        // Term structures: one independent task per term (hash the leaf
+        // layer, fold the (chain-)MHT).
+        let term_roots: Vec<Digest> = pool.map(m, |t| term_root(&config, index.list(t as TermId)));
+
         let mut serve_cache = cache::ServeCache::new(&config);
         let (term_sigs, dict_sig) = if config.dict_mht {
-            let leaves: Vec<Digest> = (0..m as TermId)
-                .map(|t| dict_leaf_digest(t, index.ft(t), &term_roots[t as usize]))
-                .collect();
+            let leaves: Vec<Digest> = pool.map(m, |t| {
+                let t = t as TermId;
+                dict_leaf_digest(t, index.ft(t), &term_roots[t as usize])
+            });
             let tree = MerkleTree::from_leaf_digests(leaves);
             let root = tree.root();
             if config.serve_cache {
@@ -299,30 +374,31 @@ impl AuthenticatedIndex {
                 .expect("dictionary signature");
             (Vec::new(), Some(sig))
         } else {
-            let sigs: Vec<Vec<u8>> = (0..m as TermId)
-                .map(|t| {
-                    key.sign(&term_message(t, index.ft(t), &term_roots[t as usize]))
-                        .expect("term signature")
-                })
-                .collect();
+            // One RSA signature per term — the dominant build cost, and
+            // perfectly parallel: workers share the key (and therefore
+            // its cached Montgomery contexts) read-only.
+            let sigs: Vec<Vec<u8>> = pool.map(m, |t| {
+                let t = t as TermId;
+                key.sign(&term_message(t, index.ft(t), &term_roots[t as usize]))
+                    .expect("term signature")
+            });
             (sigs, None)
         };
 
-        // Document structures (TRA mechanisms only).
+        // Document structures (TRA mechanisms only): hash the content,
+        // fold the document-MHT, and sign — independently per document.
         let (doc_content_digests, doc_sigs) = if config.mechanism.is_tra() {
             let n = index.num_docs();
-            let mut digests = Vec::with_capacity(n);
-            let mut sigs = Vec::with_capacity(n);
-            for d in 0..n as DocId {
+            let per_doc: Vec<(Digest, Vec<u8>)> = pool.map(n, |d| {
+                let d = d as DocId;
                 let cd = Digest::hash(&contents.content(d));
                 let root = doc_root(doc_table.doc_terms(d));
-                sigs.push(
-                    key.sign(&doc_message(d, &cd, &root))
-                        .expect("doc signature"),
-                );
-                digests.push(cd);
-            }
-            (digests, sigs)
+                let sig = key
+                    .sign(&doc_message(d, &cd, &root))
+                    .expect("doc signature");
+                (cd, sig)
+            });
+            per_doc.into_iter().unzip()
         } else {
             (Vec::new(), Vec::new())
         };
@@ -498,6 +574,99 @@ mod tests {
         let root = doc_root(&[]);
         assert_eq!(root, doc_root(&[]));
         assert_ne!(root, doc_root(&[(1, 0.5)]));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // The paper model is the single-threaded build; any thread count
+        // must reproduce it exactly: same roots, same signatures.
+        let key = cached_keypair(TEST_KEY_BITS);
+        for mechanism in Mechanism::ALL {
+            let sequential = AuthConfig {
+                threads: 1,
+                ..test_config(mechanism)
+            };
+            let reference =
+                AuthenticatedIndex::build(toy_index(), &key, sequential, &toy_contents());
+            for threads in [2, 4, 8] {
+                let config = AuthConfig {
+                    threads,
+                    ..sequential
+                };
+                let built = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+                assert_eq!(
+                    built.term_roots, reference.term_roots,
+                    "{mechanism:?} threads={threads}"
+                );
+                assert_eq!(
+                    built.term_sigs, reference.term_sigs,
+                    "{mechanism:?} threads={threads}"
+                );
+                assert_eq!(
+                    built.doc_content_digests, reference.doc_content_digests,
+                    "{mechanism:?} threads={threads}"
+                );
+                assert_eq!(
+                    built.doc_sigs, reference.doc_sigs,
+                    "{mechanism:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_in_dict_mht_mode() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let sequential = AuthConfig {
+            dict_mht: true,
+            threads: 1,
+            ..test_config(Mechanism::TnraMht)
+        };
+        let reference = AuthenticatedIndex::build(toy_index(), &key, sequential, &toy_contents());
+        let parallel = AuthConfig {
+            threads: 4,
+            ..sequential
+        };
+        let built = AuthenticatedIndex::build(toy_index(), &key, parallel, &toy_contents());
+        assert_eq!(built.term_roots, reference.term_roots);
+        assert_eq!(built.dict_sig, reference.dict_sig);
+    }
+
+    #[test]
+    fn parallel_build_proofs_verify_end_to_end() {
+        // Proofs produced from a parallel-built artifact must verify
+        // exactly like sequential ones (bit-identical structures in,
+        // bit-identical VOs out).
+        use crate::toy::toy_query;
+        use crate::verify::{verify, VerifierParams};
+        let key = cached_keypair(TEST_KEY_BITS);
+        for mechanism in Mechanism::ALL {
+            let config = AuthConfig {
+                threads: 4,
+                ..test_config(mechanism)
+            };
+            let auth = AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents());
+            let params = VerifierParams {
+                public_key: key.public_key().clone(),
+                layout: config.layout,
+                mechanism,
+                num_docs: auth.index().num_docs(),
+                okapi: auth.index().params(),
+            };
+            let response = auth.query(&toy_query(), 2, &toy_contents());
+            let verified = verify(&params, &toy_query(), 2, &response)
+                .unwrap_or_else(|e| panic!("{mechanism:?}: {e}"));
+            assert_eq!(verified.result, response.result);
+        }
+    }
+
+    #[test]
+    fn build_threads_resolves_auto() {
+        let auto = test_config(Mechanism::TnraMht);
+        assert_eq!(auto.threads, 0);
+        assert_eq!(auto.build_threads(), crate::pool::available_parallelism());
+        let fixed = AuthConfig { threads: 3, ..auto };
+        assert_eq!(fixed.build_threads(), 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use authsearch_index::ImpactEntry;
 /// Byte-level storage breakdown of an authenticated index, covering both
 /// serving modes: the paper's regenerate-from-leaves model (disk only)
 /// and the cached mode, which additionally holds materialized structures
-/// in engine RAM (see [`super::cache`]).
+/// in engine RAM (see the `auth::cache` module and [`super::CacheStats`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpaceReport {
     /// Plain (unauthenticated) index: dictionary plus block-padded

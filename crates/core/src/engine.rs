@@ -5,6 +5,14 @@
 //! algorithm, and returns results with their verification objects. The
 //! engine is the *untrusted* party — [`crate::attacks`] models what a
 //! compromised instance might return instead.
+//!
+//! The artifact handed over by [`crate::DataOwner::publish`] is
+//! identical whatever [`crate::AuthConfig::threads`] the owner built it
+//! with, so the engine (and the user's verifier) never needs to know the
+//! owner's build parallelism. Serving itself is thread-compatible — the
+//! structure caches behind [`AuthenticatedIndex`] are mutex-guarded —
+//! but still single-lock; sharding the term LRU is the ROADMAP follow-on
+//! that makes the engine fully concurrent.
 
 use crate::auth::serve::QueryResponse;
 use crate::auth::AuthenticatedIndex;

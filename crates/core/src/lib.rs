@@ -20,7 +20,10 @@
 //!   MHTs, dictionary-MHT, signatures; server-side VO construction with
 //!   disk accounting and the engine structure cache; storage reports;
 //! * [`cache`] — the bounded LRU underpinning the engine structure cache;
-//! * [`verify`] — user-side verification (authenticate, then replay);
+//! * [`pool`] — the scoped work-stealing thread pool behind the parallel
+//!   owner build;
+//! * [`verify`](mod@verify) — user-side verification (authenticate,
+//!   then replay);
 //! * [`buddy`] — the buddy-inclusion VO optimization (§3.3.2);
 //! * [`owner`] / [`engine`] / [`client`] — the three-party system model;
 //! * [`attacks`] — the threat-model attack catalogue;
@@ -66,6 +69,7 @@ pub mod client;
 pub mod engine;
 pub mod metrics;
 pub mod owner;
+pub mod pool;
 pub mod pscan;
 pub mod tnra;
 pub mod toy;

@@ -4,6 +4,13 @@
 //! authentication structures, signs their roots, and transfers everything
 //! to the third-party search engine while broadcasting the public
 //! verification parameters to users.
+//!
+//! Building and signing is the owner's dominant one-off cost (one RSA
+//! signature per dictionary term, plus one per document under TRA), so
+//! [`DataOwner::publish`] runs it on the parallel build path sized by
+//! [`AuthConfig::threads`] — the default uses every core, `threads: 1`
+//! is the paper's sequential model, and the published artifact is
+//! bit-identical either way.
 
 use crate::auth::{AuthConfig, AuthenticatedIndex};
 use crate::verify::VerifierParams;
@@ -108,6 +115,28 @@ mod tests {
         assert_eq!(
             publication.auth.public_key(),
             &publication.verifier_params.public_key
+        );
+    }
+
+    #[test]
+    fn publish_is_thread_count_invariant() {
+        // The publication an engine receives must not depend on how many
+        // cores the owner's build machine had.
+        let corpus = SyntheticConfig::tiny(40, 3).generate();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let base = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            threads: 1,
+            ..AuthConfig::new(Mechanism::TraCmht)
+        };
+        let sequential = owner.publish(&corpus, base);
+        let parallel = owner.publish(&corpus, AuthConfig { threads: 4, ..base });
+        for t in 0..sequential.auth.index().num_terms() as u32 {
+            assert_eq!(sequential.auth.term_root(t), parallel.auth.term_root(t));
+        }
+        assert_eq!(
+            sequential.verifier_params.public_key,
+            parallel.verifier_params.public_key
         );
     }
 

@@ -1,6 +1,6 @@
 //! TNRA — Threshold with No Random Access (paper Figure 10).
 //!
-//! Adaptation of Fagin's NRA [10]: no random accesses at all — the
+//! Adaptation of Fagin's NRA \[10\]: no random accesses at all — the
 //! algorithm maintains, for every polled document, a lower bound `SLB`
 //! (sum of the weights actually seen) and an upper bound `SUB` (seen
 //! weights plus, for each list the document has not been seen in, that

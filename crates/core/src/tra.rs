@@ -1,6 +1,6 @@
 //! TRA — Threshold with Random Access (paper Figure 5).
 //!
-//! Adaptation of Fagin's TA [10] to frequency-ordered inverted lists: pops
+//! Adaptation of Fagin's TA \[10\] to frequency-ordered inverted lists: pops
 //! always come from the list with the highest current term score (not
 //! equal depth across lists), and the algorithm terminates as soon as the
 //! running threshold — the sum of the current front term scores, an upper

@@ -1,7 +1,7 @@
 //! English stopword list.
 //!
 //! The paper removes "common words like 'the' and 'a' that are not useful
-//! for differentiating between documents" (§4.1, citing [1]). This list is
+//! for differentiating between documents" (§4.1, citing \[1\]). This list is
 //! the classic Fox/SMART-style core — function words, auxiliaries,
 //! pronouns — comparable in coverage to what Lucene's StandardAnalyzer plus
 //! a conventional extended list would drop.

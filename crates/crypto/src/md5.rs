@@ -1,6 +1,6 @@
 //! MD5, implemented from RFC 1321.
 //!
-//! The paper cites MD5 [24] as the canonical 128-bit hash of its era and
+//! The paper cites MD5 \[24\] as the canonical 128-bit hash of its era and
 //! sizes digests accordingly (|h| = 128 bits). MD5 is cryptographically
 //! broken for collision resistance, so the framework's live digests use
 //! truncated SHA-256 ([`crate::Digest`]); MD5 is kept for digest-size

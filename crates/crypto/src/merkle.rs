@@ -19,7 +19,7 @@ use crate::digest::Digest;
 /// A Merkle hash tree materialized over a set of leaf digests.
 ///
 /// The paper stores only the root and the leaves, regenerating internal
-/// digests at runtime ([13]); accordingly this structure is cheap to build
+/// digests at runtime (\[13\]); accordingly this structure is cheap to build
 /// on demand from the stored leaf layer.
 #[derive(Debug, Clone)]
 pub struct MerkleTree {

@@ -1,6 +1,6 @@
 //! SHA-1, implemented from FIPS 180-4.
 //!
-//! Provided because the paper cites SHA [26] as a commonly used hash; it is
+//! Provided because the paper cites SHA \[26\] as a commonly used hash; it is
 //! not used for new authentication structures (SHA-1 collisions are
 //! practical since 2017) but is exercised by the `crypto` benchmark group to
 //! compare digest-function cost.

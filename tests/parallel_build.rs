@@ -1,0 +1,76 @@
+//! Integration coverage for the parallel owner build: whatever
+//! `AuthConfig::threads` the owner uses, the published artifact — and
+//! every proof the engine derives from it — must be bit-identical to the
+//! paper's sequential (`threads = 1`) model.
+
+use authsearch::core::wire;
+use authsearch::prelude::*;
+
+/// Publish the same synthetic corpus at a given thread count and answer
+/// a fixed query workload, returning the wire-encoded VOs.
+fn publish_and_serve(mechanism: Mechanism, threads: usize) -> (Vec<Vec<u8>>, VerifierParams) {
+    let corpus = SyntheticConfig::tiny(80, 4).generate();
+    let owner = DataOwner::with_cached_key(authsearch::crypto::keys::TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: authsearch::crypto::keys::TEST_KEY_BITS,
+        threads,
+        ..AuthConfig::new(mechanism)
+    };
+    let publication = owner.publish(&corpus, config);
+    let params = publication.verifier_params.clone();
+    let engine = SearchEngine::new(publication.auth, corpus);
+    let num_terms = engine.auth().index().num_terms();
+    let workload = authsearch::corpus::workload::synthetic(num_terms, 6, 2, 4);
+    let vos = workload
+        .iter()
+        .map(|terms| {
+            let query = Query::from_term_ids(engine.auth().index(), terms);
+            let response = engine.search(&query, 5);
+            wire::encode(&response.vo)
+        })
+        .collect();
+    (vos, params)
+}
+
+#[test]
+fn proofs_are_bit_identical_across_thread_counts() {
+    for mechanism in Mechanism::ALL {
+        let (reference, _) = publish_and_serve(mechanism, 1);
+        for threads in [2, 4] {
+            let (vos, _) = publish_and_serve(mechanism, threads);
+            assert_eq!(
+                vos,
+                reference,
+                "{} VOs changed with threads={threads}",
+                mechanism.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_built_publication_verifies() {
+    let corpus = SyntheticConfig::tiny(80, 4).generate();
+    let owner = DataOwner::with_cached_key(authsearch::crypto::keys::TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: authsearch::crypto::keys::TEST_KEY_BITS,
+        threads: 4,
+        ..AuthConfig::new(Mechanism::TraCmht)
+    };
+    let publication = owner.publish(&corpus, config);
+    let params = publication.verifier_params.clone();
+    let engine = SearchEngine::new(publication.auth, corpus);
+    let (query, response) = engine.search_text("term0 term1 term2", 5);
+    if query.is_empty() {
+        // Synthetic vocabularies are numeric; fall back to term ids.
+        let query = Query::from_term_ids(engine.auth().index(), &[0, 1]);
+        let response = engine.search(&query, 5);
+        let client = Client::new(params);
+        let verified = client.verify_query(&query, 5, &response).expect("honest");
+        assert_eq!(verified.result, response.result);
+    } else {
+        let client = Client::new(params);
+        let verified = client.verify_query(&query, 5, &response).expect("honest");
+        assert_eq!(verified.result, response.result);
+    }
+}
