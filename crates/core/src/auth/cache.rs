@@ -9,8 +9,10 @@
 //! * the **dictionary-MHT** is materialized once at construction and
 //!   reused by every query;
 //! * **term structures** (term-MHTs / chain-MHTs) are materialized on
-//!   first use and kept in a bounded [`LruCache`] keyed by [`TermId`],
-//!   so hot terms skip the leaf-layer rehash entirely.
+//!   first use and kept in a bounded, sharded LRU ([`ShardedLru`]) keyed
+//!   by [`TermId`], so hot terms skip the leaf-layer rehash entirely and
+//!   concurrent queries ([`AuthenticatedIndex::serve_batch`]) only
+//!   contend when two lookups hash to the same shard.
 //!
 //! Proof **bit-compatibility** is the invariant: a cached structure is
 //! the same `MerkleTree` / `ChainMht` value that a fresh build from the
@@ -24,11 +26,11 @@
 //! remain comparable; the cache removes CPU (hashing) cost only.
 
 use super::{doc_leaf_digest, term_leaves, AuthConfig, AuthenticatedIndex};
-use crate::cache::LruCache;
+use crate::cache::ShardedLru;
 use authsearch_corpus::{DocId, TermId};
 use authsearch_crypto::{ChainMht, Digest, MerkleTree};
 use authsearch_index::InvertedList;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A materialized per-term authentication structure.
 #[derive(Debug, Clone)]
@@ -88,15 +90,23 @@ pub(crate) fn mht_resident_digests(n: usize) -> u64 {
 }
 
 /// Cache state attached to one [`AuthenticatedIndex`].
+///
+/// Both LRUs are **sharded** ([`ShardedLru`]): N power-of-two shards,
+/// each behind its own lock, with keys routed by `TermId`/`DocId` hash.
+/// Under the concurrent serving path
+/// ([`AuthenticatedIndex::serve_batch`]) parallel lookups therefore
+/// contend only on shard collisions instead of serializing every query
+/// on one global mutex; hit/miss counters are aggregated across shards
+/// for [`CacheStats`].
 #[derive(Debug)]
 pub(crate) struct ServeCache {
     /// Dictionary-MHT, materialized once (dictionary mode + cache on).
     pub(crate) dict_tree: Option<MerkleTree>,
-    /// Bounded LRU of materialized term structures.
-    pub(crate) terms: Mutex<LruCache<TermId, Arc<TermStructure>>>,
-    /// Bounded LRU of materialized document-MHTs (TRA only — TNRA
-    /// responses carry no document proofs).
-    pub(crate) docs: Mutex<LruCache<DocId, Arc<MerkleTree>>>,
+    /// Sharded bounded LRU of materialized term structures.
+    pub(crate) terms: ShardedLru<TermId, Arc<TermStructure>>,
+    /// Sharded bounded LRU of materialized document-MHTs (TRA only —
+    /// TNRA responses carry no document proofs).
+    pub(crate) docs: ShardedLru<DocId, Arc<MerkleTree>>,
 }
 
 impl ServeCache {
@@ -115,8 +125,8 @@ impl ServeCache {
         };
         ServeCache {
             dict_tree: None,
-            terms: Mutex::new(LruCache::new(term_capacity)),
-            docs: Mutex::new(LruCache::new(doc_capacity)),
+            terms: ShardedLru::new(term_capacity, config.cache_shards),
+            docs: ShardedLru::new(doc_capacity, config.cache_shards),
         }
     }
 }
@@ -140,34 +150,28 @@ pub struct CacheStats {
     pub resident_docs: usize,
     /// Maximum number of materialized documents.
     pub doc_capacity: usize,
+    /// Lock shards of the term-structure cache (power of two).
+    pub term_shards: usize,
+    /// Lock shards of the document-MHT cache (power of two).
+    pub doc_shards: usize,
 }
 
 impl AuthenticatedIndex {
     /// The materialized structure for `term`: from the cache when
     /// enabled (building and inserting on miss), fresh otherwise.
     ///
-    /// Building happens outside the cache lock; two racing queries may
+    /// Building happens outside any shard lock; two racing queries may
     /// both build, but the structures are identical by construction so
     /// either insert is correct.
     pub(crate) fn term_structure(&self, term: TermId) -> Arc<TermStructure> {
         if self.config.serve_cache {
-            if let Some(hit) = self
-                .cache
-                .terms
-                .lock()
-                .expect("term cache poisoned")
-                .get(&term)
-            {
-                return Arc::clone(hit);
+            if let Some(hit) = self.cache.terms.get(&term) {
+                return hit;
             }
         }
         let built = Arc::new(TermStructure::build(&self.config, self.index.list(term)));
         if self.config.serve_cache {
-            self.cache
-                .terms
-                .lock()
-                .expect("term cache poisoned")
-                .put(term, Arc::clone(&built));
+            self.cache.terms.put(term, Arc::clone(&built));
         }
         built
     }
@@ -181,36 +185,35 @@ impl AuthenticatedIndex {
             return None;
         }
         if self.config.serve_cache {
-            if let Some(hit) = self.cache.docs.lock().expect("doc cache poisoned").get(&d) {
-                return Some(Arc::clone(hit));
+            if let Some(hit) = self.cache.docs.get(&d) {
+                return Some(hit);
             }
         }
         let built = Arc::new(MerkleTree::from_leaf_digests(
             leaves.iter().map(|&(t, w)| doc_leaf_digest(t, w)).collect(),
         ));
         if self.config.serve_cache {
-            self.cache
-                .docs
-                .lock()
-                .expect("doc cache poisoned")
-                .put(d, Arc::clone(&built));
+            self.cache.docs.put(d, Arc::clone(&built));
         }
         Some(built)
     }
 
-    /// Snapshot of the structure-cache counters (for benchmarks and ops).
+    /// Snapshot of the structure-cache counters, aggregated across every
+    /// shard (for benchmarks and ops).
     pub fn cache_stats(&self) -> CacheStats {
-        let terms = self.cache.terms.lock().expect("term cache poisoned");
-        let docs = self.cache.docs.lock().expect("doc cache poisoned");
+        let terms = self.cache.terms.stats();
+        let docs = self.cache.docs.stats();
         CacheStats {
-            hits: terms.hits(),
-            misses: terms.misses(),
-            resident_terms: terms.len(),
-            capacity: terms.capacity(),
-            doc_hits: docs.hits(),
-            doc_misses: docs.misses(),
-            resident_docs: docs.len(),
-            doc_capacity: docs.capacity(),
+            hits: terms.hits,
+            misses: terms.misses,
+            resident_terms: terms.len,
+            capacity: terms.capacity,
+            doc_hits: docs.hits,
+            doc_misses: docs.misses,
+            resident_docs: docs.len,
+            doc_capacity: docs.capacity,
+            term_shards: self.cache.terms.num_shards(),
+            doc_shards: self.cache.docs.num_shards(),
         }
     }
 }
@@ -296,6 +299,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_stats_report_shard_counts() {
+        let auth = test_auth(Mechanism::TraMht, true);
+        let stats = auth.cache_stats();
+        assert!(stats.term_shards.is_power_of_two());
+        assert!(stats.doc_shards.is_power_of_two());
+        assert!(stats.term_shards >= 1);
+        // Capacity is preserved exactly under sharding.
+        assert_eq!(stats.capacity, auth.config().term_cache_capacity);
+        assert_eq!(stats.doc_capacity, auth.config().doc_cache_capacity);
+    }
+
+    #[test]
+    fn poisoned_shard_does_not_kill_serving() {
+        // A worker panicking while holding a shard lock must not take
+        // the engine down: the guard is recovered (the LRU is left
+        // structurally valid by every operation) and later queries on
+        // the same shard keep being served.
+        let auth = test_auth(Mechanism::TraCmht, true);
+        let before = auth.query(&toy_query(), 2, &toy_contents());
+        for t in 0..auth.index().num_terms() as TermId {
+            auth.cache.terms.poison_shard_of(&t);
+        }
+        for d in 0..auth.index().num_docs() as DocId {
+            auth.cache.docs.poison_shard_of(&d);
+        }
+        let after = auth.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(before.vo, after.vo);
+        assert_eq!(before.result, after.result);
+        assert!(auth.cache_stats().hits > 0, "cache still serving hits");
     }
 
     #[test]

@@ -113,13 +113,29 @@ pub struct AuthConfig {
     /// (TRA mechanisms only; ignored when [`AuthConfig::serve_cache`]
     /// is off).
     pub doc_cache_capacity: usize,
+    /// Lock shards of each engine-side structure cache. Rounded up to a
+    /// power of two and capped so no shard has capacity 0 (see
+    /// [`crate::cache::ShardedLru`]); the default
+    /// ([`DEFAULT_CACHE_SHARDS`]) keeps contention negligible at the
+    /// thread counts the serving pool reaches while costing nothing at
+    /// `threads = 1`. Residency and proofs are unaffected — sharding
+    /// changes only *which lock* a lookup takes.
+    pub cache_shards: usize,
     /// Worker threads for the owner-side build
-    /// ([`AuthenticatedIndex::build`]): `0` (the default) uses the
-    /// machine's available parallelism, `1` runs the paper's sequential
-    /// owner model on the calling thread, and `n ≥ 2` fans the per-term
-    /// and per-document work out over a [`crate::pool::ThreadPool`].
-    /// The resulting artifact is **bit-identical for every value** —
-    /// only build wall-clock time changes.
+    /// ([`AuthenticatedIndex::build`]) **and** the engine-side batch
+    /// serving path ([`AuthenticatedIndex::serve_batch`]): `0` (the
+    /// default) uses the machine's available parallelism, `1` runs the
+    /// paper's sequential model on the calling thread, and `n ≥ 2` fans
+    /// the per-term/per-document (build) or per-query (serve) work out
+    /// over a [`crate::pool::ThreadPool`]. Artifacts and per-query VOs
+    /// are **bit-identical for every value** — only wall-clock time
+    /// changes.
+    ///
+    /// The default can be forced process-wide through the
+    /// `AUTHSEARCH_THREADS` environment variable (read by
+    /// [`AuthConfig::new`]; explicit struct updates still win), which is
+    /// how CI runs the whole test suite at `threads = 1` and
+    /// `threads = 4` without touching every call site.
     pub threads: usize,
 }
 
@@ -137,8 +153,19 @@ pub const DEFAULT_TERM_CACHE_CAPACITY: usize = 4096;
 /// tens of megabytes.
 pub const DEFAULT_DOC_CACHE_CAPACITY: usize = 8192;
 
+/// Default shard count of the engine-side structure caches. 16 shards
+/// keep the expected lock-collision probability of two simultaneous
+/// lookups under 7% at 8 serving threads (birthday bound `t·(t−1)/2N`)
+/// while adding only 15 extra mutexes per cache.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
 impl AuthConfig {
     /// The paper's configuration for a mechanism.
+    ///
+    /// The default [`AuthConfig::threads`] is `0` (auto), unless the
+    /// `AUTHSEARCH_THREADS` environment variable holds a number — the
+    /// process-wide override CI uses to pin the whole suite to a thread
+    /// count. Explicit `threads:` struct updates override either way.
     pub fn new(mechanism: Mechanism) -> AuthConfig {
         AuthConfig {
             mechanism,
@@ -149,7 +176,8 @@ impl AuthConfig {
             serve_cache: true,
             term_cache_capacity: DEFAULT_TERM_CACHE_CAPACITY,
             doc_cache_capacity: DEFAULT_DOC_CACHE_CAPACITY,
-            threads: 0,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            threads: default_threads(),
         }
     }
 
@@ -177,6 +205,16 @@ impl AuthConfig {
             ImpactEntry::BYTES
         }
     }
+}
+
+/// The process-wide default for [`AuthConfig::threads`]: the
+/// `AUTHSEARCH_THREADS` environment variable when set to a number,
+/// otherwise `0` (auto).
+fn default_threads() -> usize {
+    std::env::var("AUTHSEARCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 // ---- canonical leaf & message encodings ----------------------------------
@@ -422,6 +460,15 @@ impl AuthenticatedIndex {
         &self.config
     }
 
+    /// Resize the serving pool: subsequent
+    /// [`AuthenticatedIndex::serve_batch`] calls use `threads` workers
+    /// (`0` = available parallelism). Purely an ops knob — proofs are
+    /// bit-identical at any width, so this never invalidates the
+    /// published artifact or the structures already cached.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// The underlying inverted index.
     pub fn index(&self) -> &InvertedIndex {
         &self.index
@@ -663,8 +710,17 @@ mod tests {
     #[test]
     fn build_threads_resolves_auto() {
         let auto = test_config(Mechanism::TnraMht);
-        assert_eq!(auto.threads, 0);
-        assert_eq!(auto.build_threads(), crate::pool::available_parallelism());
+        // The default honors the CI env override when present.
+        let env_default = std::env::var("AUTHSEARCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        assert_eq!(auto.threads, env_default);
+        if env_default == 0 {
+            assert_eq!(auto.build_threads(), crate::pool::available_parallelism());
+        } else {
+            assert_eq!(auto.build_threads(), env_default);
+        }
         let fixed = AuthConfig { threads: 3, ..auto };
         assert_eq!(fixed.build_threads(), 3);
     }

@@ -13,6 +13,7 @@ use super::cache::TermStructure;
 use super::{doc_root, AuthenticatedIndex, ContentProvider};
 use crate::access::{IndexLists, TableFreqs};
 use crate::buddy::{buddy_group_size, expand_buddies, expand_prefix};
+use crate::pool::ThreadPool;
 use crate::types::{ProcessingOutcome, Query, QueryResult};
 use crate::vo::{DictVo, DocVo, PrefixData, TermProof, TermVo, VerificationObject};
 use crate::{tnra, tra};
@@ -56,6 +57,32 @@ impl AuthenticatedIndex {
             tnra::run(&lists, query, r).expect("engine-side access is total")
         };
         self.respond(query, outcome, contents)
+    }
+
+    /// Serve a batch of queries concurrently, fanning per-query VO
+    /// construction out over a work-stealing [`ThreadPool`] sized by
+    /// [`super::AuthConfig::threads`] (the same knob that parallelizes
+    /// the owner build; `1` keeps everything on the calling thread).
+    ///
+    /// Response `i` is **bit-identical** to `self.query(&queries[i],
+    /// …)` at any thread count: each query's result, VO, and simulated
+    /// I/O trace depend only on the (immutable) authenticated index —
+    /// the sharded structure caches are a bit-transparent CPU
+    /// optimization, and [`ThreadPool::map`] collects in index order.
+    /// Only wall-clock time and cache hit/miss counters vary.
+    ///
+    /// This is the engine-side throughput path: with the term LRU
+    /// sharded ([`crate::cache::ShardedLru`]), workers contend only on
+    /// shard-level lock collisions instead of serializing on one cache
+    /// mutex.
+    pub fn serve_batch<C: ContentProvider>(
+        &self,
+        queries: &[Query],
+        r: usize,
+        contents: &C,
+    ) -> Vec<QueryResponse> {
+        let pool = ThreadPool::new(self.config.build_threads());
+        pool.map(queries.len(), |i| self.query(&queries[i], r, contents))
     }
 
     /// Assemble the response for an already-computed processing outcome.

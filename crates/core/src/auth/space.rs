@@ -169,20 +169,14 @@ impl AuthenticatedIndex {
             .as_ref()
             .map(|t| mht_resident_digests(t.num_leaves()))
             .unwrap_or(0);
-        let guard = self.cache.terms.lock().expect("term cache poisoned");
-        let terms: u64 = guard
-            .keys_mru()
-            .iter()
-            .filter_map(|t| guard.peek(t))
-            .map(|s| s.resident_digests() as u64)
-            .sum();
-        let dguard = self.cache.docs.lock().expect("doc cache poisoned");
-        let docs: u64 = dguard
-            .keys_mru()
-            .iter()
-            .filter_map(|d| dguard.peek(d))
-            .map(|t| mht_resident_digests(t.num_leaves()))
-            .sum();
+        let mut terms: u64 = 0;
+        self.cache
+            .terms
+            .for_each_value(|s| terms += s.resident_digests() as u64);
+        let mut docs: u64 = 0;
+        self.cache
+            .docs
+            .for_each_value(|t| docs += mht_resident_digests(t.num_leaves()));
         (dict + terms + docs) * DIGEST_LEN as u64
     }
 }

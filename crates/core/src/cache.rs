@@ -1,4 +1,5 @@
-//! A bounded LRU cache (intrusive doubly-linked list over a slab).
+//! A bounded LRU cache (intrusive doubly-linked list over a slab), and a
+//! sharded concurrent wrapper for it.
 //!
 //! The query-serving hot path keeps materialized authentication
 //! structures — term-MHT levels and chain-MHT block digests — keyed by
@@ -7,11 +8,27 @@
 //! (see [`crate::auth`]). The cache is generic and deliberately small:
 //! `get` / `put` are O(1) hash operations plus pointer splices, eviction
 //! is exact LRU, and hit/miss counters feed the benchmark reports.
+//!
+//! [`ShardedLru`] is the concurrent face of the same cache: a
+//! power-of-two array of independently locked [`LruCache`] shards, keys
+//! routed by hash, so a multi-threaded engine ([`crate::auth::serve`])
+//! serving parallel queries contends only when two lookups land on the
+//! same shard instead of serializing on one global lock.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 const NIL: usize = usize::MAX;
+
+/// Upper bound on the *pre-allocated* slab/map size of a fresh
+/// [`LruCache`]. This clamps the up-front allocation only — a cache
+/// configured with a larger capacity still holds `capacity` entries and
+/// evicts exactly at that bound; its storage simply grows amortized
+/// (with the usual rehash-on-growth of `HashMap`) past this point
+/// instead of reserving potentially hundreds of megabytes for a cache
+/// that may never fill.
+pub const LRU_PREALLOC_CLAMP: usize = 4096;
 
 #[derive(Debug, Clone)]
 struct Entry<K, V> {
@@ -41,11 +58,17 @@ pub struct LruCache<K, V> {
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// An empty cache holding at most `capacity` entries.
+    ///
+    /// The initial allocation is clamped to [`LRU_PREALLOC_CLAMP`]
+    /// entries; a larger-capacity cache grows on demand (amortized O(1)
+    /// per insert, with `HashMap`'s rehash-on-growth) but still honors
+    /// its full `capacity` before evicting — see the clamp's docs and
+    /// the `capacity_beyond_prealloc_clamp_is_honored` test.
     pub fn new(capacity: usize) -> LruCache<K, V> {
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity.min(4096)),
-            entries: Vec::with_capacity(capacity.min(4096)),
+            map: HashMap::with_capacity(capacity.min(LRU_PREALLOC_CLAMP)),
+            entries: Vec::with_capacity(capacity.min(LRU_PREALLOC_CLAMP)),
             head: NIL,
             tail: NIL,
             hits: 0,
@@ -190,6 +213,162 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+// ---- sharded concurrent LRU ----------------------------------------------
+
+/// Aggregate counters of a [`ShardedLru`], summed across its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardedStats {
+    /// Lookups served from some shard.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident across all shards.
+    pub len: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+}
+
+/// A concurrent bounded LRU: `2^k` independently locked [`LruCache`]
+/// shards with keys routed by hash.
+///
+/// Each shard enforces an exact LRU discipline over its own slice of the
+/// keyspace; globally the eviction order is therefore *per-shard* LRU,
+/// which is the standard trade-off every sharded cache makes for
+/// lock-free-across-shards lookups. The total capacity is distributed
+/// exactly: the shard capacities always sum to the configured capacity
+/// (the shard count is reduced, if necessary, so that no shard is left
+/// with capacity 0 while the cache as a whole has room).
+///
+/// Shard routing uses a *fixed-seed* SipHash, so the shard a key lands
+/// on is deterministic across processes — cache residency (and thus the
+/// hit/miss trace of a query workload) is reproducible run to run.
+///
+/// Lock poisoning is deliberately recovered from rather than propagated:
+/// every mutation on the inner [`LruCache`] leaves it structurally valid
+/// (links are spliced before values move), so a worker thread that
+/// panics mid-operation cannot leave a shard corrupt — see
+/// `poisoned_shard_recovers` for the regression test. Propagating the
+/// poison instead would let one panicking query permanently take down
+/// every future query that hashes to the same shard.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    hasher: BuildHasherDefault<DefaultHasher>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of total capacity `capacity` split over (at most)
+    /// `shards` shards.
+    ///
+    /// The shard count is rounded up to a power of two and then capped
+    /// so every shard has capacity ≥ 1 (a requested 16-way shard over a
+    /// capacity-6 cache becomes 4 shards of capacities 2/2/1/1). A
+    /// `capacity` of 0 disables caching entirely, as with [`LruCache`].
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<K, V> {
+        let wanted = shards.max(1).next_power_of_two();
+        // Largest power of two ≤ max(capacity, 1): guarantees no shard
+        // is created with zero capacity while others hold the budget.
+        let cap_limit = prev_power_of_two(capacity.max(1));
+        let count = wanted.min(cap_limit);
+        let shards = (0..count)
+            .map(|i| {
+                // Exact distribution: base + 1 for the first `rem` shards.
+                let base = capacity / count;
+                let extra = usize::from(i < capacity % count);
+                Mutex::new(LruCache::new(base + extra))
+            })
+            .collect();
+        ShardedLru {
+            shards,
+            mask: count - 1,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).capacity()).sum()
+    }
+
+    /// The shard `key` routes to.
+    fn shard_of(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) & self.mask]
+    }
+
+    /// Lock a shard, recovering from poisoning (see the type docs).
+    fn lock<'a>(&self, shard: &'a Mutex<LruCache<K, V>>) -> MutexGuard<'a, LruCache<K, V>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fetch a clone of the cached value, marking it most recently used
+    /// within its shard.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lock(self.shard_of(key)).get(key).cloned()
+    }
+
+    /// Insert (or refresh) `key`, returning the pair its shard evicted.
+    pub fn put(&self, key: K, value: V) -> Option<(K, V)> {
+        self.lock(self.shard_of(&key)).put(key, value)
+    }
+
+    /// Aggregate hit/miss/residency counters over all shards.
+    pub fn stats(&self) -> ShardedStats {
+        let mut out = ShardedStats::default();
+        for shard in &self.shards {
+            let guard = self.lock(shard);
+            out.hits += guard.hits();
+            out.misses += guard.misses();
+            out.len += guard.len();
+            out.capacity += guard.capacity();
+        }
+        out
+    }
+
+    /// Drop every entry in every shard (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            self.lock(shard).clear();
+        }
+    }
+
+    /// Visit every resident value, shard by shard, without touching
+    /// recency order or the hit/miss counters (diagnostics/accounting).
+    pub fn for_each_value<F: FnMut(&V)>(&self, mut f: F) {
+        for shard in &self.shards {
+            let guard = self.lock(shard);
+            for key in guard.keys_mru() {
+                if let Some(v) = guard.peek(&key) {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Poison the shard `key` routes to by panicking while holding its
+    /// lock — test-only hook for the poisoning-recovery regression.
+    #[cfg(test)]
+    pub(crate) fn poison_shard_of(&self, key: &K) {
+        let shard = self.shard_of(key);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.lock().expect("not yet poisoned");
+            panic!("deliberate poison");
+        }));
+    }
+}
+
+/// Largest power of two ≤ `n` (`n` ≥ 1).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +465,118 @@ mod tests {
         assert_eq!((c.hits(), c.misses()), (1, 1));
         c.put(2, 2);
         assert_eq!(c.peek(&2), Some(&2));
+    }
+
+    #[test]
+    fn capacity_beyond_prealloc_clamp_is_honored() {
+        // The clamp bounds the *initial* allocation only: a cache sized
+        // past it must still hold every entry up to its configured
+        // capacity and evict exactly at that bound.
+        let cap = LRU_PREALLOC_CLAMP + 1000;
+        let mut c: LruCache<u32, u32> = LruCache::new(cap);
+        for i in 0..cap as u32 {
+            assert_eq!(c.put(i, i), None, "no eviction below capacity (i={i})");
+        }
+        assert_eq!(c.len(), cap);
+        // The next insert evicts the true LRU (key 0), not an entry near
+        // the clamp boundary.
+        assert_eq!(c.put(cap as u32, 0), Some((0, 0)));
+        assert_eq!(c.len(), cap);
+        assert!(c.peek(&(LRU_PREALLOC_CLAMP as u32)).is_some());
+    }
+
+    #[test]
+    fn sharded_capacity_distributes_exactly() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4096, 16);
+        assert_eq!(c.num_shards(), 16);
+        assert_eq!(c.capacity(), 4096);
+        // Non-divisible capacity still sums exactly.
+        let odd: ShardedLru<u32, u32> = ShardedLru::new(6, 16);
+        assert_eq!(odd.num_shards(), 4, "shards capped so none is empty");
+        assert_eq!(odd.capacity(), 6);
+        // Capacity 1 degenerates to a single shard, capacity 0 disables.
+        let one: ShardedLru<u32, u32> = ShardedLru::new(1, 16);
+        assert_eq!(one.num_shards(), 1);
+        assert_eq!(one.capacity(), 1);
+        let off: ShardedLru<u32, u32> = ShardedLru::new(0, 16);
+        assert_eq!(off.num_shards(), 1);
+        assert_eq!(off.capacity(), 0);
+        off.put(7, 7);
+        assert_eq!(off.get(&7), None);
+        // Shard counts round up to a power of two.
+        let rounded: ShardedLru<u32, u32> = ShardedLru::new(100, 3);
+        assert_eq!(rounded.num_shards(), 4);
+    }
+
+    #[test]
+    fn sharded_get_put_and_stats_aggregate() {
+        let c: ShardedLru<u32, String> = ShardedLru::new(64, 8);
+        for i in 0..32u32 {
+            c.put(i, format!("v{i}"));
+        }
+        for i in 0..32u32 {
+            assert_eq!(c.get(&i), Some(format!("v{i}")), "key {i}");
+        }
+        assert_eq!(c.get(&999), None);
+        let stats = c.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.len, 32);
+        assert_eq!(stats.capacity, 64);
+        c.clear();
+        assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().hits, 32, "counters survive clear");
+    }
+
+    #[test]
+    fn sharded_total_residency_never_exceeds_capacity() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(16, 4);
+        for i in 0..10_000u32 {
+            c.put(i, i);
+            assert!(c.stats().len <= 16);
+        }
+        // Every shard saw traffic well past its share, so each is full.
+        assert_eq!(c.stats().len, 16);
+    }
+
+    #[test]
+    fn sharded_concurrent_hammer_is_consistent() {
+        use std::sync::Arc;
+        let c: Arc<ShardedLru<u32, u32>> = Arc::new(ShardedLru::new(64, 8));
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for round in 0..500u32 {
+                        let key = (round * 7 + t) % 96; // hot + cold mix
+                        if let Some(v) = c.get(&key) {
+                            assert_eq!(v, key * 2, "value corrupted for {key}");
+                        } else {
+                            c.put(key, key * 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = c.stats();
+        assert!(stats.len <= 64);
+        assert_eq!(stats.hits + stats.misses, 8 * 500);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8, 2);
+        c.put(1, 10);
+        // Panic while holding the lock of key 1's shard.
+        c.poison_shard_of(&1);
+        // Every operation on the poisoned shard must keep working: the
+        // LRU inside was structurally untouched by the panic.
+        assert_eq!(c.get(&1), Some(10));
+        c.put(2, 20);
+        assert_eq!(c.get(&2), Some(20));
+        assert!(c.stats().len >= 1);
     }
 }

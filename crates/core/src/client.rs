@@ -32,6 +32,16 @@ impl Client {
         r: usize,
         response: &QueryResponse,
     ) -> Result<VerifiedResult, VerifyError> {
+        self.verify_terms_with_memo(terms, r, response, &mut verify::SigMemo::new())
+    }
+
+    fn verify_terms_with_memo(
+        &self,
+        terms: &[(TermId, u32)],
+        r: usize,
+        response: &QueryResponse,
+        memo: &mut verify::SigMemo,
+    ) -> Result<VerifiedResult, VerifyError> {
         if response.vo.terms.len() != terms.len() {
             return Err(VerifyError::QueryShapeMismatch(format!(
                 "{} proofs for {} query terms",
@@ -61,7 +71,7 @@ impl Client {
                 })
                 .collect::<Result<_, _>>()?,
         };
-        verify::verify(&self.params, &query, r, response)
+        verify::verify_with_memo(&self.params, &query, r, response, memo)
     }
 
     /// Verify with an explicitly weighted query (used when weights are
@@ -73,6 +83,31 @@ impl Client {
         response: &QueryResponse,
     ) -> Result<VerifiedResult, VerifyError> {
         verify::verify(&self.params, query, r, response)
+    }
+
+    /// Verify a batch of responses — the client-side counterpart of
+    /// [`crate::SearchEngine::serve_batch`]. Each response is judged
+    /// independently (result `i` corresponds to request `i`, and a bad
+    /// response never taints its neighbors), but signature work is
+    /// shared **across** the batch: every RSA check runs through
+    /// [`authsearch_crypto::RsaPublicKey::verify_batch`] (distinct
+    /// pairs checked once, deterministically, in one Montgomery
+    /// domain, with exact culprit attribution), and a batch-wide memo
+    /// of already-proven `(message, signature)` pairs means a hot-term,
+    /// repeated-document, or dictionary signature recurring across many
+    /// responses costs **one** RSA exponentiation total — the
+    /// cross-response amortization that motivates serving and
+    /// verifying in batches.
+    pub fn verify_batch(
+        &self,
+        requests: &[(&[(TermId, u32)], &QueryResponse)],
+        r: usize,
+    ) -> Vec<Result<VerifiedResult, VerifyError>> {
+        let mut memo = verify::SigMemo::new();
+        requests
+            .iter()
+            .map(|&(terms, response)| self.verify_terms_with_memo(terms, r, response, &mut memo))
+            .collect()
     }
 }
 
@@ -112,6 +147,74 @@ mod tests {
                 .verify_terms(&pairs, 5, &response)
                 .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
         }
+    }
+
+    #[test]
+    fn client_verify_batch_round_trips_serve_batch() {
+        let (engine, client, terms) = setup(Mechanism::TraCmht);
+        let workloads: Vec<Vec<TermId>> =
+            authsearch_corpus::workload::synthetic(engine.auth().index().num_terms(), 4, 2, 5);
+        let queries: Vec<Query> = workloads
+            .iter()
+            .map(|t| Query::from_term_ids(engine.auth().index(), t))
+            .collect();
+        let responses = engine.serve_batch(&queries, 5);
+        let pairs: Vec<Vec<(TermId, u32)>> = workloads
+            .iter()
+            .map(|w| w.iter().map(|&t| (t, 1)).collect())
+            .collect();
+        let requests: Vec<(&[(TermId, u32)], &crate::auth::serve::QueryResponse)> = pairs
+            .iter()
+            .zip(&responses)
+            .map(|(p, r)| (p.as_slice(), r))
+            .collect();
+        let verdicts = client.verify_batch(&requests, 5);
+        assert_eq!(verdicts.len(), queries.len());
+        for (i, v) in verdicts.iter().enumerate() {
+            let verified = v.as_ref().unwrap_or_else(|e| panic!("response {i}: {e}"));
+            assert_eq!(verified.result, responses[i].result);
+        }
+        // One corrupted response is rejected without affecting the rest.
+        let mut responses = responses;
+        if let Some(sig) = responses[1].vo.terms[0].signature.as_mut() {
+            sig[0] ^= 0x80;
+        }
+        let requests: Vec<(&[(TermId, u32)], &crate::auth::serve::QueryResponse)> = pairs
+            .iter()
+            .zip(&responses)
+            .map(|(p, r)| (p.as_slice(), r))
+            .collect();
+        let verdicts = client.verify_batch(&requests, 5);
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(
+            verdicts[1],
+            Err(VerifyError::TermSignature { .. })
+        ));
+        assert!(verdicts[2].is_ok());
+        let _ = terms;
+    }
+
+    #[test]
+    fn memoized_batch_verification_stays_sound() {
+        // The same response repeated across a batch exercises the
+        // cross-response signature memo (responses 2..n re-prove
+        // nothing); a tampered copy in the middle must still be caught
+        // — its (message, signature) pairs differ from the memoized
+        // ones — and later honest copies must still pass.
+        let (engine, client, terms) = setup(Mechanism::TnraCmht);
+        let query = Query::from_term_ids(engine.auth().index(), &terms);
+        let honest = engine.search(&query, 5);
+        let mut tampered = honest.clone();
+        tampered.vo.terms[0].ft += 1; // changes the signed message
+        let pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        let responses = [&honest, &honest, &tampered, &honest];
+        let requests: Vec<(&[(TermId, u32)], &crate::auth::serve::QueryResponse)> =
+            responses.iter().map(|r| (pairs.as_slice(), *r)).collect();
+        let verdicts = client.verify_batch(&requests, 5);
+        assert!(verdicts[0].is_ok());
+        assert!(verdicts[1].is_ok());
+        assert!(verdicts[2].is_err(), "tampered copy must not ride the memo");
+        assert!(verdicts[3].is_ok());
     }
 
     #[test]

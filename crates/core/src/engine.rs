@@ -9,10 +9,11 @@
 //! The artifact handed over by [`crate::DataOwner::publish`] is
 //! identical whatever [`crate::AuthConfig::threads`] the owner built it
 //! with, so the engine (and the user's verifier) never needs to know the
-//! owner's build parallelism. Serving itself is thread-compatible — the
-//! structure caches behind [`AuthenticatedIndex`] are mutex-guarded —
-//! but still single-lock; sharding the term LRU is the ROADMAP follow-on
-//! that makes the engine fully concurrent.
+//! owner's build parallelism. Serving is fully concurrent: the structure
+//! caches behind [`AuthenticatedIndex`] are sharded by key hash (one
+//! lock per shard), and [`SearchEngine::serve_batch`] fans independent
+//! queries out over the same work-stealing pool the owner build uses —
+//! with per-query responses bit-identical to the sequential path.
 
 use crate::auth::serve::QueryResponse;
 use crate::auth::AuthenticatedIndex;
@@ -52,6 +53,20 @@ impl SearchEngine {
         let query = self.parse_query(text);
         let response = self.search(&query, r);
         (query, response)
+    }
+
+    /// Answer a batch of parsed queries concurrently (top-`r` each),
+    /// fanning VO construction across the serving pool sized by
+    /// [`crate::AuthConfig::threads`]. Response `i` is bit-identical to
+    /// `self.search(&queries[i], r)` at any thread count — see
+    /// [`AuthenticatedIndex::serve_batch`].
+    pub fn serve_batch(&self, queries: &[Query], r: usize) -> Vec<QueryResponse> {
+        self.auth.serve_batch(queries, r, &self.corpus)
+    }
+
+    /// Resize the serving pool (see [`AuthenticatedIndex::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.auth.set_threads(threads);
     }
 
     /// The authenticated index (e.g. for space reports).
@@ -106,6 +121,47 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
             assert_eq!(verified.result, response.result);
         }
+    }
+
+    #[test]
+    fn serve_batch_matches_sequential_search_at_any_width() {
+        for mechanism in [Mechanism::TnraCmht, Mechanism::TraMht] {
+            let (mut engine, params) = engine(mechanism);
+            let texts = [
+                "night keeper keep",
+                "big old house",
+                "the town",
+                "night keeper keep", // repeat: hot-term cache path
+                "old gown sleep",
+            ];
+            let queries: Vec<Query> = texts.iter().map(|t| engine.parse_query(t)).collect();
+            let reference: Vec<QueryResponse> =
+                queries.iter().map(|q| engine.search(q, 3)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                engine.set_threads(threads);
+                let batch = engine.serve_batch(&queries, 3);
+                assert_eq!(batch.len(), queries.len());
+                for (i, (got, want)) in batch.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        got.vo,
+                        want.vo,
+                        "{} q{i} threads={threads}",
+                        mechanism.name()
+                    );
+                    assert_eq!(got.result, want.result);
+                    assert_eq!(got.io, want.io);
+                    assert_eq!(got.entries_read, want.entries_read);
+                    verify::verify(&params, &queries[i], 3, got)
+                        .unwrap_or_else(|e| panic!("{} q{i}: {e}", mechanism.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_batch_of_nothing_is_empty() {
+        let (engine, _) = engine(Mechanism::TnraMht);
+        assert!(engine.serve_batch(&[], 5).is_empty());
     }
 
     #[test]

@@ -39,10 +39,21 @@ impl ResolvedFreqs {
 
 /// Verify every document proof in the response and build the frequency
 /// map for the replay.
+///
+/// Signatures are checked in one [`verify_batch`] call over all
+/// documents (TRA responses carry one signature per encountered
+/// document — the single most signature-heavy spot of the whole
+/// scheme): each distinct pair checked exactly once in one shared
+/// Montgomery domain, pairs the session `memo` already proved (the
+/// same encountered document recurring across a batch of responses)
+/// skipped entirely, and a failure pinpointing the offending document.
+///
+/// [`verify_batch`]: authsearch_crypto::RsaPublicKey::verify_batch
 pub(super) fn resolve_doc_proofs(
     params: &VerifierParams,
     query: &Query,
     response: &QueryResponse,
+    memo: &mut super::SigMemo,
 ) -> Result<ResolvedFreqs, VerifyError> {
     // Contents of result documents, for content-digest computation.
     let delivered: HashMap<DocId, &[u8]> = response
@@ -59,6 +70,7 @@ pub(super) fn resolve_doc_proofs(
     }
 
     let mut map: FreqMap = HashMap::with_capacity(response.vo.docs.len());
+    let mut messages = Vec::with_capacity(response.vo.docs.len());
     for dv in &response.vo.docs {
         if map.contains_key(&dv.doc) {
             return Err(VerifyError::MalformedProof(format!(
@@ -66,19 +78,31 @@ pub(super) fn resolve_doc_proofs(
                 dv.doc
             )));
         }
-        let weights = verify_one(params, query, dv, &delivered, &result_docs)?;
+        let (weights, message) = resolve_one(query, dv, &delivered, &result_docs)?;
+        messages.push(message);
         map.insert(dv.doc, weights);
     }
+    super::batch_verify_with_memo(
+        params,
+        memo,
+        &messages,
+        response.vo.docs.iter().map(|dv| dv.signature.as_slice()),
+    )
+    .map_err(|culprit| VerifyError::DocSignature {
+        doc: response.vo.docs[culprit].doc,
+    })?;
     Ok(ResolvedFreqs { map })
 }
 
-fn verify_one(
-    params: &VerifierParams,
+/// Authenticate one document proof *structurally* — reconstruct the
+/// document-MHT root and resolve per-query-term weights — and return the
+/// signed message binding it; the caller batch-verifies the signatures.
+fn resolve_one(
     query: &Query,
     dv: &DocVo,
     delivered: &HashMap<DocId, &[u8]>,
     result_docs: &[DocId],
-) -> Result<Vec<Option<f32>>, VerifyError> {
+) -> Result<(Vec<Option<f32>>, Vec<u8>), VerifyError> {
     let n = dv.num_leaves as usize;
 
     // Structural checks: positions strictly increasing, in range, terms
@@ -132,11 +156,9 @@ fn verify_one(
             .ok_or(VerifyError::MissingContent { doc: dv.doc })?
     };
 
-    // The signature binds document id, content digest, and MHT root.
-    params
-        .public_key
-        .verify(&doc_message(dv.doc, &content_digest, &root), &dv.signature)
-        .map_err(|_| VerifyError::DocSignature { doc: dv.doc })?;
+    // The signature binds document id, content digest, and MHT root;
+    // checked by the caller's batch pass over all documents.
+    let message = doc_message(dv.doc, &content_digest, &root);
 
     // Resolve each query term: present (revealed leaf), provably absent
     // (bounding leaves), or unproven.
@@ -169,7 +191,7 @@ fn verify_one(
         };
         weights.push(w);
     }
-    Ok(weights)
+    Ok((weights, message))
 }
 
 #[cfg(test)]
@@ -202,7 +224,13 @@ mod tests {
     #[test]
     fn honest_doc_proofs_resolve() {
         let (resp, params) = setup();
-        let freqs = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap();
+        let freqs = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap();
         assert_eq!(freqs.num_docs(), 4); // docs 5, 3, 6, 1
                                          // d6 contains all four query terms (Figure 8).
         for i in 0..4 {
@@ -222,7 +250,13 @@ mod tests {
         let dv = resp.vo.docs.iter_mut().find(|d| d.doc == 5).unwrap();
         let idx = dv.revealed.iter().position(|&(_, _, w)| w > 0.0).unwrap();
         dv.revealed[idx].2 *= 2.0;
-        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        let err = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap_err();
         assert_eq!(err, VerifyError::DocSignature { doc: 5 });
     }
 
@@ -231,7 +265,13 @@ mod tests {
         let (mut resp, params) = setup();
         let dv = &mut resp.vo.docs[0];
         dv.revealed.remove(0);
-        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        let err = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             VerifyError::MalformedProof(_) | VerifyError::DocSignature { .. }
@@ -242,7 +282,13 @@ mod tests {
     fn missing_result_content_rejected() {
         let (mut resp, params) = setup();
         resp.contents.remove(0);
-        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        let err = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifyError::MissingContent { .. }));
     }
 
@@ -251,7 +297,13 @@ mod tests {
         let (mut resp, params) = setup();
         resp.contents[0].1 = b"forged document body".to_vec();
         let doc = resp.contents[0].0;
-        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        let err = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap_err();
         assert_eq!(err, VerifyError::DocSignature { doc });
     }
 
@@ -260,7 +312,13 @@ mod tests {
         let (mut resp, params) = setup();
         let dup = resp.vo.docs[0].clone();
         resp.vo.docs.push(dup);
-        let err = resolve_doc_proofs(&params, &toy_query(), &resp).unwrap_err();
+        let err = resolve_doc_proofs(
+            &params,
+            &toy_query(),
+            &resp,
+            &mut crate::verify::SigMemo::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifyError::MalformedProof(_)));
     }
 }

@@ -159,6 +159,16 @@ impl VerifierParams {
 /// lie; the epsilon only absorbs platform-level FMA contraction.
 const SCORE_EPS: f64 = 1e-9;
 
+/// Signatures already proven valid during one batch-verification
+/// session: `(message, signature)` byte pairs. Threaded through
+/// [`verify_with_memo`] so a hot-term (or dictionary) signature shared
+/// by many responses in a batch costs one RSA exponentiation total —
+/// the cross-response dedup that motivates
+/// [`crate::Client::verify_batch`]. Pairs are inserted only after
+/// verification succeeds, and validity of a pair is independent of the
+/// response it arrived in, so the memo is sound by construction.
+pub(crate) type SigMemo = std::collections::HashSet<(Vec<u8>, Vec<u8>)>;
+
 /// Verify a response against a query whose weights the caller already
 /// trusts (`query.wq` computed locally, or the toy example's published
 /// weights). `r` is the result size the user requested.
@@ -167,6 +177,17 @@ pub fn verify(
     query: &Query,
     r: usize,
     response: &QueryResponse,
+) -> Result<VerifiedResult, VerifyError> {
+    verify_with_memo(params, query, r, response, &mut SigMemo::new())
+}
+
+/// [`verify`] with a cross-response signature memo (see [`SigMemo`]).
+pub(crate) fn verify_with_memo(
+    params: &VerifierParams,
+    query: &Query,
+    r: usize,
+    response: &QueryResponse,
+    memo: &mut SigMemo,
 ) -> Result<VerifiedResult, VerifyError> {
     let vo = &response.vo;
     if vo.mechanism != params.mechanism {
@@ -197,11 +218,11 @@ pub fn verify(
     for tv in &vo.terms {
         term_roots.push(verify_term_prefix(params, tv)?);
     }
-    verify_term_signatures(params, vo, &term_roots)?;
+    verify_term_signatures(params, vo, &term_roots, memo)?;
 
     // Step 2: mechanism-specific replay.
     let replayed = if params.mechanism.is_tra() {
-        let freqs = docproof::resolve_doc_proofs(params, query, response)?;
+        let freqs = docproof::resolve_doc_proofs(params, query, response, memo)?;
         let lists = TraVoLists::build(query, vo, &freqs)?;
         tra::run(&lists, &freqs, query, r)?
     } else {
@@ -268,10 +289,19 @@ fn verify_term_prefix(params: &VerifierParams, tv: &TermVo) -> Result<Digest, Ve
 }
 
 /// Check per-list signatures, or the single dictionary-MHT signature.
+///
+/// The per-list path hands the response's term signatures to
+/// [`RsaPublicKey::verify_batch`] — deterministic, exactly equivalent
+/// to per-signature verification, but each distinct pair is checked
+/// once in one shared Montgomery domain and a rejection names the
+/// exact offending term. Pairs the session `memo` already proved (the
+/// same hot-term or dictionary signature recurring across a batch of
+/// responses) are skipped entirely.
 fn verify_term_signatures(
     params: &VerifierParams,
     vo: &VerificationObject,
     term_roots: &[Digest],
+    memo: &mut SigMemo,
 ) -> Result<(), VerifyError> {
     if let Some(dict) = &vo.dict {
         // §3.4 mode: reconstruct the dictionary root from the terms' leaf
@@ -286,21 +316,68 @@ fn verify_term_signatures(
         pairs.dedup_by_key(|&mut (p, _)| p);
         let root = reconstruct_root(dict.num_terms as usize, &pairs, &dict.proof)
             .ok_or_else(|| VerifyError::MalformedProof("dictionary-MHT proof shape".into()))?;
-        params
-            .public_key
-            .verify(&dict_message(dict.num_terms, &root), &dict.signature)
-            .map_err(|_| VerifyError::DictSignature)?;
+        // One dictionary signature per deployment: across a batch of
+        // responses the memo reduces it to one RSA check total.
+        let message = dict_message(dict.num_terms, &root);
+        let key = (message, dict.signature.clone());
+        if !memo.contains(&key) {
+            params
+                .public_key
+                .verify(&key.0, &key.1)
+                .map_err(|_| VerifyError::DictSignature)?;
+            memo.insert(key);
+        }
         return Ok(());
     }
+    let mut messages = Vec::with_capacity(vo.terms.len());
     for (tv, root) in vo.terms.iter().zip(term_roots) {
-        let sig = tv
-            .signature
-            .as_ref()
-            .ok_or_else(|| VerifyError::MalformedProof("missing list signature".into()))?;
-        params
-            .public_key
-            .verify(&term_message(tv.term, tv.ft, root), sig)
-            .map_err(|_| VerifyError::TermSignature { term: tv.term })?;
+        if tv.signature.is_none() {
+            return Err(VerifyError::MalformedProof("missing list signature".into()));
+        }
+        messages.push(term_message(tv.term, tv.ft, root));
+    }
+    batch_verify_with_memo(
+        params,
+        memo,
+        &messages,
+        vo.terms.iter().map(|tv| {
+            tv.signature
+                .as_deref()
+                .expect("list signatures checked present above")
+        }),
+    )
+    .map_err(|culprit| VerifyError::TermSignature {
+        term: vo.terms[culprit].term,
+    })
+}
+
+/// Run [`RsaPublicKey::verify_batch`] over the pairs the `memo` has not
+/// already proven, recording successes. Returns the index (into
+/// `messages`) of the offending pair on failure.
+pub(crate) fn batch_verify_with_memo<'a>(
+    params: &VerifierParams,
+    memo: &mut crate::verify::SigMemo,
+    messages: &[Vec<u8>],
+    sigs: impl Iterator<Item = &'a [u8]>,
+) -> Result<(), usize> {
+    let pairs: Vec<(&[u8], &[u8])> = messages.iter().map(|m| m.as_slice()).zip(sigs).collect();
+    // Pairs this session has not yet verified, with the owned memo key
+    // built once and reused for the post-verification insert.
+    type Keyed = (usize, (Vec<u8>, Vec<u8>));
+    let mut fresh: Vec<Keyed> = Vec::new();
+    for (i, &(m, s)) in pairs.iter().enumerate() {
+        let key = (m.to_vec(), s.to_vec());
+        if !memo.contains(&key) {
+            fresh.push((i, key));
+        }
+    }
+    let items: Vec<(&[u8], &[u8])> = fresh.iter().map(|&(i, _)| pairs[i]).collect();
+    params
+        .public_key
+        .verify_batch(&items)
+        .map_err(|e| fresh[e.culprit].0)?;
+    for (_, key) in fresh {
+        memo.insert(key);
     }
     Ok(())
 }

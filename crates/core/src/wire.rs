@@ -12,21 +12,43 @@ use authsearch_index::ImpactEntry;
 
 const MAGIC: &[u8; 4] = b"AVO1";
 
-/// Deserialization error (a malformed transmission; the verifier treats
-/// it like any other invalid VO).
+/// Wire-format error: a malformed transmission on decode, or a VO whose
+/// collections exceed what their length prefixes can represent on
+/// encode. The verifier treats either like any other invalid VO.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// Decoding found bytes that are not a well-formed VO.
+    Malformed(String),
+    /// Encoding refused a collection longer than its length prefix can
+    /// carry. Silently truncating (the old `as u16`/`as u32` casts)
+    /// would emit a VO that decodes into something else entirely — a
+    /// malformed, unverifiable proof — so oversized inputs are an error
+    /// at the source instead.
+    TooLong {
+        /// Which collection overflowed (e.g. `"term proofs"`).
+        field: &'static str,
+        /// The collection's actual length.
+        len: usize,
+        /// The largest length the prefix can represent.
+        max: usize,
+    },
+}
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed VO encoding: {}", self.0)
+        match self {
+            WireError::Malformed(what) => write!(f, "malformed VO encoding: {what}"),
+            WireError::TooLong { field, len, max } => {
+                write!(f, "VO not encodable: {field} holds {len} entries, wire format carries at most {max}")
+            }
+        }
     }
 }
 
 impl std::error::Error for WireError {}
 
 fn err(what: &str) -> WireError {
-    WireError(what.into())
+    WireError::Malformed(what.into())
 }
 
 // ---- encoding -------------------------------------------------------------
@@ -45,23 +67,50 @@ impl Writer {
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    /// Write a u16 length prefix, refusing lengths it cannot represent.
+    fn len16(&mut self, n: usize, field: &'static str) -> Result<(), WireError> {
+        let v = u16::try_from(n).map_err(|_| WireError::TooLong {
+            field,
+            len: n,
+            max: u16::MAX as usize,
+        })?;
+        self.u16(v);
+        Ok(())
+    }
+    /// Write a u32 length prefix, refusing lengths it cannot represent.
+    fn len32(&mut self, n: usize, field: &'static str) -> Result<(), WireError> {
+        let v = u32::try_from(n).map_err(|_| WireError::TooLong {
+            field,
+            len: n,
+            max: u32::MAX as usize,
+        })?;
+        self.u32(v);
+        Ok(())
+    }
     fn digest(&mut self, d: &Digest) {
         self.buf.extend_from_slice(d.as_bytes());
     }
-    fn bytes16(&mut self, b: &[u8]) {
-        self.u16(b.len() as u16);
+    fn bytes16(&mut self, b: &[u8], field: &'static str) -> Result<(), WireError> {
+        self.len16(b.len(), field)?;
         self.buf.extend_from_slice(b);
+        Ok(())
     }
-    fn digests16(&mut self, ds: &[Digest]) {
-        self.u16(ds.len() as u16);
+    fn digests16(&mut self, ds: &[Digest], field: &'static str) -> Result<(), WireError> {
+        self.len16(ds.len(), field)?;
         for d in ds {
             self.digest(d);
         }
+        Ok(())
     }
 }
 
 /// Serialize a VO to bytes.
-pub fn encode(vo: &VerificationObject) -> Vec<u8> {
+///
+/// Fails with [`WireError::TooLong`] when a collection exceeds its
+/// length prefix (e.g. ≥ 2¹⁶ term proofs or proof digests) — the VO is
+/// simply not representable in this format, and truncating it would
+/// produce an unverifiable transmission.
+pub fn encode(vo: &VerificationObject) -> Result<Vec<u8>, WireError> {
     let mut w = Writer { buf: Vec::new() };
     w.buf.extend_from_slice(MAGIC);
     w.u8(match vo.mechanism {
@@ -70,21 +119,21 @@ pub fn encode(vo: &VerificationObject) -> Vec<u8> {
         Mechanism::TnraMht => 2,
         Mechanism::TnraCmht => 3,
     });
-    w.u16(vo.terms.len() as u16);
+    w.len16(vo.terms.len(), "term proofs")?;
     for tv in &vo.terms {
         w.u32(tv.term);
         w.u32(tv.ft);
         match &tv.prefix {
             PrefixData::DocIds(ids) => {
                 w.u8(0);
-                w.u32(ids.len() as u32);
+                w.len32(ids.len(), "doc-id prefix")?;
                 for &d in ids {
                     w.u32(d);
                 }
             }
             PrefixData::Entries(entries) => {
                 w.u8(1);
-                w.u32(entries.len() as u32);
+                w.len32(entries.len(), "impact-entry prefix")?;
                 for e in entries {
                     w.buf.extend_from_slice(&e.encode());
                 }
@@ -93,32 +142,32 @@ pub fn encode(vo: &VerificationObject) -> Vec<u8> {
         match &tv.proof {
             TermProof::Mht(p) => {
                 w.u8(0);
-                w.digests16(&p.digests);
+                w.digests16(&p.digests, "term proof digests")?;
             }
             TermProof::Cmht(p) => {
                 w.u8(1);
-                w.digests16(&p.tail.digests);
+                w.digests16(&p.tail.digests, "chain proof digests")?;
             }
         }
         match &tv.signature {
             Some(sig) => {
                 w.u8(1);
-                w.bytes16(sig);
+                w.bytes16(sig, "term signature")?;
             }
             None => w.u8(0),
         }
     }
-    w.u32(vo.docs.len() as u32);
+    w.len32(vo.docs.len(), "document proofs")?;
     for dv in &vo.docs {
         w.u32(dv.doc);
         w.u32(dv.num_leaves);
-        w.u32(dv.revealed.len() as u32);
+        w.len32(dv.revealed.len(), "revealed leaves")?;
         for &(pos, term, weight) in &dv.revealed {
             w.u32(pos);
             w.u32(term);
             w.u32(weight.to_bits());
         }
-        w.digests16(&dv.proof.digests);
+        w.digests16(&dv.proof.digests, "document proof digests")?;
         match &dv.content_digest {
             Some(d) => {
                 w.u8(1);
@@ -126,18 +175,18 @@ pub fn encode(vo: &VerificationObject) -> Vec<u8> {
             }
             None => w.u8(0),
         }
-        w.bytes16(&dv.signature);
+        w.bytes16(&dv.signature, "document signature")?;
     }
     match &vo.dict {
         Some(dict) => {
             w.u8(1);
             w.u32(dict.num_terms);
-            w.digests16(&dict.proof.digests);
-            w.bytes16(&dict.signature);
+            w.digests16(&dict.proof.digests, "dictionary proof digests")?;
+            w.bytes16(&dict.signature, "dictionary signature")?;
         }
         None => w.u8(0),
     }
-    w.buf
+    Ok(w.buf)
 }
 
 // ---- decoding -------------------------------------------------------------
@@ -337,7 +386,7 @@ mod tests {
     fn roundtrip_all_mechanisms() {
         for mechanism in Mechanism::ALL {
             let vo = sample_vo(mechanism, false);
-            let bytes = encode(&vo);
+            let bytes = encode(&vo).unwrap();
             let back = decode(&bytes).unwrap();
             assert_eq!(back, vo, "{}", mechanism.name());
         }
@@ -346,7 +395,7 @@ mod tests {
     #[test]
     fn roundtrip_dict_mode() {
         let vo = sample_vo(Mechanism::TnraCmht, true);
-        let back = decode(&encode(&vo)).unwrap();
+        let back = decode(&encode(&vo).unwrap()).unwrap();
         assert_eq!(back, vo);
     }
 
@@ -357,7 +406,7 @@ mod tests {
         for mechanism in Mechanism::ALL {
             let vo = sample_vo(mechanism, false);
             let modeled = vo.size().total();
-            let wire = encode(&vo).len();
+            let wire = encode(&vo).unwrap().len();
             assert!(
                 wire >= modeled,
                 "{}: wire {wire} < modeled {modeled}",
@@ -374,7 +423,7 @@ mod tests {
     #[test]
     fn truncation_rejected_everywhere() {
         let vo = sample_vo(Mechanism::TraMht, false);
-        let bytes = encode(&vo);
+        let bytes = encode(&vo).unwrap();
         // Cut at a sample of offsets; decoding must error, never panic.
         for cut in (0..bytes.len()).step_by(7) {
             assert!(decode(&bytes[..cut]).is_err(), "cut={cut}");
@@ -384,7 +433,7 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let vo = sample_vo(Mechanism::TnraMht, false);
-        let mut bytes = encode(&vo);
+        let mut bytes = encode(&vo).unwrap();
         bytes.push(0);
         assert!(decode(&bytes).is_err());
     }
@@ -392,9 +441,85 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let vo = sample_vo(Mechanism::TnraMht, false);
-        let mut bytes = encode(&vo);
+        let mut bytes = encode(&vo).unwrap();
         bytes[0] ^= 0xff;
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_digest_list_refused_at_u16_boundary() {
+        // Regression for the silent `as u16` truncation: 65_535 proof
+        // digests is the last representable length; 65_536 must be a
+        // TooLong error, not a VO that decodes into a 0-digest proof.
+        let doc_vo = |digests: usize| DocVo {
+            doc: 1,
+            num_leaves: 4,
+            revealed: Vec::new(),
+            proof: MerkleProof {
+                digests: vec![Digest::ZERO; digests],
+            },
+            content_digest: None,
+            signature: vec![0u8; 4],
+        };
+        let vo = |digests| VerificationObject {
+            mechanism: Mechanism::TraMht,
+            terms: Vec::new(),
+            docs: vec![doc_vo(digests)],
+            dict: None,
+        };
+        let at_boundary = encode(&vo(u16::MAX as usize)).unwrap();
+        let back = decode(&at_boundary).unwrap();
+        assert_eq!(back.docs[0].proof.digests.len(), u16::MAX as usize);
+        assert_eq!(
+            encode(&vo(u16::MAX as usize + 1)).unwrap_err(),
+            WireError::TooLong {
+                field: "document proof digests",
+                len: 65_536,
+                max: 65_535,
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_term_count_refused_at_u16_boundary() {
+        let term_vo = TermVo {
+            term: 0,
+            ft: 0,
+            prefix: PrefixData::DocIds(Vec::new()),
+            proof: TermProof::Mht(MerkleProof::default()),
+            signature: None,
+        };
+        let mut vo = VerificationObject {
+            mechanism: Mechanism::TraMht,
+            terms: vec![term_vo; u16::MAX as usize + 1],
+            docs: Vec::new(),
+            dict: None,
+        };
+        assert_eq!(
+            encode(&vo).unwrap_err(),
+            WireError::TooLong {
+                field: "term proofs",
+                len: 65_536,
+                max: 65_535,
+            }
+        );
+        // One fewer term sits exactly on the boundary and round-trips.
+        vo.terms.truncate(u16::MAX as usize);
+        let bytes = encode(&vo).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), vo);
+    }
+
+    #[test]
+    fn oversized_signature_refused() {
+        let mut vo = sample_vo(Mechanism::TnraMht, false);
+        vo.terms[0].signature = Some(vec![0u8; u16::MAX as usize + 1]);
+        assert!(matches!(
+            encode(&vo),
+            Err(WireError::TooLong {
+                field: "term signature",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -407,7 +532,7 @@ mod tests {
         };
         let publication = owner.publish_index(toy_index(), config, &toy_contents());
         let mut resp = publication.auth.query(&toy_query(), 2, &toy_contents());
-        resp.vo = decode(&encode(&resp.vo)).unwrap();
+        resp.vo = decode(&encode(&resp.vo).unwrap()).unwrap();
         crate::verify::verify(&publication.verifier_params, &toy_query(), 2, &resp).unwrap();
     }
 }

@@ -8,7 +8,9 @@
 
 use crate::bignum::{gen_prime, BigUint, Montgomery};
 use crate::sha256::Sha256;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::fmt;
 
 /// DER encoding of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
@@ -46,6 +48,27 @@ impl fmt::Display for RsaError {
 }
 
 impl std::error::Error for RsaError {}
+
+/// Failure of a [`RsaPublicKey::verify_batch`] call, pinpointing the
+/// offending item: when the combined randomized check rejects, the
+/// batch is re-verified individually and the first failing pair is
+/// reported — so callers always learn *which* signature is bad, exactly
+/// as if they had verified one by one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchVerifyError {
+    /// Index into the `items` slice of the first failing pair.
+    pub culprit: usize,
+    /// That item's individual verification error.
+    pub error: RsaError,
+}
+
+impl fmt::Display for BatchVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch item {}: {}", self.culprit, self.error)
+    }
+}
+
+impl std::error::Error for BatchVerifyError {}
 
 /// RSA public key: enough to verify any signature from the data owner.
 ///
@@ -135,6 +158,182 @@ impl RsaPublicKey {
         } else {
             Err(RsaError::VerificationFailed)
         }
+    }
+
+    /// Verify a whole batch of `(message, signature)` pairs at once,
+    /// accepting **exactly** the batches in which every pair passes
+    /// [`RsaPublicKey::verify`], and naming a culprit otherwise. The
+    /// result is deterministic — no randomness is involved in
+    /// acceptance.
+    ///
+    /// What the batch path amortizes:
+    ///
+    /// * **duplicate pairs are verified once** — across a batch of
+    ///   query responses the same hot-term signature recurs constantly,
+    ///   and each distinct `(message, signature)` pair costs exactly
+    ///   one exponentiation regardless of multiplicity;
+    /// * **one Montgomery domain** — every distinct pair is checked as
+    ///   `sᵢᵉ ≟ emᵢ` entirely in the key's cached [`Montgomery`]
+    ///   context, comparing Montgomery representatives directly instead
+    ///   of converting out and re-serializing per signature.
+    ///
+    /// Why acceptance is *not* a randomized product combination: the
+    /// Bellare–Garay–Rabin small-exponents test
+    /// `(∏ sᵢ^{rᵢ})^e ≡ ∏ emᵢ^{rᵢ}` is unsound over `(Z/n)*` — `−1` is
+    /// an order-2 element anyone can construct (Boyd–Pavlovski): the
+    /// forgery `s′ = n − s` yields `gᵢ = s′ᵉ/emᵢ = −1`, which passes
+    /// whenever `rᵢ` is even (half of all draws), and *two* such
+    /// flipped signatures cancel in any product with probability 1. No
+    /// multiplicative combination can therefore agree exactly with
+    /// individual verification; the sound combination — squaring away
+    /// the sign — is available as [`RsaPublicKey::screen_batch`], which
+    /// proves owner endorsement of every message but deliberately
+    /// accepts `s` and `n − s` alike.
+    pub fn verify_batch(&self, items: &[(&[u8], &[u8])]) -> Result<(), BatchVerifyError> {
+        let distinct = self.screen_structure(items)?;
+        for &i in &distinct {
+            let (msg, sig) = items[i];
+            let (s_m, em_m) = match self.to_domain(msg, sig) {
+                Ok(pair) => pair,
+                Err(error) => return Err(BatchVerifyError { culprit: i, error }),
+            };
+            if self.ctx_n.pow_montgomery(&s_m, &self.e) != em_m {
+                return Err(BatchVerifyError {
+                    culprit: i,
+                    error: RsaError::VerificationFailed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Screen a batch with the randomized-combination (small-exponents)
+    /// test, **sound in the squared domain**: accepts, with error
+    /// ≤ 2⁻⁶⁴ per combination exponent, exactly the batches in which
+    /// every pair satisfies `sᵢᵉ ≡ ±emᵢ (mod n)` — i.e. every message
+    /// is provably **owner-endorsed**, but a signature and its negation
+    /// `n − s` are deliberately not distinguished (that is what makes
+    /// the combination sound; see [`RsaPublicKey::verify_batch`] for
+    /// why the unsquared test is broken). One interleaved
+    /// multi-exponentiation per side, all in one Montgomery context; on
+    /// rejection each distinct pair is re-checked individually (against
+    /// the same ± relation) so the culprit is always named.
+    ///
+    /// **Soundness**: completeness is exact — an all-endorsed batch
+    /// always passes. For an invalid batch write
+    /// `gᵢ = (sᵢᵉ·emᵢ⁻¹)²`; squaring maps `±1` to `1`, and any other
+    /// `gᵢ ≠ 1` of small order would expose a nontrivial square root of
+    /// unity mod `n`, i.e. the factorization. The batch passes only
+    /// when `∏ gᵢ^{rᵢ} = 1`, probability ≤ 2⁻⁶⁴ per fresh 64-bit
+    /// exponent. The default entropy source seeds 64 bits per call
+    /// (see `batch_entropy`), which caps the *adversarial* bound at one
+    /// 64-bit seed guess per batch; callers needing the full
+    /// per-exponent bound should supply their own generator through
+    /// [`RsaPublicKey::screen_batch_with_rng`].
+    ///
+    /// Use this when the question is "did the owner endorse all of this
+    /// data" (the VO integrity question) rather than "are these the
+    /// bit-exact signatures"; [`RsaPublicKey::verify_batch`] answers
+    /// the latter and is the default everywhere in this workspace.
+    pub fn screen_batch(&self, items: &[(&[u8], &[u8])]) -> Result<(), BatchVerifyError> {
+        let mut rng = StdRng::seed_from_u64(batch_entropy());
+        self.screen_batch_with_rng(items, &mut rng)
+    }
+
+    /// [`RsaPublicKey::screen_batch`] with caller-supplied randomness
+    /// for the combination exponents (deterministic tests, or callers
+    /// with a real CSPRNG wanting the full 2⁻⁶⁴ bound).
+    pub fn screen_batch_with_rng<R: Rng>(
+        &self,
+        items: &[(&[u8], &[u8])],
+        rng: &mut R,
+    ) -> Result<(), BatchVerifyError> {
+        let distinct = self.screen_structure(items)?;
+        if distinct.is_empty() {
+            return Ok(());
+        }
+        // Move every distinct operand into the Montgomery domain and
+        // square it: the combination runs over gᵢ = (sᵢᵉ/emᵢ)², where
+        // the cheaply-constructible ±1 ambiguity collapses.
+        let mut s2_m = Vec::with_capacity(distinct.len());
+        let mut em2_m = Vec::with_capacity(distinct.len());
+        for &i in &distinct {
+            let (msg, sig) = items[i];
+            let (s_m, em_m) = match self.to_domain(msg, sig) {
+                Ok(pair) => pair,
+                Err(error) => return Err(BatchVerifyError { culprit: i, error }),
+            };
+            s2_m.push(self.ctx_n.sqr(&s_m));
+            em2_m.push(self.ctx_n.sqr(&em_m));
+        }
+        // Fresh nonzero 64-bit combination exponents.
+        let exps: Vec<u64> = distinct
+            .iter()
+            .map(|_| loop {
+                let r: u64 = rng.gen();
+                if r != 0 {
+                    break r;
+                }
+            })
+            .collect();
+        // (∏ sᵢ²ʳⁱ)^e ≡ ∏ emᵢ²ʳⁱ, entirely in Montgomery form (equal
+        // Montgomery representatives ⟺ equal values).
+        let lhs = self
+            .ctx_n
+            .pow_montgomery(&multi_exp_montgomery(&self.ctx_n, &s2_m, &exps), &self.e);
+        let rhs = multi_exp_montgomery(&self.ctx_n, &em2_m, &exps);
+        if lhs == rhs {
+            return Ok(());
+        }
+        // The combination rejected: name the first non-endorsed pair
+        // (same ± relation the screen accepts).
+        for (slot, &i) in distinct.iter().enumerate() {
+            if self.ctx_n.pow_montgomery(&s2_m[slot], &self.e) != em2_m[slot] {
+                return Err(BatchVerifyError {
+                    culprit: i,
+                    error: RsaError::VerificationFailed,
+                });
+            }
+        }
+        // Unreachable in a correct implementation (completeness of the
+        // squared test is exact); defer to the per-pair answer.
+        Ok(())
+    }
+
+    /// Shared batch front-end: length-check every signature and return
+    /// the first index of each distinct `(message, signature)` pair.
+    fn screen_structure(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<usize>, BatchVerifyError> {
+        let mut seen: HashSet<(&[u8], &[u8])> = HashSet::with_capacity(items.len());
+        let mut distinct: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, &(msg, sig)) in items.iter().enumerate() {
+            if sig.len() != self.k {
+                return Err(BatchVerifyError {
+                    culprit: i,
+                    error: RsaError::BadSignatureLength {
+                        expected: self.k,
+                        got: sig.len(),
+                    },
+                });
+            }
+            if seen.insert((msg, sig)) {
+                distinct.push(i);
+            }
+        }
+        Ok(distinct)
+    }
+
+    /// One pair's `(s, em)` in Montgomery form, after the range and
+    /// encoding checks individual verification performs.
+    fn to_domain(&self, msg: &[u8], sig: &[u8]) -> Result<(BigUint, BigUint), RsaError> {
+        let s = BigUint::from_bytes_be(sig);
+        if s >= self.n {
+            return Err(RsaError::VerificationFailed);
+        }
+        let em = pkcs1_v15_encode(msg, self.k)?;
+        Ok((
+            self.ctx_n.to_montgomery(&s),
+            self.ctx_n.to_montgomery(&BigUint::from_bytes_be(&em)),
+        ))
     }
 
     /// Verify using the schoolbook (division-based) exponentiation — the
@@ -323,6 +522,49 @@ impl RsaPrivateKey {
     }
 }
 
+/// Interleaved multi-exponentiation `∏ basesᵢ^{expsᵢ}` with every
+/// operand (and the result) in Montgomery form: one shared
+/// square-per-bit chain for all exponents, one multiply per set bit —
+/// the standard simultaneous square-and-multiply that makes the batch
+/// combination cheaper than `bases.len()` separate exponentiations.
+fn multi_exp_montgomery(ctx: &Montgomery, bases_m: &[BigUint], exps: &[u64]) -> BigUint {
+    debug_assert_eq!(bases_m.len(), exps.len());
+    let top = exps
+        .iter()
+        .map(|e| 64 - e.leading_zeros())
+        .max()
+        .unwrap_or(0);
+    let mut acc = ctx.one();
+    for bit in (0..top).rev() {
+        acc = ctx.sqr(&acc);
+        for (b, &r) in bases_m.iter().zip(exps) {
+            if (r >> bit) & 1 == 1 {
+                acc = ctx.mul(&acc, b);
+            }
+        }
+    }
+    acc
+}
+
+/// Per-call seed for the screening-combination exponents, drawn from
+/// [`std::collections::hash_map::RandomState`] (whose keys derive from
+/// one OS-seeded per-thread generator plus a per-instance counter — the
+/// two draws below are therefore *correlated*, and the whole exponent
+/// vector carries at most these 64 bits of entropy, stretched through
+/// the deterministic vendored `rand` shim). Not a CSPRNG: this bounds
+/// an adversary who must commit to the batch before the draw at one
+/// 64-bit seed guess per attempt, which is what
+/// [`RsaPublicKey::screen_batch`]'s docs advertise; callers wanting the
+/// full per-exponent 2⁻⁶⁴ bound must supply a real CSPRNG via
+/// [`RsaPublicKey::screen_batch_with_rng`].
+fn batch_entropy() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let a = RandomState::new().build_hasher().finish();
+    let b = RandomState::new().build_hasher().finish();
+    a.rotate_left(32) ^ b
+}
+
 /// EMSA-PKCS1-v1_5 encoding of the SHA-256 hash of `message` into `k` bytes.
 fn pkcs1_v15_encode(message: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
     let hash = Sha256::digest(message);
@@ -413,6 +655,216 @@ mod tests {
             .public_key()
             .verify_schoolbook_reference(b"other message", &sig)
             .is_err());
+    }
+
+    /// A batch of distinct signed messages plus owned buffers to borrow
+    /// item slices from.
+    fn signed_batch(key: &RsaPrivateKey, n: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let messages: Vec<Vec<u8>> = (0..n)
+            .map(|i| format!("batch message #{i}").into_bytes())
+            .collect();
+        let sigs = messages.iter().map(|m| key.sign(m).unwrap()).collect();
+        (messages, sigs)
+    }
+
+    fn as_items<'a>(msgs: &'a [Vec<u8>], sigs: &'a [Vec<u8>]) -> Vec<(&'a [u8], &'a [u8])> {
+        msgs.iter()
+            .map(|m| m.as_slice())
+            .zip(sigs.iter().map(|s| s.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 8);
+        key.public_key()
+            .verify_batch(&as_items(&msgs, &sigs))
+            .unwrap();
+        // Empty and singleton batches are fine too.
+        key.public_key().verify_batch(&[]).unwrap();
+        key.public_key()
+            .verify_batch(&as_items(&msgs[..1], &sigs[..1]))
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_identifies_any_single_corrupted_signature() {
+        // The satellite property: whichever position carries the bad
+        // signature, the batch names exactly that index.
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 6);
+        for bad in 0..6 {
+            let mut sigs = sigs.clone();
+            sigs[bad][20] ^= 0x40;
+            let err = key
+                .public_key()
+                .verify_batch(&as_items(&msgs, &sigs))
+                .unwrap_err();
+            assert_eq!(err.culprit, bad, "corrupted index {bad}");
+            assert_eq!(err.error, RsaError::VerificationFailed);
+        }
+    }
+
+    #[test]
+    fn batch_identifies_corrupted_message() {
+        let key = test_key();
+        let (mut msgs, sigs) = signed_batch(&key, 5);
+        msgs[3] = b"swapped in a different message".to_vec();
+        let err = key
+            .public_key()
+            .verify_batch(&as_items(&msgs, &sigs))
+            .unwrap_err();
+        assert_eq!(err.culprit, 3);
+    }
+
+    #[test]
+    fn batch_rejects_bad_length_and_oversized_signatures() {
+        let key = test_key();
+        let (msgs, mut sigs) = signed_batch(&key, 3);
+        sigs[1] = vec![0u8; 10];
+        let err = key
+            .public_key()
+            .verify_batch(&as_items(&msgs, &sigs))
+            .unwrap_err();
+        assert_eq!(err.culprit, 1);
+        assert!(matches!(err.error, RsaError::BadSignatureLength { .. }));
+        // A correctly sized signature numerically ≥ n is also named.
+        let (msgs, mut sigs) = signed_batch(&key, 3);
+        sigs[2] = vec![0xff; key.public_key().signature_len()];
+        let err = key
+            .public_key()
+            .verify_batch(&as_items(&msgs, &sigs))
+            .unwrap_err();
+        assert_eq!(err.culprit, 2);
+        assert_eq!(err.error, RsaError::VerificationFailed);
+    }
+
+    #[test]
+    fn batch_deduplicates_repeated_pairs() {
+        // Hot-term workload shape: the same (message, signature) pair
+        // many times over must verify once and still pass/fail right.
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 2);
+        let mut items = Vec::new();
+        for _ in 0..50 {
+            items.extend(as_items(&msgs, &sigs));
+        }
+        key.public_key().verify_batch(&items).unwrap();
+        // Corrupt the second distinct signature: first failing *item*
+        // index is 1 (its first occurrence).
+        let mut sigs = sigs.clone();
+        sigs[1][5] ^= 1;
+        let mut items = Vec::new();
+        for _ in 0..50 {
+            items.extend(as_items(&msgs, &sigs));
+        }
+        let err = key.public_key().verify_batch(&items).unwrap_err();
+        assert_eq!(err.culprit, 1);
+    }
+
+    /// The additive inverse `n − s` of a signature `s` (big-endian,
+    /// padded to the signature length) — the classic order-2 forgery
+    /// against product-combination batch tests.
+    fn negate_signature(key: &RsaPrivateKey, sig: &[u8]) -> Vec<u8> {
+        let n_bytes = key.public_key().to_bytes();
+        // n is the first length-prefixed field of to_bytes().
+        let n_len = u32::from_be_bytes([n_bytes[0], n_bytes[1], n_bytes[2], n_bytes[3]]) as usize;
+        let n = BigUint::from_bytes_be(&n_bytes[4..4 + n_len]);
+        let s = BigUint::from_bytes_be(sig);
+        (&n - &s)
+            .to_bytes_be_padded(key.public_key().signature_len())
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_always_rejects_negated_signatures() {
+        // Boyd–Pavlovski attack regression: s′ = n − s satisfies
+        // s′ᵉ ≡ −em, an order-2 deviation that slips through a naive
+        // randomized product combination with probability 1/2 (and two
+        // of them cancel with probability 1). verify_batch must reject
+        // it deterministically, every time, like individual verify.
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 4);
+        for _ in 0..50 {
+            // One flip.
+            let mut bad = sigs.clone();
+            bad[2] = negate_signature(&key, &sigs[2]);
+            let err = key
+                .public_key()
+                .verify_batch(&as_items(&msgs, &bad))
+                .unwrap_err();
+            assert_eq!(err.culprit, 2);
+            assert_eq!(err.error, RsaError::VerificationFailed);
+            // Two flips (the product-cancelling shape).
+            let mut bad = sigs.clone();
+            bad[0] = negate_signature(&key, &sigs[0]);
+            bad[3] = negate_signature(&key, &sigs[3]);
+            let err = key
+                .public_key()
+                .verify_batch(&as_items(&msgs, &bad))
+                .unwrap_err();
+            assert_eq!(err.culprit, 0, "first flipped signature is named");
+        }
+    }
+
+    #[test]
+    fn screen_batch_accepts_endorsed_and_names_forgeries() {
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 5);
+        let items = as_items(&msgs, &sigs);
+        // Valid batches pass under any seed.
+        for seed in [0u64, 1, 0xdead_beef] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            key.public_key()
+                .screen_batch_with_rng(&items, &mut rng)
+                .unwrap();
+        }
+        key.public_key().screen_batch(&items).unwrap();
+        // Documented semantics: the screen does NOT distinguish s from
+        // n − s — the message is still owner-endorsed.
+        let mut flipped = sigs.clone();
+        flipped[1] = negate_signature(&key, &sigs[1]);
+        key.public_key()
+            .screen_batch(&as_items(&msgs, &flipped))
+            .unwrap();
+        assert!(
+            key.public_key().verify(&msgs[1], &flipped[1]).is_err(),
+            "verify (and verify_batch) still reject the flip"
+        );
+        // A genuinely unendorsed message is rejected and named, under
+        // every seed (completeness of the fallback is exact).
+        let mut bad = sigs.clone();
+        bad[3][7] ^= 0x20;
+        for seed in [0u64, 9, 0xfeed] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let err = key
+                .public_key()
+                .screen_batch_with_rng(&as_items(&msgs, &bad), &mut rng)
+                .unwrap_err();
+            assert_eq!(err.culprit, 3);
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_individual_verification() {
+        // Acceptance criterion: the batch path accepts exactly the
+        // responses the individual path accepts.
+        let key = test_key();
+        let (msgs, sigs) = signed_batch(&key, 5);
+        for corrupt in [None, Some(2)] {
+            let mut sigs = sigs.clone();
+            if let Some(i) = corrupt {
+                sigs[i][0] ^= 0x10;
+            }
+            let individual: Vec<bool> = msgs
+                .iter()
+                .zip(&sigs)
+                .map(|(m, s)| key.public_key().verify(m, s).is_ok())
+                .collect();
+            let batch = key.public_key().verify_batch(&as_items(&msgs, &sigs));
+            assert_eq!(batch.is_ok(), individual.iter().all(|&ok| ok));
+        }
     }
 
     #[test]

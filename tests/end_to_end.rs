@@ -263,7 +263,7 @@ fn vo_wire_roundtrip_end_to_end() {
                 .remove(0);
         let query = Query::from_term_ids(engine.auth().index(), &terms);
         let mut response = engine.search(&query, 10);
-        let bytes = wire::encode(&response.vo);
+        let bytes = wire::encode(&response.vo).expect("VO fits the wire format");
         response.vo = wire::decode(&bytes).unwrap();
         verify::verify(&params, &query, 10, &response)
             .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));

@@ -26,7 +26,7 @@ fn publish_and_serve(mechanism: Mechanism, threads: usize) -> (Vec<Vec<u8>>, Ver
         .map(|terms| {
             let query = Query::from_term_ids(engine.auth().index(), terms);
             let response = engine.search(&query, 5);
-            wire::encode(&response.vo)
+            wire::encode(&response.vo).expect("VO fits the wire format")
         })
         .collect();
     (vos, params)

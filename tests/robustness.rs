@@ -26,7 +26,7 @@ fn single_byte_corruptions_never_verify() {
                 .remove(0);
         let query = Query::from_term_ids(publication.auth.index(), &terms);
         let honest = publication.auth.query(&query, 10, &corpus);
-        let encoded = wire::encode(&honest.vo);
+        let encoded = wire::encode(&honest.vo).expect("VO fits the wire format");
 
         // Sanity: the unmutated encoding round-trips and verifies.
         let decoded = wire::decode(&encoded).expect("honest VO decodes");
