@@ -156,7 +156,98 @@ pub struct CacheStats {
     pub doc_shards: usize,
 }
 
+/// What [`AuthenticatedIndex::warm_cache`] materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Term structures materialized into the term LRU.
+    pub terms: usize,
+    /// Document-MHTs materialized into the document LRU (TRA only).
+    pub docs: usize,
+}
+
 impl AuthenticatedIndex {
+    /// Pre-warm the serve caches with the `top_k` terms of **highest
+    /// document frequency** (ties by ascending term id) — the head of a
+    /// Zipf query workload — and, for the TRA mechanisms, the
+    /// document-MHTs of the documents those hot lists reference (walked
+    /// hottest-list-first, first-encounter order, up to the document
+    /// LRU's capacity).
+    ///
+    /// Called by server startup ([`crate::server`], via
+    /// [`crate::server::ServerConfig::warm_top_k`]) so the first wave of
+    /// traffic hits warm structures instead of stampeding the sharded
+    /// LRUs with concurrent cold builds; callable standalone for
+    /// offline warm-up. Materialization fans out over the persistent
+    /// [`serve pool`](AuthenticatedIndex::serve_pool).
+    ///
+    /// `top_k` is clamped to the term LRU's capacity (warming past it
+    /// would only evict hotter entries). A no-op returning zeros when
+    /// the serve cache is disabled. Warm lookups count as ordinary
+    /// misses in [`CacheStats`]; proofs are bit-identical either way —
+    /// warming moves CPU cost, never results.
+    ///
+    /// The returned [`WarmStats`] report what is actually **resident**
+    /// after warming (capped at the attempted counts): capacity is
+    /// enforced per [`crate::cache::ShardedLru`] shard, so warming
+    /// close to the total capacity can still evict within unlucky
+    /// shards — the numbers are honest about that rather than assuming
+    /// every insert stuck.
+    pub fn warm_cache(&self, top_k: usize) -> WarmStats {
+        if !self.config.serve_cache || top_k == 0 {
+            return WarmStats::default();
+        }
+        let m = self.index.num_terms();
+        let mut by_df: Vec<TermId> = (0..m as TermId).collect();
+        by_df.sort_unstable_by_key(|&t| (std::cmp::Reverse(self.index.ft(t)), t));
+        by_df.truncate(top_k.min(self.config.term_cache_capacity));
+
+        // TRA: the hot lists name the documents whose MHTs queries will
+        // need; collect them hottest-list-first until the doc LRU is
+        // full.
+        let mut hot_docs: Vec<DocId> = Vec::new();
+        if self.config.mechanism.is_tra() {
+            let mut seen = std::collections::HashSet::new();
+            'lists: for &t in &by_df {
+                for e in self.index.list(t).entries() {
+                    if seen.insert(e.doc) && !self.doc_table.doc_terms(e.doc).is_empty() {
+                        hot_docs.push(e.doc);
+                        if hot_docs.len() >= self.config.doc_cache_capacity {
+                            break 'lists;
+                        }
+                    }
+                }
+            }
+        }
+
+        let pool = self.serve_pool();
+        pool.scope(|s| {
+            for &t in &by_df {
+                s.spawn(move || {
+                    let _ = self.term_structure(t);
+                });
+            }
+            for &d in &hot_docs {
+                s.spawn(move || {
+                    let _ = self.doc_structure(d);
+                });
+            }
+        });
+        let stats = self.cache_stats();
+        WarmStats {
+            terms: stats.resident_terms.min(by_df.len()),
+            docs: stats.resident_docs.min(hot_docs.len()),
+        }
+    }
+
+    /// Drop every materialized structure from both LRUs (the
+    /// dictionary-MHT, built once at construction, is kept). An ops /
+    /// benchmarking knob — the next queries rebuild from leaves exactly
+    /// as a cold start would, with bit-identical proofs.
+    pub fn clear_serve_cache(&self) {
+        self.cache.terms.clear();
+        self.cache.docs.clear();
+    }
+
     /// The materialized structure for `term`: from the cache when
     /// enabled (building and inserting on miss), fresh otherwise.
     ///
@@ -331,6 +422,70 @@ mod tests {
         assert_eq!(before.vo, after.vo);
         assert_eq!(before.result, after.result);
         assert!(auth.cache_stats().hits > 0, "cache still serving hits");
+    }
+
+    #[test]
+    fn warm_cache_populates_top_df_terms() {
+        let auth = test_auth(Mechanism::TnraCmht, true);
+        let warmed = auth.warm_cache(3);
+        assert_eq!(warmed, WarmStats { terms: 3, docs: 0 });
+        let stats = auth.cache_stats();
+        assert_eq!(stats.resident_terms, 3);
+        assert_eq!(stats.misses, 3, "warm lookups count as ordinary misses");
+        // The three warmed terms are exactly the three highest-df terms
+        // (ties by ascending id): querying one of them is now a hit.
+        let mut by_df: Vec<TermId> = (0..auth.index().num_terms() as TermId).collect();
+        by_df.sort_unstable_by_key(|&t| (std::cmp::Reverse(auth.index().ft(t)), t));
+        let hits_before = auth.cache_stats().hits;
+        let _ = auth.term_structure(by_df[0]);
+        let _ = auth.term_structure(by_df[2]);
+        assert_eq!(auth.cache_stats().hits, hits_before + 2);
+    }
+
+    #[test]
+    fn warm_cache_warms_document_mhts_under_tra() {
+        let auth = test_auth(Mechanism::TraMht, true);
+        let warmed = auth.warm_cache(4);
+        assert_eq!(warmed.terms, 4);
+        assert!(warmed.docs > 0, "hot lists reference documents");
+        let stats = auth.cache_stats();
+        assert_eq!(stats.resident_docs, warmed.docs);
+        // Serving a query over warmed structures is bit-identical to the
+        // cold path (the tentpole invariant, restated for warming).
+        let cold = test_auth(Mechanism::TraMht, true);
+        let a = auth.query(&toy_query(), 2, &toy_contents());
+        let b = cold.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(a.vo, b.vo);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn warm_cache_clamps_and_degenerates_cleanly() {
+        let auth = test_auth(Mechanism::TnraCmht, true);
+        // Asking for more terms than exist (or than fit) clamps.
+        let warmed = auth.warm_cache(usize::MAX);
+        assert!(warmed.terms <= auth.config().term_cache_capacity);
+        assert_eq!(warmed.terms, auth.index().num_terms());
+        // top_k = 0 is a no-op.
+        assert_eq!(auth.warm_cache(0), WarmStats::default());
+        // Disabled cache: warming has nothing to populate.
+        let uncached = test_auth(Mechanism::TnraCmht, false);
+        assert_eq!(uncached.warm_cache(8), WarmStats::default());
+        assert_eq!(uncached.cache_stats().resident_terms, 0);
+    }
+
+    #[test]
+    fn clear_serve_cache_forces_cold_rebuilds() {
+        let auth = test_auth(Mechanism::TraCmht, true);
+        let warm_response = auth.query(&toy_query(), 2, &toy_contents());
+        assert!(auth.cache_stats().resident_terms > 0);
+        auth.clear_serve_cache();
+        let stats = auth.cache_stats();
+        assert_eq!(stats.resident_terms, 0);
+        assert_eq!(stats.resident_docs, 0);
+        // Cold rebuilds produce bit-identical responses.
+        let cold_response = auth.query(&toy_query(), 2, &toy_contents());
+        assert_eq!(warm_response.vo, cold_response.vo);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod cache;
 pub mod serve;
 pub mod space;
 
-pub use cache::CacheStats;
+pub use cache::{CacheStats, WarmStats};
 
 use crate::pool::ThreadPool;
 use crate::types::DocTable;
@@ -47,6 +47,7 @@ use authsearch_corpus::{DocId, TermId};
 use authsearch_crypto::keys::PAPER_KEY_BITS;
 use authsearch_crypto::{Digest, MerkleTree, RsaPrivateKey, RsaPublicKey};
 use authsearch_index::{BlockLayout, ImpactEntry, InvertedIndex, InvertedList};
+use std::sync::{Arc, Mutex};
 
 /// Source of raw document contents (for `h(doc)`); implemented by
 /// [`authsearch_corpus::Corpus`] and by plain `Vec<Vec<u8>>` fixtures.
@@ -207,14 +208,48 @@ impl AuthConfig {
     }
 }
 
+/// Parse an `AUTHSEARCH_THREADS` value: `None` (unset) and `"0"` both
+/// mean auto; any non-empty decimal is a pinned width; everything else
+/// — empty, whitespace, negative, non-numeric — is rejected with a
+/// message naming the offending value.
+///
+/// Split out as a pure function so the reject paths are unit-testable
+/// without mutating process environment.
+pub(crate) fn parse_threads_env(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else { return Ok(0) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(
+            "AUTHSEARCH_THREADS is set but empty; expected a thread count (0 = auto)".to_string(),
+        );
+    }
+    trimmed.parse::<usize>().map_err(|_| {
+        format!(
+            "AUTHSEARCH_THREADS={trimmed:?} is not a valid thread count \
+             (expected a non-negative integer; 0 = auto)"
+        )
+    })
+}
+
 /// The process-wide default for [`AuthConfig::threads`]: the
 /// `AUTHSEARCH_THREADS` environment variable when set to a number,
-/// otherwise `0` (auto).
+/// otherwise `0` (auto). An **invalid** value — empty, negative, or
+/// non-numeric — is rejected, not silently ignored: a warning naming the
+/// bad value is printed to stderr (once per process) and the default
+/// falls back to auto, so a typo in a deployment manifest surfaces in
+/// the logs instead of quietly serving at an unintended width.
 fn default_threads() -> usize {
-    std::env::var("AUTHSEARCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("AUTHSEARCH_THREADS").ok();
+    match parse_threads_env(raw.as_deref()) {
+        Ok(n) => n,
+        Err(why) => {
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: {why}; falling back to auto (all cores)");
+            });
+            0
+        }
+    }
 }
 
 // ---- canonical leaf & message encodings ----------------------------------
@@ -331,6 +366,13 @@ pub struct AuthenticatedIndex {
     public_key: RsaPublicKey,
     /// Engine-side structure cache (see [`cache`] and the module docs).
     cache: cache::ServeCache,
+    /// Persistent serving pool, shared by [`AuthenticatedIndex::serve_batch`],
+    /// [`cache warming`](AuthenticatedIndex::warm_cache), and the network
+    /// server ([`crate::server`]). Seeded with the pool the build used, so
+    /// worker threads are spawned once per artifact, not once per call;
+    /// swapped lazily when [`AuthenticatedIndex::set_threads`] changes the
+    /// width. `None` only transiently (during a swap).
+    serve_pool: Mutex<Option<Arc<ThreadPool>>>,
 }
 
 impl AuthenticatedIndex {
@@ -452,6 +494,28 @@ impl AuthenticatedIndex {
             doc_sigs,
             public_key: key.public_key().clone(),
             cache: serve_cache,
+            // The build's workers live on as the serving pool: a server
+            // standing up from a fresh build never spawns a second set.
+            serve_pool: Mutex::new(Some(Arc::new(pool))),
+        }
+    }
+
+    /// The persistent serving pool, (re)created at the width
+    /// [`AuthConfig::build_threads`] currently resolves to. The same
+    /// pool instance is returned across calls — workers are spawned
+    /// once, not per batch — until [`AuthenticatedIndex::set_threads`]
+    /// changes the width, at which point the old pool is drained,
+    /// joined, and replaced here.
+    pub fn serve_pool(&self) -> Arc<ThreadPool> {
+        let mut guard = crate::cache::lock_recover(&self.serve_pool);
+        let want = self.config.build_threads();
+        match guard.as_ref() {
+            Some(pool) if pool.threads() == want => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(ThreadPool::new(want));
+                *guard = Some(Arc::clone(&pool));
+                pool
+            }
         }
     }
 
@@ -462,9 +526,11 @@ impl AuthenticatedIndex {
 
     /// Resize the serving pool: subsequent
     /// [`AuthenticatedIndex::serve_batch`] calls use `threads` workers
-    /// (`0` = available parallelism). Purely an ops knob — proofs are
-    /// bit-identical at any width, so this never invalidates the
-    /// published artifact or the structures already cached.
+    /// (`0` = available parallelism). The persistent pool is swapped
+    /// lazily on the next [`AuthenticatedIndex::serve_pool`] call (the
+    /// old workers are drained and joined then). Purely an ops knob —
+    /// proofs are bit-identical at any width, so this never invalidates
+    /// the published artifact or the structures already cached.
     pub fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads;
     }
@@ -723,6 +789,60 @@ mod tests {
         }
         let fixed = AuthConfig { threads: 3, ..auto };
         assert_eq!(fixed.build_threads(), 3);
+    }
+
+    #[test]
+    fn threads_env_parsing_accepts_valid_values() {
+        // Unset and "0" both mean auto; pinned widths parse exactly;
+        // surrounding whitespace is tolerated.
+        assert_eq!(parse_threads_env(None), Ok(0));
+        assert_eq!(parse_threads_env(Some("0")), Ok(0));
+        assert_eq!(parse_threads_env(Some("1")), Ok(1));
+        assert_eq!(parse_threads_env(Some("4")), Ok(4));
+        assert_eq!(parse_threads_env(Some(" 8 ")), Ok(8));
+    }
+
+    #[test]
+    fn threads_env_parsing_rejects_invalid_values() {
+        // Empty / whitespace-only: set-but-empty is a deployment bug the
+        // warning must name, not a silent auto.
+        let empty = parse_threads_env(Some("")).unwrap_err();
+        assert!(empty.contains("empty"), "{empty}");
+        let blank = parse_threads_env(Some("   ")).unwrap_err();
+        assert!(blank.contains("empty"), "{blank}");
+        // Garbage values: rejected with the offending value named.
+        for bad in ["four", "-1", "3.5", "0x4", "4threads", "∞"] {
+            let err = parse_threads_env(Some(bad)).unwrap_err();
+            assert!(
+                err.contains(bad.trim()) && err.contains("not a valid"),
+                "{bad:?} → {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_pool_is_persistent_and_resizes_lazily() {
+        let key = cached_keypair(TEST_KEY_BITS);
+        let mut auth = AuthenticatedIndex::build(
+            toy_index(),
+            &key,
+            AuthConfig {
+                threads: 2,
+                ..test_config(Mechanism::TnraMht)
+            },
+            &toy_contents(),
+        );
+        let a = auth.serve_pool();
+        let b = auth.serve_pool();
+        // Same pool instance across calls — workers spawned once.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 2);
+        auth.set_threads(3);
+        let c = auth.serve_pool();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.threads(), 3);
+        // Unchanged width keeps the swapped pool.
+        assert!(Arc::ptr_eq(&c, &auth.serve_pool()));
     }
 
     #[test]

@@ -13,7 +13,6 @@ use super::cache::TermStructure;
 use super::{doc_root, AuthenticatedIndex, ContentProvider};
 use crate::access::{IndexLists, TableFreqs};
 use crate::buddy::{buddy_group_size, expand_buddies, expand_prefix};
-use crate::pool::ThreadPool;
 use crate::types::{ProcessingOutcome, Query, QueryResult};
 use crate::vo::{DictVo, DocVo, PrefixData, TermProof, TermVo, VerificationObject};
 use crate::{tnra, tra};
@@ -26,7 +25,7 @@ use std::collections::BTreeSet;
 /// verification object, the contents of the result documents (their
 /// digests are checked against the signed document-MHT roots), and the
 /// simulated disk trace of serving the query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
     /// The ranked top-r result.
     pub result: QueryResult,
@@ -60,15 +59,21 @@ impl AuthenticatedIndex {
     }
 
     /// Serve a batch of queries concurrently, fanning per-query VO
-    /// construction out over a work-stealing [`ThreadPool`] sized by
+    /// construction out over the **persistent** work-stealing
+    /// [`ThreadPool`](crate::pool::ThreadPool) sized by
     /// [`super::AuthConfig::threads`] (the same knob that parallelizes
     /// the owner build; `1` keeps everything on the calling thread).
+    /// The pool's workers are spawned once per artifact
+    /// ([`super::AuthenticatedIndex::serve_pool`]) and reused across
+    /// calls, so a server looping over small batches pays no per-batch
+    /// spawn/join tax.
     ///
     /// Response `i` is **bit-identical** to `self.query(&queries[i],
     /// …)` at any thread count: each query's result, VO, and simulated
     /// I/O trace depend only on the (immutable) authenticated index —
     /// the sharded structure caches are a bit-transparent CPU
-    /// optimization, and [`ThreadPool::map`] collects in index order.
+    /// optimization, and [`crate::pool::ThreadPool::map`] collects in
+    /// index order.
     /// Only wall-clock time and cache hit/miss counters vary.
     ///
     /// This is the engine-side throughput path: with the term LRU
@@ -81,8 +86,8 @@ impl AuthenticatedIndex {
         r: usize,
         contents: &C,
     ) -> Vec<QueryResponse> {
-        let pool = ThreadPool::new(self.config.build_threads());
-        pool.map(queries.len(), |i| self.query(&queries[i], r, contents))
+        self.serve_pool()
+            .map(queries.len(), |i| self.query(&queries[i], r, contents))
     }
 
     /// Assemble the response for an already-computed processing outcome.

@@ -21,6 +21,17 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 const NIL: usize = usize::MAX;
 
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+///
+/// The crate-wide poisoning policy: every structure guarded this way
+/// (LRU shards, pool queues, the serve-pool slot, server connection
+/// registries) keeps itself valid across each mutation, so a panic
+/// while holding the lock never leaves torn data — recovery is always
+/// sound, and one panicking worker cannot wedge the process.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Upper bound on the *pre-allocated* slab/map size of a fresh
 /// [`LruCache`]. This clamps the up-front allocation only — a cache
 /// configured with a larger capacity still holds `capacity` entries and
@@ -304,7 +315,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
 
     /// Lock a shard, recovering from poisoning (see the type docs).
     fn lock<'a>(&self, shard: &'a Mutex<LruCache<K, V>>) -> MutexGuard<'a, LruCache<K, V>> {
-        shard.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_recover(shard)
     }
 
     /// Fetch a clone of the cached value, marking it most recently used

@@ -1,10 +1,14 @@
 //! The user (paper §3.1 system model): poses queries and verifies
-//! results against the data owner's public parameters.
+//! results against the data owner's public parameters — locally, or
+//! over the wire against a running [`crate::server`].
 
 use crate::auth::serve::QueryResponse;
 use crate::types::{Query, QueryTerm};
 use crate::verify::{self, VerifiedResult, VerifierParams, VerifyError};
+use crate::wire::{self, Reply, Request, WireError};
 use authsearch_corpus::TermId;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 
 /// A verifying client.
 pub struct Client {
@@ -109,6 +113,273 @@ impl Client {
             .map(|&(terms, response)| self.verify_terms_with_memo(terms, r, response, &mut memo))
             .collect()
     }
+}
+
+/// Why a networked query failed. Everything except
+/// [`ClientNetError::Verify`] is a transport- or server-level problem;
+/// `Verify` means bytes arrived intact but the **proof** did not check
+/// out — the signal the whole scheme exists to produce.
+#[derive(Debug)]
+pub enum ClientNetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode as a protocol frame.
+    Wire(WireError),
+    /// The server answered with a coded error frame
+    /// (see [`crate::wire::errcode`]).
+    Server {
+        /// An [`crate::wire::errcode`] constant.
+        code: u8,
+        /// The server's message.
+        message: String,
+    },
+    /// The reply decoded but broke the protocol contract (e.g. the term
+    /// echo does not match the terms this client asked for).
+    Protocol(String),
+    /// The response failed cryptographic verification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for ClientNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientNetError::Io(e) => write!(f, "network I/O: {e}"),
+            ClientNetError::Wire(e) => write!(f, "protocol decode: {e}"),
+            ClientNetError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientNetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientNetError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientNetError {}
+
+impl From<io::Error> for ClientNetError {
+    fn from(e: io::Error) -> Self {
+        ClientNetError::Io(e)
+    }
+}
+impl From<WireError> for ClientNetError {
+    fn from(e: WireError) -> Self {
+        ClientNetError::Wire(e)
+    }
+}
+impl From<VerifyError> for ClientNetError {
+    fn from(e: VerifyError) -> Self {
+        ClientNetError::Verify(e)
+    }
+}
+
+/// A verifying client connected to a running [`crate::server`]: sends
+/// framed queries, receives framed responses, and accepts **nothing**
+/// until the VO inside checks out against the owner's public
+/// parameters — the server stays untrusted end to end.
+pub struct Connection {
+    stream: TcpStream,
+    client: Client,
+    /// The stream's framing can no longer be trusted (a reply header
+    /// failed to parse, so the next frame boundary is unknown). Every
+    /// subsequent operation fails fast instead of misreading stale
+    /// bytes as answers to new queries.
+    desynced: bool,
+}
+
+impl Connection {
+    /// Connect to a server and verify against `params` (obtained from
+    /// the data owner's broadcast, *not* from the server).
+    pub fn connect<A: ToSocketAddrs>(addr: A, params: VerifierParams) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            client: Client::new(params),
+            desynced: false,
+        })
+    }
+
+    /// The local verifying client (for offline re-checks).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Pose a query as explicit `(term, f_{Q,t})` pairs (strictly
+    /// ascending term ids) and verify the reply. The server's term echo
+    /// must byte-match the posed pairs — a server answering a different
+    /// query than asked is a protocol violation, caught before any
+    /// crypto runs.
+    pub fn query_terms(
+        &mut self,
+        terms: &[(TermId, u32)],
+        r: usize,
+    ) -> Result<(VerifiedResult, QueryResponse), ClientNetError> {
+        self.send(&Request::Terms {
+            terms: terms.to_vec(),
+            r: request_r(r)?,
+        })?;
+        let (echo, response) = self.receive()?;
+        if echo != terms {
+            return Err(ClientNetError::Protocol(format!(
+                "server echoed terms {echo:?} for a query posing {terms:?}"
+            )));
+        }
+        let verified = self.client.verify_terms(terms, r, &response)?;
+        Ok((verified, response))
+    }
+
+    /// Pose a natural-language query. The server parses it against its
+    /// dictionary and echoes the parse; the echo is what gets verified
+    /// (the parse only fixes *which* query is asked — all integrity
+    /// guarantees then hold for exactly that query). Returns the parse
+    /// alongside the verified result so the caller can inspect it.
+    #[allow(clippy::type_complexity)]
+    pub fn query_text(
+        &mut self,
+        text: &str,
+        r: usize,
+    ) -> Result<(Vec<(TermId, u32)>, VerifiedResult, QueryResponse), ClientNetError> {
+        self.send(&Request::Text {
+            text: text.to_string(),
+            r: request_r(r)?,
+        })?;
+        let (echo, response) = self.receive()?;
+        let verified = self.client.verify_terms(&echo, r, &response)?;
+        Ok((echo, verified, response))
+    }
+
+    /// Pose a batch of term queries, **pipelined**: up to
+    /// [`PIPELINE_WINDOW`] requests are in flight before the oldest
+    /// reply is read (amortizing round trips without a per-query wait),
+    /// then every response is verified through [`Client::verify_batch`]
+    /// so signatures shared across responses cost one RSA
+    /// exponentiation total. Result `i` corresponds to query `i`; a bad
+    /// response (or a verification failure) taints only its own slot,
+    /// exactly like the local batch path.
+    ///
+    /// The window is what makes the pipeline deadlock-free against the
+    /// server's read-one/write-one connection loop: with unbounded
+    /// writes, a large batch of large responses can fill both TCP
+    /// buffers while each side blocks in `write_all`. Bounding the
+    /// in-flight requests keeps the client draining replies, so the
+    /// server's writes always make progress.
+    #[allow(clippy::type_complexity)]
+    pub fn query_terms_batch(
+        &mut self,
+        queries: &[Vec<(TermId, u32)>],
+        r: usize,
+    ) -> Result<Vec<Result<(VerifiedResult, QueryResponse), ClientNetError>>, ClientNetError> {
+        let wire_r = request_r(r)?;
+        // Encode every request *before* sending the first one: an
+        // unencodable query (e.g. > 2¹⁶ terms) must fail the batch while
+        // the connection is still clean — aborting mid-batch would leave
+        // pipelined replies unread and desynchronize the stream.
+        let frames: Vec<Vec<u8>> = queries
+            .iter()
+            .map(|terms| {
+                Request::Terms {
+                    terms: terms.clone(),
+                    r: wire_r,
+                }
+                .encode_frame()
+            })
+            .collect::<Result<_, _>>()?;
+        let mut replies: Vec<Result<(Vec<(TermId, u32)>, QueryResponse), ClientNetError>> =
+            Vec::with_capacity(queries.len());
+        let mut in_flight = 0usize;
+        for frame in &frames {
+            if in_flight == PIPELINE_WINDOW {
+                replies.push(self.receive());
+                in_flight -= 1;
+            }
+            // A socket-level write failure means the connection is dead;
+            // outstanding replies are unreadable anyway.
+            self.stream.write_all(frame)?;
+            in_flight += 1;
+        }
+        for _ in 0..in_flight {
+            replies.push(self.receive());
+        }
+        // Verify the successfully received responses as one batch
+        // (shared-signature memoization), then zip verdicts back.
+        let mut requests: Vec<(&[(TermId, u32)], &QueryResponse)> = Vec::new();
+        for (terms, reply) in queries.iter().zip(&replies) {
+            if let Ok((echo, response)) = reply {
+                if echo == terms {
+                    requests.push((terms.as_slice(), response));
+                }
+            }
+        }
+        let mut verdicts = self.client.verify_batch(&requests, r).into_iter();
+        let out = queries
+            .iter()
+            .zip(replies)
+            .map(|(terms, reply)| {
+                let (echo, response) = reply?;
+                if echo != *terms {
+                    return Err(ClientNetError::Protocol(format!(
+                        "server echoed terms {echo:?} for a query posing {terms:?}"
+                    )));
+                }
+                let verified = verdicts
+                    .next()
+                    .expect("one verdict per well-echoed response")?;
+                Ok((verified, response))
+            })
+            .collect();
+        Ok(out)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientNetError> {
+        let bytes = request.encode_frame()?;
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Read one reply frame, surfacing server-side error frames as
+    /// [`ClientNetError::Server`]. A header that fails to parse loses
+    /// the frame boundary and permanently poisons the connection (see
+    /// [`Connection::desynced`]); a well-framed reply whose *payload*
+    /// is malformed keeps the stream in sync — exactly the advertised
+    /// bytes were consumed — so later queries on the connection remain
+    /// sound.
+    #[allow(clippy::type_complexity)]
+    fn receive(&mut self) -> Result<(Vec<(TermId, u32)>, QueryResponse), ClientNetError> {
+        if self.desynced {
+            return Err(ClientNetError::Protocol(
+                "connection desynchronized by an earlier framing error; reconnect".to_string(),
+            ));
+        }
+        let mut header = [0u8; wire::FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (kind, len) = match wire::decode_frame_header(&header) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.desynced = true;
+                return Err(ClientNetError::Wire(e));
+            }
+        };
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        match wire::decode_reply_payload(kind, &payload)? {
+            Reply::Ok { terms, response } => Ok((terms, response)),
+            Reply::Err { code, message } => Err(ClientNetError::Server { code, message }),
+        }
+    }
+}
+
+/// Maximum requests in flight on one connection during
+/// [`Connection::query_terms_batch`]. Requests are small (≤ ~0.5 MiB by
+/// the u16 length prefixes, a few hundred bytes in practice), so eight
+/// of them sit comfortably inside the kernel socket buffers — the
+/// client's sends never block, which is the invariant the deadlock-
+/// freedom argument in `query_terms_batch` rests on.
+pub const PIPELINE_WINDOW: usize = 8;
+
+/// An `r` a request frame can carry.
+fn request_r(r: usize) -> Result<u32, ClientNetError> {
+    u32::try_from(r)
+        .map_err(|_| ClientNetError::Protocol(format!("r = {r} not representable on the wire")))
 }
 
 #[cfg(test)]
@@ -228,6 +499,76 @@ mod tests {
             client.verify_terms(&pairs, 5, &response),
             Err(VerifyError::QueryShapeMismatch(_))
         ));
+    }
+
+    fn loopback(mechanism: Mechanism) -> (crate::server::ServerHandle, Connection, Vec<TermId>) {
+        let (engine, client, terms) = setup(mechanism);
+        let params = client.params().clone();
+        let handle = crate::server::Server::start(
+            std::sync::Arc::new(engine),
+            "127.0.0.1:0",
+            crate::server::ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let connection = Connection::connect(handle.addr(), params).expect("connect");
+        (handle, connection, terms)
+    }
+
+    #[test]
+    fn connected_client_verifies_term_queries() {
+        let (handle, mut connection, terms) = loopback(Mechanism::TraCmht);
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        let (verified, response) = connection.query_terms(&pairs, 5).expect("verified");
+        assert_eq!(verified.result, response.result);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connected_client_batch_is_pipelined_and_isolated() {
+        let (handle, mut connection, _) = loopback(Mechanism::TnraCmht);
+        let queries: Vec<Vec<(TermId, u32)>> = vec![
+            vec![(0, 1), (3, 1)],
+            vec![(999_999, 1)], // out of dictionary → server error slot
+            vec![(0, 1), (3, 1)],
+            vec![(2, 2)],
+        ];
+        let out = connection.query_terms_batch(&queries, 4).expect("batch");
+        assert_eq!(out.len(), 4);
+        assert!(out[0].is_ok(), "{:?}", out[0].as_ref().err());
+        assert!(matches!(
+            out[1],
+            Err(ClientNetError::Server {
+                code: crate::wire::errcode::BAD_QUERY,
+                ..
+            })
+        ));
+        assert!(out[2].is_ok());
+        assert!(out[3].is_ok());
+        // Repeated query: bit-identical responses.
+        let (a, b) = (out[0].as_ref().unwrap(), out[2].as_ref().unwrap());
+        assert_eq!(a.1, b.1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connected_client_text_query_returns_server_parse() {
+        let (engine, client, _) = setup(Mechanism::TnraMht);
+        let params = client.params().clone();
+        let engine = std::sync::Arc::new(engine);
+        let handle = crate::server::Server::start(
+            std::sync::Arc::clone(&engine),
+            "127.0.0.1:0",
+            crate::server::ServerConfig::default(),
+        )
+        .unwrap();
+        let mut connection = Connection::connect(handle.addr(), params).unwrap();
+        // Build a text query from real dictionary words.
+        let text = engine.corpus().term(1).to_string();
+        let (parse, verified, response) = connection.query_text(&text, 3).expect("verified");
+        assert_eq!(parse.len(), 1);
+        assert_eq!(verified.result, response.result);
+        handle.shutdown();
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   then replay);
 //! * [`buddy`] — the buddy-inclusion VO optimization (§3.3.2);
 //! * [`owner`] / [`engine`] / [`client`] — the three-party system model;
+//! * [`server`] — the long-running network front: framed queries over
+//!   TCP, dispatched onto the persistent pool, warm-started caches;
 //! * [`attacks`] — the threat-model attack catalogue;
 //! * [`toy`] — the paper's worked example (Figures 1, 6, 11);
 //! * [`metrics`] — per-query cost measurement for the evaluation.
@@ -71,6 +73,7 @@ pub mod metrics;
 pub mod owner;
 pub mod pool;
 pub mod pscan;
+pub mod server;
 pub mod tnra;
 pub mod toy;
 pub mod tra;
@@ -80,12 +83,13 @@ pub mod vo;
 pub mod wire;
 
 pub use auth::serve::QueryResponse;
-pub use auth::{AuthConfig, AuthenticatedIndex, CacheStats, ContentProvider};
+pub use auth::{AuthConfig, AuthenticatedIndex, CacheStats, ContentProvider, WarmStats};
 pub use cache::LruCache;
-pub use client::Client;
+pub use client::{Client, ClientNetError, Connection};
 pub use engine::SearchEngine;
-pub use metrics::{measure, QueryMetrics};
+pub use metrics::{measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot};
 pub use owner::{DataOwner, Publication};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use types::{DocTable, ProcessingOutcome, Query, QueryResult, ResultEntry};
 pub use verify::{verify, VerifiedResult, VerifierParams, VerifyError};
 pub use vo::{Mechanism, VerificationObject, VoSize};

@@ -1,5 +1,6 @@
 //! Per-query measurement: the cost metrics of the paper's §4.1
-//! ("performance metrics").
+//! ("performance metrics") — plus the live operational counters of the
+//! long-running network server ([`crate::server`]).
 //!
 //! For one (query, mechanism) pair this captures: entries read per list
 //! (Fig 13a/14a/15a), fraction of each list read (13b/14b/15b), simulated
@@ -13,7 +14,52 @@ use crate::types::Query;
 use crate::verify::{self, VerifierParams, VerifyError};
 use crate::vo::VoSize;
 use authsearch_index::{DiskModel, IoStats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Live counters of a running server, updated lock-free by every
+/// connection handler; snapshot with [`ServerMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests answered with a [`crate::wire::kind::REPLY_OK`] frame.
+    pub requests_ok: AtomicU64,
+    /// Requests answered with a [`crate::wire::kind::REPLY_ERR`] frame.
+    pub requests_err: AtomicU64,
+    /// Request payload bytes read off the wire.
+    pub bytes_in: AtomicU64,
+    /// Reply frame bytes written to the wire.
+    pub bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerMetricsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests answered with an error reply.
+    pub requests_err: u64,
+    /// Request payload bytes read.
+    pub bytes_in: u64,
+    /// Reply frame bytes written.
+    pub bytes_out: u64,
+}
+
+impl ServerMetrics {
+    /// Read every counter at once (relaxed loads; counters are advisory).
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_err: self.requests_err.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Measurements for one verified query.
 #[derive(Debug, Clone)]

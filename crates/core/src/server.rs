@@ -1,0 +1,759 @@
+//! Long-running authenticated search server over the wire protocol.
+//!
+//! The paper's model is a one-shot pipeline — owner builds, engine
+//! answers one query, user verifies. This module is the deployment shape
+//! of *Verifying Search Results Over Web Collections* (Goodrich et al.):
+//! a continuously running, **untrusted** server answering verifiable
+//! queries from many clients over TCP. The trust model is unchanged —
+//! nothing the server sends is believed until the client's
+//! [`verify`](mod@crate::verify) accepts it against the owner's public key —
+//! the server is just the engine with a socket in front of it.
+//!
+//! ## Architecture
+//!
+//! * **Thread-per-connection acceptor**: a background acceptor thread
+//!   takes connections off the listener and hands each its own OS
+//!   thread, which owns the socket and does all framing I/O
+//!   ([`crate::wire`]: versioned length-prefixed frames).
+//! * **Persistent pool dispatch**: query execution is
+//!   [`submit`](crate::pool::ThreadPool::submit)-ted onto the engine's
+//!   persistent work-stealing pool
+//!   ([`AuthenticatedIndex::serve_pool`](crate::AuthenticatedIndex::serve_pool)
+//!   — the same workers the owner build spawned), so N connections
+//!   share one executor instead of oversubscribing the machine, and a
+//!   `threads = 1` deployment still runs the paper's sequential model
+//!   with no thread spawned anywhere.
+//! * **Warm start**: startup pre-warms the sharded structure LRUs with
+//!   the top-df terms ([`ServerConfig::warm_top_k`],
+//!   [`crate::AuthenticatedIndex::warm_cache`]) so the first wave of
+//!   traffic doesn't stampede the caches with concurrent cold builds.
+//! * **Per-connection error isolation**: malformed bytes, unserviceable
+//!   queries, and even a panicking query worker produce a coded
+//!   [`crate::wire::kind::REPLY_ERR`] frame (or at worst close that one
+//!   connection) — attacker-controlled input never panics the process
+//!   and never touches other connections.
+//! * **Graceful shutdown**: [`ServerHandle::shutdown`] stops the
+//!   acceptor, unblocks and joins every connection thread, and returns
+//!   the final [`ServerMetricsSnapshot`].
+
+use crate::cache::lock_recover;
+use crate::engine::SearchEngine;
+use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::pool::ThreadPool;
+use crate::types::Query;
+use crate::wire::{self, Request, WireError};
+use crate::WarmStats;
+use authsearch_corpus::TermId;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Operational knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How many top-df terms to pre-warm into the structure caches at
+    /// startup. `None` (the default) is **`AuthConfig`-driven**: warm up
+    /// to the term LRU's configured capacity
+    /// ([`crate::AuthConfig::term_cache_capacity`]); `Some(0)` disables
+    /// warming; `Some(k)` warms exactly `k` (clamped to capacity).
+    pub warm_top_k: Option<usize>,
+    /// Largest `r` a request may ask for; bigger requests get a
+    /// [`crate::wire::errcode::BAD_QUERY`] reply instead of letting a
+    /// remote peer size engine-side allocations.
+    pub max_r: usize,
+    /// Socket read poll interval: how long a connection thread blocks in
+    /// `read` before re-checking the shutdown flag. Bounds shutdown
+    /// latency for idle connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            warm_top_k: None,
+            max_r: 1024,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+    warmed: WarmStats,
+}
+
+/// One live connection's registry slot: the monitoring socket clone
+/// (for unblocking reads at shutdown) and the handler thread (for
+/// joining; `None` briefly, between registration and spawn).
+type ConnEntry = (TcpStream, Option<JoinHandle<()>>);
+
+/// State shared by the acceptor and every connection thread.
+struct ServerState {
+    engine: Arc<SearchEngine>,
+    pool: Arc<ThreadPool>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    shutdown: Arc<AtomicBool>,
+    /// Live connections by id. Each handler removes its own entry as
+    /// it exits, so an idle server holds no fds or join handles for
+    /// past connections — the map's size tracks *live* connections
+    /// only.
+    connections: Mutex<std::collections::HashMap<u64, ConnEntry>>,
+}
+
+/// The server front: binds, warms, and accepts.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), warm
+    /// the caches per `config`, and start accepting in the background.
+    /// Returns immediately; queries are served until
+    /// [`ServerHandle::shutdown`] (or drop).
+    pub fn start<A: ToSocketAddrs>(
+        engine: Arc<SearchEngine>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Warm start: populate the sharded LRUs with the hot head of the
+        // dictionary before the first connection lands.
+        let warm_top_k = config
+            .warm_top_k
+            .unwrap_or(engine.auth().config().term_cache_capacity);
+        let warmed = engine.auth().warm_cache(warm_top_k);
+        let pool = engine.auth().serve_pool();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ServerState {
+            engine,
+            pool,
+            config,
+            metrics: ServerMetrics::default(),
+            shutdown: Arc::clone(&shutdown),
+            connections: Mutex::new(std::collections::HashMap::new()),
+        });
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("authsearch-acceptor".into())
+                .spawn(move || accept_loop(listener, state))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            state,
+            warmed,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (the ephemeral port when started on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What startup warming materialized.
+    pub fn warmed(&self) -> WarmStats {
+        self.warmed
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.state.metrics.snapshot()
+    }
+
+    /// Stop accepting, unblock and join every connection thread, join
+    /// the acceptor, and return the final counters. In-flight requests
+    /// finish; idle connections are closed.
+    pub fn shutdown(mut self) -> ServerMetricsSnapshot {
+        self.shutdown_impl();
+        self.state.metrics.snapshot()
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Fast-path wakeup for the acceptor; purely an optimization —
+        // the nonblocking accept loop re-checks the flag every poll
+        // interval regardless, so a failed connect (fd exhaustion)
+        // cannot hang shutdown.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let connections = std::mem::take(&mut *lock_recover(&self.state.connections));
+        for (_, (stream, handle)) in connections {
+            // Readers wake with an error (or at the next poll tick) and
+            // observe the flag.
+            let _ = stream.shutdown(Shutdown::Both);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Accept until shutdown; one OS thread per connection. The listener
+/// runs **nonblocking** with a poll interval, so shutdown can never
+/// hang on a blocked `accept` — the throwaway self-connect in
+/// [`ServerHandle::shutdown`] is only a fast path, not a correctness
+/// requirement (it can fail under fd exhaustion, exactly when an
+/// operator is most likely to be shutting the server down).
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let _ = listener.set_nonblocking(true);
+    let mut next_id = 0u64;
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                // WouldBlock is the idle tick; any other error (e.g.
+                // EMFILE under fd exhaustion) also waits out the poll
+                // interval — retrying immediately would spin a full
+                // core exactly when the host is resource-starved.
+                std::thread::sleep(state.config.poll_interval);
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // The listener's nonblocking flag is inherited by accepted
+        // sockets on some platforms; connection I/O must block (with a
+        // read timeout) instead.
+        let _ = stream.set_nonblocking(false);
+        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let monitor = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        let id = next_id;
+        next_id += 1;
+        // Register before spawning: the handler removes its own entry
+        // when it exits, and removal of a not-yet-registered entry
+        // would leak the monitor fd.
+        lock_recover(&state.connections).insert(id, (monitor, None));
+        let spawned = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("authsearch-conn-{id}"))
+                .spawn(move || handle_connection(stream, state, id))
+        };
+        let mut connections = lock_recover(&state.connections);
+        match spawned {
+            // The handler may already have finished and removed its
+            // entry — only fill the slot if it is still present.
+            Ok(handle) => {
+                if let Some(entry) = connections.get_mut(&id) {
+                    entry.1 = Some(handle);
+                }
+            }
+            Err(_) => {
+                connections.remove(&id);
+            }
+        }
+    }
+}
+
+/// Serve one connection, then close the underlying socket explicitly —
+/// the acceptor holds a monitoring clone of it (for shutdown
+/// unblocking), so dropping our handle alone would leave the peer
+/// waiting on a connection that is already dead.
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>, id: u64) {
+    connection_loop(&stream, &state);
+    let _ = stream.shutdown(Shutdown::Both);
+    // Self-prune: drop the monitor clone (and our registry slot) so an
+    // idle server holds no resources for finished connections.
+    lock_recover(&state.connections).remove(&id);
+}
+
+/// Read frames and answer them until the peer hangs up, the bytes stop
+/// making sense, or the server shuts down. Never panics on input.
+fn connection_loop(mut stream: &TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(state.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    loop {
+        // Frame header (tolerating read-timeout ticks between frames).
+        let mut header = [0u8; wire::FRAME_HEADER_LEN];
+        match read_full(stream, &mut header, &state.shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return, // clean EOF, peer error, or shutdown
+        }
+        // Lenient header parse: magic, version, and payload length must
+        // check out (without them the frame boundary is unknowable and
+        // the connection must drop), but an *unknown kind* still has a
+        // trustworthy length — its payload is consumed below and
+        // `answer` turns it into a coded error reply, keeping the
+        // connection alive for forward compatibility.
+        let (kind, len) = match wire::decode_frame_header_any(&header) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                // Un-synchronizable: reply if possible, then drop the
+                // connection (we can no longer find frame boundaries).
+                let _ = send_error_frame(stream, state, wire::errcode::MALFORMED, &e.to_string());
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(stream, &mut payload, &state.shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return, // truncated frame: peer is gone
+        }
+        state
+            .metrics
+            .bytes_in
+            .fetch_add((wire::FRAME_HEADER_LEN + len) as u64, Ordering::Relaxed);
+        let bytes = match answer(kind, &payload, state) {
+            Ok(bytes) => bytes,
+            Err((code, message)) => {
+                if send_error_frame(stream, state, code, &message).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        state
+            .metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        state.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Decode, validate, and execute one request on the persistent pool,
+/// returning the encoded OK reply or an error `(code, message)`.
+fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, (u8, String)> {
+    let request = Request::decode_payload(kind, payload)
+        .map_err(|e| (wire::errcode::MALFORMED, e.to_string()))?;
+    // Validate before spending engine time.
+    let (pairs, query, r) = prepare(&state.engine, request, state.config.max_r)?;
+    // Dispatch onto the persistent pool: connection threads do I/O,
+    // pool workers do crypto. The channel observes completion; a
+    // panicking worker drops the sender, which surfaces as a coded
+    // internal error on this connection only.
+    let (tx, rx) = mpsc::channel();
+    let engine = Arc::clone(&state.engine);
+    state.pool.submit(move || {
+        let response = engine.search(&query, r);
+        let _ = tx.send(wire::encode_ok_reply(&pairs, &response));
+    });
+    match rx.recv() {
+        Ok(Ok(bytes)) => Ok(bytes),
+        Ok(Err(WireError::TooLong { field, len, max })) => Err((
+            wire::errcode::UNREPRESENTABLE,
+            format!("response not representable: {field} holds {len} entries, wire carries {max}"),
+        )),
+        Ok(Err(e)) => Err((wire::errcode::UNREPRESENTABLE, e.to_string())),
+        Err(_) => Err((
+            wire::errcode::INTERNAL,
+            "query worker failed; connection remains usable".to_string(),
+        )),
+    }
+}
+
+/// Turn a decoded request into the `(echo, query, r)` triple, rejecting
+/// anything the engine should not be asked to do.
+#[allow(clippy::type_complexity)]
+fn prepare(
+    engine: &SearchEngine,
+    request: Request,
+    max_r: usize,
+) -> Result<(Vec<(TermId, u32)>, Query, usize), (u8, String)> {
+    let (pairs, query, r) = match request {
+        Request::Text { text, r } => {
+            let query = engine.parse_query(&text);
+            let pairs: Vec<(TermId, u32)> =
+                query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
+            (pairs, query, r)
+        }
+        Request::Terms { terms, r } => {
+            let num_terms = engine.auth().index().num_terms() as TermId;
+            for window in terms.windows(2) {
+                if window[0].0 >= window[1].0 {
+                    return Err((
+                        wire::errcode::BAD_QUERY,
+                        "query terms must be strictly ascending (no duplicates)".to_string(),
+                    ));
+                }
+            }
+            for &(t, f_qt) in &terms {
+                if t >= num_terms {
+                    return Err((
+                        wire::errcode::BAD_QUERY,
+                        format!("term {t} out of dictionary (m = {num_terms})"),
+                    ));
+                }
+                if f_qt == 0 {
+                    return Err((wire::errcode::BAD_QUERY, format!("term {t} has f_qt = 0")));
+                }
+            }
+            let query = Query::from_term_pairs(engine.auth().index(), &terms);
+            (terms, query, r)
+        }
+    };
+    if query.is_empty() {
+        return Err((
+            wire::errcode::BAD_QUERY,
+            "no query terms in dictionary".to_string(),
+        ));
+    }
+    let r = r as usize;
+    if r == 0 || r > max_r {
+        return Err((
+            wire::errcode::BAD_QUERY,
+            format!("r = {r} outside the served range 1..={max_r}"),
+        ));
+    }
+    Ok((pairs, query, r))
+}
+
+fn send_error_frame(
+    mut stream: &TcpStream,
+    state: &Arc<ServerState>,
+    code: u8,
+    message: &str,
+) -> io::Result<()> {
+    state.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
+    let bytes = wire::encode_err_reply(code, message)
+        .expect("error replies are always representable (message truncated to u16)");
+    state
+        .metrics
+        .bytes_out
+        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    stream.write_all(&bytes)
+}
+
+/// Fill `buf` completely, tolerating read-timeout ticks (re-checking
+/// `shutdown` at each) and treating EOF *before the first byte* as a
+/// clean close (`Ok(false)`). EOF mid-buffer is an error: the peer died
+/// inside a frame.
+fn read_full(mut stream: &TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(io::Error::other("server shutting down"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::owner::DataOwner;
+    use crate::vo::Mechanism;
+    use authsearch_corpus::CorpusBuilder;
+    use authsearch_crypto::keys::TEST_KEY_BITS;
+
+    fn test_engine(mechanism: Mechanism) -> (Arc<SearchEngine>, crate::verify::VerifierParams) {
+        let corpus = CorpusBuilder::new()
+            .min_df(1)
+            .add_text("the night keeper keeps the keep in the town")
+            .add_text("in the big old house in the big old gown")
+            .add_text("the house in the town had the big old keep")
+            .add_text("where the old night keeper never did sleep")
+            .add_text("the night keeper keeps the keep in the night")
+            .build();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish(&corpus, config);
+        (
+            Arc::new(SearchEngine::new(publication.auth, corpus)),
+            publication.verifier_params,
+        )
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &Request) -> wire::Reply {
+        let bytes = request.encode_frame().unwrap();
+        stream.write_all(&bytes).unwrap();
+        read_reply(stream)
+    }
+
+    fn read_reply(stream: &mut TcpStream) -> wire::Reply {
+        let mut header = [0u8; wire::FRAME_HEADER_LEN];
+        stream.read_exact(&mut header).unwrap();
+        let (kind, len) = wire::decode_frame_header(&header).unwrap();
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).unwrap();
+        wire::decode_reply_payload(kind, &payload).unwrap()
+    }
+
+    #[test]
+    fn server_answers_and_shuts_down_cleanly() {
+        let (engine, params) = test_engine(Mechanism::TnraCmht);
+        let handle =
+            Server::start(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        assert!(handle.warmed().terms > 0, "startup warmed the term LRU");
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let reply = roundtrip(
+            &mut stream,
+            &Request::Text {
+                text: "night keeper keep".into(),
+                r: 3,
+            },
+        );
+        let client = crate::Client::new(params);
+        match reply {
+            wire::Reply::Ok { terms, response } => {
+                assert!(!terms.is_empty());
+                client.verify_terms(&terms, 3, &response).expect("verifies");
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.requests_ok, 1);
+        assert_eq!(stats.requests_err, 0);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn bad_requests_get_coded_errors_and_connection_survives() {
+        let (engine, _) = test_engine(Mechanism::TnraMht);
+        let m = engine.auth().index().num_terms() as TermId;
+        let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let cases: Vec<(Request, u8)> = vec![
+            // Out-of-dictionary term.
+            (
+                Request::Terms {
+                    terms: vec![(m + 5, 1)],
+                    r: 3,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            // Duplicate terms.
+            (
+                Request::Terms {
+                    terms: vec![(1, 1), (1, 1)],
+                    r: 3,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            // Unsorted terms.
+            (
+                Request::Terms {
+                    terms: vec![(3, 1), (1, 1)],
+                    r: 3,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            // Zero query frequency.
+            (
+                Request::Terms {
+                    terms: vec![(1, 0)],
+                    r: 3,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            // r outside the served range.
+            (
+                Request::Terms {
+                    terms: vec![(1, 1)],
+                    r: u32::MAX,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            (
+                Request::Terms {
+                    terms: vec![(1, 1)],
+                    r: 0,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+            // Nothing survives dictionary parsing.
+            (
+                Request::Text {
+                    text: "zzzz qqqq".into(),
+                    r: 3,
+                },
+                wire::errcode::BAD_QUERY,
+            ),
+        ];
+        let n_cases = cases.len() as u64;
+        for (request, want_code) in cases {
+            match roundtrip(&mut stream, &request) {
+                wire::Reply::Err { code, .. } => assert_eq!(code, want_code, "{request:?}"),
+                other => panic!("{request:?} → {other:?}"),
+            }
+        }
+        // The same connection still serves a good query afterwards.
+        match roundtrip(
+            &mut stream,
+            &Request::Text {
+                text: "night keeper".into(),
+                r: 2,
+            },
+        ) {
+            wire::Reply::Ok { .. } => {}
+            other => panic!("connection should have survived: {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests_err, n_cases);
+        assert_eq!(stats.requests_ok, 1);
+    }
+
+    #[test]
+    fn malformed_frames_do_not_kill_the_server() {
+        let (engine, _) = test_engine(Mechanism::TraCmht);
+        let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        // Garbage magic: server replies (or closes) without panicking.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let mut sink = Vec::new();
+            let _ = stream.read_to_end(&mut sink); // server closes after the error reply
+        }
+        // A frame advertising an over-cap payload is refused up front.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut header = [0u8; wire::FRAME_HEADER_LEN];
+            header[..4].copy_from_slice(&wire::FRAME_MAGIC);
+            header[4] = wire::WIRE_VERSION;
+            header[5] = wire::kind::REQ_TEXT;
+            header[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+            stream.write_all(&header).unwrap();
+            let mut sink = Vec::new();
+            let _ = stream.read_to_end(&mut sink);
+        }
+        // Mid-frame hangup: connection just ends.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let good = Request::Text {
+                text: "night".into(),
+                r: 1,
+            }
+            .encode_frame()
+            .unwrap();
+            stream.write_all(&good[..good.len() - 2]).unwrap();
+            drop(stream);
+        }
+        // Unknown frame kind under a valid header: the frame boundary
+        // is still known, so the server consumes the payload, answers a
+        // coded error, and the SAME connection keeps working (forward
+        // compatibility with future kinds).
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&wire::FRAME_MAGIC);
+            frame.push(wire::WIRE_VERSION);
+            frame.push(0x7f); // no such kind
+            frame.extend_from_slice(&3u32.to_le_bytes());
+            frame.extend_from_slice(&[1, 2, 3]);
+            stream.write_all(&frame).unwrap();
+            match read_reply(&mut stream) {
+                wire::Reply::Err { code, .. } => assert_eq!(code, wire::errcode::MALFORMED),
+                other => panic!("{other:?}"),
+            }
+            match roundtrip(
+                &mut stream,
+                &Request::Text {
+                    text: "night keeper".into(),
+                    r: 2,
+                },
+            ) {
+                wire::Reply::Ok { .. } => {}
+                other => panic!("unknown kind must not kill the connection: {other:?}"),
+            }
+        }
+        // A fresh connection is served normally after all of the above.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        match roundtrip(
+            &mut stream,
+            &Request::Text {
+                text: "night keeper".into(),
+                r: 2,
+            },
+        ) {
+            wire::Reply::Ok { .. } => {}
+            other => panic!("server should have survived: {other:?}"),
+        }
+        drop(stream);
+        let stats = handle.shutdown();
+        assert!(stats.requests_err >= 3);
+        assert_eq!(stats.requests_ok, 2);
+    }
+
+    #[test]
+    fn warm_start_is_config_driven() {
+        let (engine, _) = test_engine(Mechanism::TnraCmht);
+        let m = engine.auth().index().num_terms();
+        // Explicitly disabled warming.
+        let cold = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                warm_top_k: Some(0),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cold.warmed(), WarmStats::default());
+        cold.shutdown();
+        engine.auth().clear_serve_cache();
+        // Explicit k.
+        let some = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                warm_top_k: Some(2),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(some.warmed().terms, 2);
+        some.shutdown();
+        engine.auth().clear_serve_cache();
+        // Default: capacity-driven (toy dictionary is far below it).
+        let auto =
+            Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        assert_eq!(auto.warmed().terms, m);
+        auto.shutdown();
+    }
+}

@@ -40,6 +40,22 @@ impl Query {
         }
     }
 
+    /// Build from explicit `(t, f_{Q,t})` pairs, taking the query-side
+    /// weights from the index dictionary — the shape a network client
+    /// submits over the wire ([`crate::wire::Request::Terms`]).
+    pub fn from_term_pairs(index: &InvertedIndex, pairs: &[(TermId, u32)]) -> Query {
+        Query {
+            terms: pairs
+                .iter()
+                .map(|&(term, f_qt)| QueryTerm {
+                    term,
+                    f_qt,
+                    wq: index.query_weight(term, f_qt),
+                })
+                .collect(),
+        }
+    }
+
     /// Parse a natural-language query string against a corpus dictionary:
     /// tokenize, drop out-of-dictionary terms (per the system model), count
     /// duplicates into `f_{Q,t}`.

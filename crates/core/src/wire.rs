@@ -1,14 +1,40 @@
-//! Wire serialization for verification objects.
+//! Wire serialization: verification objects, and the framed
+//! request/reply protocol of the network server.
 //!
 //! The VO travels from the search engine to the user; this module defines
 //! its byte encoding (little-endian, length-prefixed) so transmission
 //! sizes are concrete rather than estimated. The encoding is
 //! deliberately plain — every field the size model of [`crate::vo`]
 //! charges appears exactly once.
+//!
+//! ## Frame protocol
+//!
+//! The long-running server ([`crate::server`]) speaks length-prefixed
+//! frames over TCP. Every frame is a fixed 10-byte header followed by a
+//! payload:
+//!
+//! ```text
+//! "ASRV" (4) | version u8 | kind u8 | payload_len u32 LE | payload
+//! ```
+//!
+//! Requests carry a query (natural-language text, or explicit
+//! `(term, f_{Q,t})` pairs) plus the result size `r`
+//! ([`Request`]); replies carry either the full [`QueryResponse`] —
+//! ranked result, VO bytes, result-document contents, I/O trace —
+//! prefixed by the `(term, f_{Q,t})` echo the client verifies against,
+//! or a coded error ([`Reply`]). Every decode path returns a
+//! [`WireError`] on malformed input — attacker-controlled bytes can
+//! never panic the server or force an implausible allocation (counts
+//! are bounded before `Vec::with_capacity`, payload length by
+//! [`MAX_FRAME_PAYLOAD`]), and an unknown version or kind is rejected
+//! at the header.
 
+use crate::auth::serve::QueryResponse;
+use crate::types::{QueryResult, ResultEntry};
 use crate::vo::{DictVo, DocVo, Mechanism, PrefixData, TermProof, TermVo, VerificationObject};
+use authsearch_corpus::TermId;
 use authsearch_crypto::{ChainPrefixProof, Digest, MerkleProof, DIGEST_LEN};
-use authsearch_index::ImpactEntry;
+use authsearch_index::{ImpactEntry, IoStats};
 
 const MAGIC: &[u8; 4] = b"AVO1";
 
@@ -65,6 +91,9 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     /// Write a u16 length prefix, refusing lengths it cannot represent.
@@ -216,6 +245,12 @@ impl<'a> Reader<'a> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
     fn digest(&mut self) -> Result<Digest, WireError> {
         let b = self.take(DIGEST_LEN)?;
         Digest::from_slice(b).ok_or_else(|| err("digest"))
@@ -231,6 +266,20 @@ impl<'a> Reader<'a> {
             out.push(self.digest()?);
         }
         Ok(out)
+    }
+    /// A count that claims `n` entries of at least `per` encoded bytes
+    /// each, validated against the bytes actually remaining — a tiny
+    /// frame advertising 2²⁶ entries is rejected *before* any
+    /// `Vec::with_capacity`, so attacker-chosen counts can never size
+    /// an allocation beyond the payload they paid to send.
+    fn checked_count(&self, n: usize, per: usize, what: &str) -> Result<usize, WireError> {
+        let remaining = self.buf.len() - self.pos;
+        if n > remaining / per.max(1) {
+            return Err(WireError::Malformed(format!(
+                "{what} count {n} exceeds what the remaining {remaining} bytes can hold"
+            )));
+        }
+        Ok(n)
     }
 }
 
@@ -255,9 +304,7 @@ pub fn decode(bytes: &[u8]) -> Result<VerificationObject, WireError> {
         let prefix = match r.u8()? {
             0 => {
                 let n = r.u32()? as usize;
-                if n > 1 << 26 {
-                    return Err(err("prefix too long"));
-                }
+                let n = r.checked_count(n, 4, "doc-id prefix")?;
                 let mut ids = Vec::with_capacity(n);
                 for _ in 0..n {
                     ids.push(r.u32()?);
@@ -266,9 +313,7 @@ pub fn decode(bytes: &[u8]) -> Result<VerificationObject, WireError> {
             }
             1 => {
                 let n = r.u32()? as usize;
-                if n > 1 << 26 {
-                    return Err(err("prefix too long"));
-                }
+                let n = r.checked_count(n, 8, "impact-entry prefix")?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let raw = r.take(8)?;
@@ -305,17 +350,14 @@ pub fn decode(bytes: &[u8]) -> Result<VerificationObject, WireError> {
         });
     }
     let num_docs = r.u32()? as usize;
-    if num_docs > 1 << 26 {
-        return Err(err("doc proof count implausible"));
-    }
+    // Smallest possible document proof: ids + counts + flags + prefixes.
+    let num_docs = r.checked_count(num_docs, 17, "document proof")?;
     let mut docs = Vec::with_capacity(num_docs);
     for _ in 0..num_docs {
         let doc = r.u32()?;
         let num_leaves = r.u32()?;
         let n = r.u32()? as usize;
-        if n > 1 << 26 {
-            return Err(err("revealed count implausible"));
-        }
+        let n = r.checked_count(n, 12, "revealed leaf")?;
         let mut revealed = Vec::with_capacity(n);
         for _ in 0..n {
             let pos = r.u32()?;
@@ -361,6 +403,360 @@ pub fn decode(bytes: &[u8]) -> Result<VerificationObject, WireError> {
         docs,
         dict,
     })
+}
+
+// ---- frame protocol -------------------------------------------------------
+
+/// Frame preamble: protocol name, followed by [`WIRE_VERSION`].
+pub const FRAME_MAGIC: [u8; 4] = *b"ASRV";
+
+/// Protocol version carried in every frame header. A server or client
+/// seeing any other value rejects the frame as
+/// [`WireError::Malformed`] — it never guesses at a foreign layout.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed size of the frame header: magic (4) + version (1) + kind (1) +
+/// payload length (4).
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// Upper bound on a frame payload (64 MiB). A header advertising more
+/// is rejected before any allocation — the cap is what lets a reader
+/// trust the length prefix enough to buffer the payload.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 26;
+
+/// Frame kinds. Requests have the high bit clear, replies set.
+pub mod kind {
+    /// Natural-language query request.
+    pub const REQ_TEXT: u8 = 0x01;
+    /// Explicit `(term, f_qt)`-pairs query request.
+    pub const REQ_TERMS: u8 = 0x02;
+    /// Successful reply: query echo + full `QueryResponse`.
+    pub const REPLY_OK: u8 = 0x81;
+    /// Error reply: code + message.
+    pub const REPLY_ERR: u8 = 0x82;
+}
+
+/// Error codes carried by [`kind::REPLY_ERR`] frames.
+pub mod errcode {
+    /// The request frame did not decode.
+    pub const MALFORMED: u8 = 1;
+    /// The request decoded but names an unserviceable query (term out
+    /// of dictionary, unsorted/duplicate terms, empty query, oversized
+    /// `r`).
+    pub const BAD_QUERY: u8 = 2;
+    /// The engine failed internally (e.g. a worker panicked); the
+    /// connection survives.
+    pub const INTERNAL: u8 = 3;
+    /// The response exists but cannot be represented on the wire.
+    pub const UNREPRESENTABLE: u8 = 4;
+}
+
+/// Encode a frame header for `payload_len` bytes of `kind`.
+pub fn encode_frame_header(
+    kind: u8,
+    payload_len: usize,
+) -> Result<[u8; FRAME_HEADER_LEN], WireError> {
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLong {
+            field: "frame payload",
+            len: payload_len,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4] = WIRE_VERSION;
+    header[5] = kind;
+    header[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(header)
+}
+
+/// Decode a frame header's transport fields — magic, version, payload
+/// length — **without** validating the kind byte.
+///
+/// These three fields are what establish the frame boundary; a reader
+/// that trusts them still knows exactly how many payload bytes an
+/// *unknown* kind carries, so it can consume the frame and answer with
+/// a coded error instead of tearing the connection down (forward
+/// compatibility — see the server's connection loop). Use
+/// [`decode_frame_header`] when an unknown kind should be rejected
+/// outright.
+pub fn decode_frame_header_any(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), WireError> {
+    if header[..4] != FRAME_MAGIC {
+        return Err(err("bad frame magic"));
+    }
+    if header[4] != WIRE_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported protocol version {} (this build speaks {WIRE_VERSION})",
+            header[4]
+        )));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Malformed(format!(
+            "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+        )));
+    }
+    Ok((header[5], len))
+}
+
+/// Decode and validate a frame header, returning `(kind, payload_len)`.
+///
+/// Rejects a bad magic, a foreign version, an unknown kind, and a
+/// payload length above [`MAX_FRAME_PAYLOAD`] — all as [`WireError`],
+/// never a panic, because the header is the first attacker-controlled
+/// thing a server reads.
+pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), WireError> {
+    let (kind, len) = decode_frame_header_any(header)?;
+    match kind {
+        kind::REQ_TEXT | kind::REQ_TERMS | kind::REPLY_OK | kind::REPLY_ERR => Ok((kind, len)),
+        _ => Err(WireError::Malformed(format!(
+            "unknown frame kind {kind:#04x}"
+        ))),
+    }
+}
+
+/// A query request, as it travels client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Natural-language query; the server parses it against its
+    /// dictionary and echoes the parse back in the reply.
+    Text {
+        /// The query text (parsed server-side; out-of-dictionary words
+        /// are dropped per the system model).
+        text: String,
+        /// Requested result size.
+        r: u32,
+    },
+    /// Explicit `(term id, f_{Q,t})` pairs, strictly ascending by term —
+    /// the paper's user-posed query shape, verified end to end.
+    Terms {
+        /// Distinct query terms with their query-side frequencies.
+        terms: Vec<(TermId, u32)>,
+        /// Requested result size.
+        r: u32,
+    },
+}
+
+impl Request {
+    /// Serialize to a complete frame (header + payload).
+    pub fn encode_frame(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer { buf: Vec::new() };
+        let kind = match self {
+            Request::Text { text, r } => {
+                w.u32(*r);
+                w.bytes16(text.as_bytes(), "query text")?;
+                kind::REQ_TEXT
+            }
+            Request::Terms { terms, r } => {
+                w.u32(*r);
+                w.len16(terms.len(), "query terms")?;
+                for &(t, f_qt) in terms {
+                    w.u32(t);
+                    w.u32(f_qt);
+                }
+                kind::REQ_TERMS
+            }
+        };
+        frame(kind, w.buf)
+    }
+
+    /// Deserialize a request payload of the given frame kind.
+    pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let request = match kind {
+            kind::REQ_TEXT => {
+                let top_r = r.u32()?;
+                let text =
+                    String::from_utf8(r.bytes16()?).map_err(|_| err("query text is not UTF-8"))?;
+                Request::Text { text, r: top_r }
+            }
+            kind::REQ_TERMS => {
+                let top_r = r.u32()?;
+                let n = r.u16()? as usize;
+                let mut terms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    terms.push((r.u32()?, r.u32()?));
+                }
+                Request::Terms { terms, r: top_r }
+            }
+            _ => return Err(err("not a request frame")),
+        };
+        if r.pos != payload.len() {
+            return Err(err("trailing bytes in request"));
+        }
+        Ok(request)
+    }
+}
+
+/// A server reply, as it travels server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The query was served.
+    Ok {
+        /// The `(term, f_{Q,t})` pairs the response answers — the echo
+        /// of a [`Request::Terms`] query, or the server-side parse of a
+        /// [`Request::Text`] one. The client verifies against these.
+        terms: Vec<(TermId, u32)>,
+        /// The full response: ranked result, VO, result-document
+        /// contents, and the engine's simulated I/O trace.
+        response: QueryResponse,
+    },
+    /// The query was not served; the connection stays up.
+    Err {
+        /// An [`errcode`] constant.
+        code: u8,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Serialize a successful reply to a complete frame.
+pub fn encode_ok_reply(
+    terms: &[(TermId, u32)],
+    response: &QueryResponse,
+) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer { buf: Vec::new() };
+    w.len16(terms.len(), "reply term echo")?;
+    for &(t, f_qt) in terms {
+        w.u32(t);
+        w.u32(f_qt);
+    }
+    // Ranked result.
+    w.len32(response.result.entries.len(), "result entries")?;
+    for e in &response.result.entries {
+        w.u32(e.doc);
+        w.u64(e.score.to_bits());
+    }
+    // Nested VO (its own magic + encoding).
+    let vo = encode(&response.vo)?;
+    w.len32(vo.len(), "VO bytes")?;
+    w.buf.extend_from_slice(&vo);
+    // Result-document contents.
+    w.len32(response.contents.len(), "result contents")?;
+    for (d, bytes) in &response.contents {
+        w.u32(*d);
+        w.len32(bytes.len(), "document content")?;
+        w.buf.extend_from_slice(bytes);
+    }
+    // Engine-side accounting.
+    w.u64(response.io.seeks);
+    w.u64(response.io.blocks);
+    w.len16(response.entries_read.len(), "entries-read counts")?;
+    for &n in &response.entries_read {
+        w.len32(n, "entries-read value")?;
+    }
+    frame(kind::REPLY_OK, w.buf)
+}
+
+/// Serialize an error reply to a complete frame.
+pub fn encode_err_reply(code: u8, message: &str) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer { buf: Vec::new() };
+    w.u8(code);
+    // Truncate rather than fail — an error reply must always be
+    // representable — and truncate on a char boundary, so the peer's
+    // UTF-8 validation accepts what we send.
+    let mut end = message.len().min(u16::MAX as usize);
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    w.bytes16(&message.as_bytes()[..end], "error message")?;
+    frame(kind::REPLY_ERR, w.buf)
+}
+
+/// Deserialize a reply payload of the given frame kind.
+pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let reply = match kind {
+        kind::REPLY_OK => {
+            let nt = r.u16()? as usize;
+            let mut terms = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                terms.push((r.u32()?, r.u32()?));
+            }
+            let ne = r.u32()? as usize;
+            let ne = r.checked_count(ne, 12, "result entry")?;
+            let mut entries = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                let doc = r.u32()?;
+                let score = f64::from_bits(r.u64()?);
+                entries.push(ResultEntry { doc, score });
+            }
+            let vo_len = r.u32()? as usize;
+            let vo = decode(r.take(vo_len)?)?;
+            let nc = r.u32()? as usize;
+            let nc = r.checked_count(nc, 8, "result content")?;
+            let mut contents = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                let doc = r.u32()?;
+                let len = r.u32()? as usize;
+                contents.push((doc, r.take(len)?.to_vec()));
+            }
+            let io = IoStats {
+                seeks: r.u64()?,
+                blocks: r.u64()?,
+            };
+            let nr = r.u16()? as usize;
+            let mut entries_read = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                entries_read.push(r.u32()? as usize);
+            }
+            Reply::Ok {
+                terms,
+                response: QueryResponse {
+                    result: QueryResult { entries },
+                    vo,
+                    contents,
+                    io,
+                    entries_read,
+                },
+            }
+        }
+        kind::REPLY_ERR => {
+            let code = r.u8()?;
+            let message =
+                String::from_utf8(r.bytes16()?).map_err(|_| err("error message is not UTF-8"))?;
+            Reply::Err { code, message }
+        }
+        _ => return Err(err("not a reply frame")),
+    };
+    if r.pos != payload.len() {
+        return Err(err("trailing bytes in reply"));
+    }
+    Ok(reply)
+}
+
+/// Prepend the frame header to a finished payload.
+fn frame(kind: u8, payload: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    let header = encode_frame_header(kind, payload.len())?;
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Split a complete frame into `(kind, payload)`, validating the header
+/// and that the payload length matches exactly. Convenience for callers
+/// that already hold whole frames (tests, fuzzing); the streaming
+/// server and client read the header and payload separately.
+pub fn split_frame(bytes: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(err("truncated frame header"));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header.copy_from_slice(&bytes[..FRAME_HEADER_LEN]);
+    let (kind, len) = decode_frame_header(&header)?;
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(err("frame length mismatch"));
+    }
+    Ok((kind, payload))
 }
 
 #[cfg(test)]
@@ -520,6 +916,170 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    fn sample_response(mechanism: Mechanism) -> QueryResponse {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish_index(toy_index(), config, &toy_contents());
+        publication.auth.query(&toy_query(), 2, &toy_contents())
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let requests = [
+            Request::Text {
+                text: "night keeper keep".into(),
+                r: 5,
+            },
+            Request::Text {
+                text: String::new(),
+                r: 0,
+            },
+            Request::Terms {
+                terms: vec![(1, 1), (7, 2), (15, 1)],
+                r: 10,
+            },
+            Request::Terms {
+                terms: Vec::new(),
+                r: 1,
+            },
+        ];
+        for request in requests {
+            let bytes = request.encode_frame().unwrap();
+            let (kind, payload) = split_frame(&bytes).unwrap();
+            assert_eq!(Request::decode_payload(kind, payload).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn ok_reply_round_trips_full_response() {
+        for mechanism in Mechanism::ALL {
+            let response = sample_response(mechanism);
+            let terms: Vec<(TermId, u32)> = response.vo.terms.iter().map(|t| (t.term, 1)).collect();
+            let bytes = encode_ok_reply(&terms, &response).unwrap();
+            let (kind, payload) = split_frame(&bytes).unwrap();
+            match decode_reply_payload(kind, payload).unwrap() {
+                Reply::Ok {
+                    terms: back_terms,
+                    response: back,
+                } => {
+                    assert_eq!(back_terms, terms, "{}", mechanism.name());
+                    assert_eq!(back.vo, response.vo);
+                    assert_eq!(back.result, response.result);
+                    assert_eq!(back.contents, response.contents);
+                    assert_eq!(back.io, response.io);
+                    assert_eq!(back.entries_read, response.entries_read);
+                }
+                other => panic!("expected Ok reply, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn err_reply_round_trips_and_truncates_long_messages() {
+        let bytes = encode_err_reply(errcode::BAD_QUERY, "term 99 out of dictionary").unwrap();
+        let (kind, payload) = split_frame(&bytes).unwrap();
+        assert_eq!(
+            decode_reply_payload(kind, payload).unwrap(),
+            Reply::Err {
+                code: errcode::BAD_QUERY,
+                message: "term 99 out of dictionary".into()
+            }
+        );
+        // A pathological message cannot make the error reply unencodable.
+        let long = "x".repeat(u16::MAX as usize + 500);
+        let bytes = encode_err_reply(errcode::INTERNAL, &long).unwrap();
+        let (kind, payload) = split_frame(&bytes).unwrap();
+        match decode_reply_payload(kind, payload).unwrap() {
+            Reply::Err { code, message } => {
+                assert_eq!(code, errcode::INTERNAL);
+                assert_eq!(message.len(), u16::MAX as usize);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Truncation must land on a char boundary: a multi-byte char
+        // straddling the 65535 limit may not yield a reply the peer's
+        // UTF-8 validation rejects.
+        let multibyte = "é".repeat(u16::MAX as usize); // 2 bytes each
+        let bytes = encode_err_reply(errcode::INTERNAL, &multibyte).unwrap();
+        let (kind, payload) = split_frame(&bytes).unwrap();
+        match decode_reply_payload(kind, payload).unwrap() {
+            Reply::Err { message, .. } => {
+                assert_eq!(message.len(), u16::MAX as usize - 1);
+                assert!(message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_header_rejects_bad_magic_version_kind_and_length() {
+        let good = encode_frame_header(kind::REQ_TEXT, 8).unwrap();
+        let parse = |h: [u8; FRAME_HEADER_LEN]| decode_frame_header(&h);
+        assert_eq!(parse(good).unwrap(), (kind::REQ_TEXT, 8));
+        let mut bad_magic = good;
+        bad_magic[0] ^= 0xff;
+        assert!(parse(bad_magic).is_err());
+        let mut bad_version = good;
+        bad_version[4] = WIRE_VERSION + 1;
+        let msg = parse(bad_version).unwrap_err().to_string();
+        assert!(msg.contains("version"), "{msg}");
+        let mut bad_kind = good;
+        bad_kind[5] = 0x7f;
+        assert!(parse(bad_kind).is_err());
+        let mut bad_len = good;
+        bad_len[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let msg = parse(bad_len).unwrap_err().to_string();
+        assert!(msg.contains("cap"), "{msg}");
+        // Oversized payloads are refused at encode time, too.
+        assert!(matches!(
+            encode_frame_header(kind::REPLY_OK, MAX_FRAME_PAYLOAD + 1),
+            Err(WireError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_and_payloads_rejected() {
+        let response = sample_response(Mechanism::TraCmht);
+        let terms: Vec<(TermId, u32)> = response.vo.terms.iter().map(|t| (t.term, 1)).collect();
+        let bytes = encode_ok_reply(&terms, &response).unwrap();
+        // Any truncation must error cleanly (header-level or payload-level).
+        for cut in (0..bytes.len()).step_by(11) {
+            let truncated = &bytes[..cut];
+            let rejected = match split_frame(truncated) {
+                Err(_) => true, // rejected at the frame layer
+                Ok((kind, payload)) => decode_reply_payload(kind, payload).is_err(),
+            };
+            assert!(rejected, "cut={cut}");
+        }
+        // Trailing garbage in the payload is rejected as well.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(split_frame(&padded).is_err());
+    }
+
+    #[test]
+    fn request_decode_rejects_non_utf8_and_trailing_bytes() {
+        let good = Request::Text {
+            text: "abc".into(),
+            r: 3,
+        }
+        .encode_frame()
+        .unwrap();
+        let (kind, payload) = split_frame(&good).unwrap();
+        let mut bad = payload.to_vec();
+        *bad.last_mut().unwrap() = 0xff; // invalid UTF-8 continuation
+        assert!(Request::decode_payload(kind, &bad).is_err());
+        let mut long = payload.to_vec();
+        long.push(7);
+        assert!(Request::decode_payload(kind, &long).is_err());
+        // Reply kinds are not requests and vice versa.
+        assert!(Request::decode_payload(kind::REPLY_OK, payload).is_err());
+        assert!(decode_reply_payload(kind::REQ_TEXT, payload).is_err());
     }
 
     #[test]

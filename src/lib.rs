@@ -30,8 +30,8 @@ pub use authsearch_index as index;
 /// Convenience prelude mirroring the most common imports.
 pub mod prelude {
     pub use authsearch_core::{
-        AuthConfig, AuthenticatedIndex, Client, DataOwner, Mechanism, Query, QueryResponse,
-        SearchEngine, VerifierParams,
+        AuthConfig, AuthenticatedIndex, Client, Connection, DataOwner, Mechanism, Query,
+        QueryResponse, SearchEngine, Server, ServerConfig, VerifierParams,
     };
     pub use authsearch_corpus::{Corpus, CorpusBuilder, SyntheticConfig};
     pub use authsearch_crypto::{Digest, RsaPrivateKey, RsaPublicKey};

@@ -1,0 +1,213 @@
+//! Loopback integration test of the long-running authenticated search
+//! server: a real `TcpListener`, N concurrent verifying clients, and
+//! the acceptance bar of PR 4 — every VO that comes back over the wire
+//! byte-matches the sequential `serve` path and passes verification.
+//!
+//! Runs at whatever pool width `AUTHSEARCH_THREADS` pins (CI exercises
+//! 1 and 4), since the serving pool, the per-connection dispatch, and
+//! the sharded caches all sit under this test.
+
+use authsearch::core::wire;
+use authsearch::prelude::*;
+use std::sync::Arc;
+
+const CLIENTS: usize = 6;
+const QUERIES_PER_CLIENT: usize = 12;
+const TOP_R: usize = 5;
+
+/// A query's `(term, f_qt)` pairs and its reference wire-encoded VO.
+type ReferenceVo = (Vec<(u32, u32)>, Vec<u8>);
+
+struct Fixture {
+    engine: Arc<SearchEngine>,
+    params: VerifierParams,
+    /// Term-pair workloads, reused round-robin by every client thread.
+    workloads: Vec<Vec<(u32, u32)>>,
+}
+
+fn fixture(mechanism: Mechanism) -> Fixture {
+    let corpus = SyntheticConfig::tiny(150, 23).generate();
+    let owner = DataOwner::with_cached_key(authsearch::crypto::keys::TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: authsearch::crypto::keys::TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    };
+    let publication = owner.publish(&corpus, config);
+    let num_terms = publication.auth.index().num_terms();
+    let term_sets = authsearch::corpus::workload::synthetic(num_terms, 8, 2, 5);
+    let workloads: Vec<Vec<(u32, u32)>> = term_sets
+        .iter()
+        .map(|terms| {
+            let mut pairs: Vec<(u32, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            pairs.sort_unstable();
+            pairs.dedup_by_key(|p| p.0);
+            pairs
+        })
+        .collect();
+    Fixture {
+        engine: Arc::new(SearchEngine::new(publication.auth, corpus)),
+        params: publication.verifier_params,
+        workloads,
+    }
+}
+
+/// N client threads hammer one server; every response must verify AND
+/// byte-match the engine's sequential serve path.
+#[test]
+fn concurrent_clients_get_bit_identical_verified_responses() {
+    for mechanism in [Mechanism::TnraCmht, Mechanism::TraMht] {
+        let fx = fixture(mechanism);
+        // Reference responses straight from the engine (no network),
+        // wire-encoded for byte comparison.
+        let reference: Vec<ReferenceVo> = fx
+            .workloads
+            .iter()
+            .map(|pairs| {
+                let query = Query::from_term_pairs(fx.engine.auth().index(), pairs);
+                let response = fx.engine.search(&query, TOP_R);
+                (pairs.clone(), wire::encode(&response.vo).unwrap())
+            })
+            .collect();
+        let handle = Server::start(
+            Arc::clone(&fx.engine),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+        let reference = Arc::new(reference);
+        let mut threads = Vec::new();
+        for client_id in 0..CLIENTS {
+            let params = fx.params.clone();
+            let reference = Arc::clone(&reference);
+            threads.push(std::thread::spawn(move || {
+                let mut connection = Connection::connect(addr, params).expect("client connects");
+                for i in 0..QUERIES_PER_CLIENT {
+                    let (pairs, want_vo) = &reference[(client_id + i) % reference.len()];
+                    let (verified, response) = connection
+                        .query_terms(pairs, TOP_R)
+                        .unwrap_or_else(|e| panic!("client {client_id} query {i}: {e}"));
+                    // The VO that crossed the wire is byte-identical to
+                    // the sequential serve path.
+                    let got_vo = wire::encode(&response.vo).unwrap();
+                    assert_eq!(&got_vo, want_vo, "client {client_id} query {i}");
+                    assert_eq!(verified.result, response.result);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections as usize, CLIENTS, "{mechanism:?}");
+        assert_eq!(
+            stats.requests_ok as usize,
+            CLIENTS * QUERIES_PER_CLIENT,
+            "{mechanism:?}"
+        );
+        assert_eq!(stats.requests_err, 0, "{mechanism:?}");
+    }
+}
+
+/// The pipelined batch path over the wire: windowed in-flight requests
+/// with cross-response signature memoization client-side.
+#[test]
+fn pipelined_batch_round_trips_and_verifies() {
+    let fx = fixture(Mechanism::TraCmht);
+    let handle = Server::start(
+        Arc::clone(&fx.engine),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut connection = Connection::connect(handle.addr(), fx.params.clone()).unwrap();
+    let out = connection
+        .query_terms_batch(&fx.workloads, TOP_R)
+        .expect("batch transport");
+    assert_eq!(out.len(), fx.workloads.len());
+    for (i, slot) in out.iter().enumerate() {
+        let (verified, response) = slot.as_ref().unwrap_or_else(|e| panic!("query {i}: {e}"));
+        assert_eq!(verified.result, response.result, "query {i}");
+    }
+    // A batch far larger than the pipeline window must also complete
+    // (the window is what keeps the one-connection pipeline
+    // deadlock-free against the server's read-one/write-one loop).
+    let big: Vec<Vec<(u32, u32)>> = (0..10).flat_map(|_| fx.workloads.clone()).collect();
+    let out = connection
+        .query_terms_batch(&big, TOP_R)
+        .expect("big batch");
+    assert_eq!(out.len(), big.len());
+    assert!(out.iter().all(|slot| slot.is_ok()));
+    handle.shutdown();
+}
+
+/// A client whose connection carries garbage between valid frames only
+/// hurts itself; concurrent well-behaved clients finish verified.
+#[test]
+fn hostile_client_does_not_disturb_honest_ones() {
+    let fx = fixture(Mechanism::TnraMht);
+    let handle = Server::start(
+        Arc::clone(&fx.engine),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let hostile = std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        for seed in 0..8u64 {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            // Deterministic garbage, different every connection.
+            let garbage: Vec<u8> = (0..64u64)
+                .map(|i| (seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i) >> 3) as u8)
+                .collect();
+            let _ = stream.write_all(&garbage);
+            let mut sink = Vec::new();
+            let _ = stream.read_to_end(&mut sink); // server replies error / closes
+        }
+    });
+    let honest = {
+        let params = fx.params.clone();
+        let workloads = fx.workloads.clone();
+        std::thread::spawn(move || {
+            let mut connection = Connection::connect(addr, params).unwrap();
+            for pairs in &workloads {
+                let (verified, response) = connection.query_terms(pairs, TOP_R).expect("verified");
+                assert_eq!(verified.result, response.result);
+            }
+        })
+    };
+    hostile.join().unwrap();
+    honest.join().unwrap();
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests_ok as usize, fx.workloads.len());
+    assert!(
+        stats.requests_err > 0,
+        "garbage must be answered with errors"
+    );
+}
+
+/// Warm-started server: startup warming fills the term LRU before the
+/// first connection, and the served responses still verify.
+#[test]
+fn warm_started_server_serves_verified_responses() {
+    let fx = fixture(Mechanism::TnraCmht);
+    let handle = Server::start(
+        Arc::clone(&fx.engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            warm_top_k: Some(32),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(handle.warmed().terms, 32);
+    let stats_before = fx.engine.auth().cache_stats();
+    assert!(stats_before.resident_terms >= 32);
+    let mut connection = Connection::connect(handle.addr(), fx.params.clone()).unwrap();
+    let (verified, response) = connection
+        .query_terms(&fx.workloads[0], TOP_R)
+        .expect("verified");
+    assert_eq!(verified.result, response.result);
+    handle.shutdown();
+}
