@@ -1,0 +1,284 @@
+//! PR 5 perf-trajectory benchmark: overload shedding and the
+//! digest-mode (contents-free) wire path.
+//!
+//! Emits machine-readable `BENCH_PR5.json` (override the path with
+//! `--out <path>`; corpus with `--scale <frac>`, key with
+//! `--key-bits <n>`, workload size with `--queries <n>`). Three
+//! sections:
+//!
+//! * **shed**: verified-query throughput under over-admission — six
+//!   retrying clients against `max_connections = 2` vs the same six
+//!   unlimited. Records completed q/s, the typed-BUSY shed count, and
+//!   the live-connection high-water mark: the point is that a capped
+//!   server keeps answering (and every answer still verifies) instead
+//!   of wedging.
+//! * **digest**: full-echo `Reply::Ok` vs `Reply::OkDigest` for a TNRA
+//!   deployment — bytes on the wire per reply and q/s, same queries,
+//!   same verdicts.
+//! * **nodelay**: mean per-query round-trip with `TCP_NODELAY` on (the
+//!   default on both ends) vs off — the Nagle/delayed-ACK tax on this
+//!   protocol's small frames.
+//!
+//! Plain `std::time` loops, no dev-dependencies, CI-smoke friendly;
+//! absolute numbers are host-dependent (the JSON records
+//! `available_parallelism`).
+
+use authsearch_bench::json::{num, Json};
+use authsearch_core::pool::available_parallelism;
+use authsearch_core::{
+    AuthConfig, AuthenticatedIndex, Connection, Mechanism, RetryPolicy, SearchEngine, Server,
+    ServerConfig, VerifierParams,
+};
+use authsearch_corpus::{SyntheticConfig, TermId};
+use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS};
+use authsearch_index::{build_index, OkapiParams};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut scale_frac = 0.01f64;
+    let mut key_bits = PAPER_KEY_BITS;
+    let mut num_queries = 240usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--scale" => {
+                scale_frac = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("bad --scale value")
+            }
+            "--key-bits" => {
+                key_bits = it
+                    .next()
+                    .expect("--key-bits needs a value")
+                    .parse()
+                    .expect("bad --key-bits value")
+            }
+            "--queries" => {
+                num_queries = it
+                    .next()
+                    .expect("--queries needs a value")
+                    .parse()
+                    .expect("bad --queries value")
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: [--out <path>] [--scale <frac>] \
+                     [--key-bits <n>] [--queries <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = available_parallelism();
+    eprintln!(
+        "[bench_pr5] corpus scale {scale_frac}, key {key_bits} bits, \
+         {num_queries} queries, {cores} core(s)…"
+    );
+    let corpus = SyntheticConfig::wsj(scale_frac).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+    let key = cached_keypair(key_bits);
+    let mechanism = Mechanism::TnraCmht;
+    let config = AuthConfig {
+        key_bits,
+        ..AuthConfig::new(mechanism)
+    };
+    let auth = AuthenticatedIndex::build(index.clone(), &key, config, &corpus);
+    let df: Vec<u32> = (0..index.num_terms() as u32).map(|t| index.ft(t)).collect();
+    let term_sets = authsearch_corpus::workload::trec_like(&df, num_queries, 0.35, 17);
+    let pair_sets: Vec<Vec<(TermId, u32)>> = term_sets
+        .iter()
+        .map(|terms| {
+            let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            pairs.sort_unstable();
+            pairs.dedup_by_key(|p| p.0);
+            pairs
+        })
+        .collect();
+    let params = VerifierParams {
+        public_key: key.public_key().clone(),
+        layout: config.layout,
+        mechanism,
+        num_docs: corpus.num_docs(),
+        okapi: index.params(),
+    };
+    let engine = Arc::new(SearchEngine::new(auth, corpus));
+
+    let mut json = Json::new();
+    json.field(1, "pr", "5", false);
+    json.field(
+        1,
+        "description",
+        "\"Connection admission + idle deadlines (shed with a typed BUSY, never a wedge) and the digest-mode VO wire path for TNRA\"",
+        false,
+    );
+    json.open(1, "machine");
+    json.field(2, "available_parallelism", &cores.to_string(), false);
+    json.field(
+        2,
+        "num_docs",
+        &engine.corpus().num_docs().to_string(),
+        false,
+    );
+    json.field(2, "num_terms", &index.num_terms().to_string(), false);
+    json.field(2, "mechanism", &format!("\"{}\"", mechanism.name()), true);
+    json.close(1, false);
+
+    // ---- shed throughput under over-admission -----------------------------
+    const CLIENTS: usize = 6;
+    const CAP: usize = 2;
+    let queries_per_client = (num_queries / CLIENTS).max(4);
+    let run_clients = |server_config: ServerConfig| -> (f64, u64, u64, u64) {
+        let handle = Server::start(Arc::clone(&engine), "127.0.0.1:0", server_config)
+            .expect("bind loopback");
+        let addr = handle.addr();
+        let start = Instant::now();
+        let mut threads = Vec::new();
+        for c in 0..CLIENTS {
+            let params = params.clone();
+            let pair_sets = pair_sets.clone();
+            threads.push(std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_attempts: 10_000,
+                    base: Duration::from_millis(1),
+                    cap: Duration::from_millis(20),
+                };
+                let mut connection = Connection::connect(addr, params).expect("connect");
+                for i in 0..queries_per_client {
+                    let pairs = &pair_sets[(c + i) % pair_sets.len()];
+                    connection
+                        .query_terms_retrying(pairs, 10, policy)
+                        .expect("verified response");
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().expect("client thread");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let stats = handle.shutdown();
+        let qps = (CLIENTS * queries_per_client) as f64 / secs;
+        (
+            qps,
+            stats.connections_shed,
+            stats.active_highwater,
+            stats.requests_ok,
+        )
+    };
+    eprintln!("[bench_pr5] shed: {CLIENTS} clients vs max_connections={CAP}…");
+    let capped_config = ServerConfig {
+        max_connections: CAP,
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let (capped_qps, shed, highwater, capped_ok) = run_clients(capped_config);
+    eprintln!("[bench_pr5] shed: unlimited admission baseline…");
+    let unlimited_config = ServerConfig {
+        max_connections: 0,
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let (open_qps, _, open_highwater, open_ok) = run_clients(unlimited_config);
+    json.open(1, "shed");
+    json.field(2, "clients", &CLIENTS.to_string(), false);
+    json.field(
+        2,
+        "queries_per_client",
+        &queries_per_client.to_string(),
+        false,
+    );
+    json.field(2, "max_connections", &CAP.to_string(), false);
+    json.field(2, "capped_completed_ok", &capped_ok.to_string(), false);
+    json.field(2, "capped_verified_qps", &num(capped_qps), false);
+    json.field(2, "capped_busy_sheds", &shed.to_string(), false);
+    json.field(2, "capped_highwater", &highwater.to_string(), false);
+    json.field(2, "unlimited_completed_ok", &open_ok.to_string(), false);
+    json.field(2, "unlimited_verified_qps", &num(open_qps), false);
+    json.field(2, "unlimited_highwater", &open_highwater.to_string(), true);
+    json.close(1, false);
+
+    // ---- digest mode vs full echo -----------------------------------------
+    eprintln!("[bench_pr5] digest: OkDigest vs full-echo bytes and q/s…");
+    let handle = Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    let mut connection = Connection::connect(handle.addr(), params.clone()).expect("connect");
+    let before = handle.metrics();
+    let start = Instant::now();
+    for pairs in &pair_sets {
+        connection
+            .query_terms(pairs, 10)
+            .expect("full echo verifies");
+    }
+    let full_secs = start.elapsed().as_secs_f64();
+    let mid = handle.metrics();
+    let start = Instant::now();
+    for pairs in &pair_sets {
+        connection
+            .query_terms_digests(pairs, 10)
+            .expect("digest mode verifies");
+    }
+    let slim_secs = start.elapsed().as_secs_f64();
+    let after = handle.metrics();
+    handle.shutdown();
+    let n = pair_sets.len() as f64;
+    let full_bytes = (mid.bytes_out - before.bytes_out) as f64 / n;
+    let slim_bytes = (after.bytes_out - mid.bytes_out) as f64 / n;
+    json.open(1, "digest");
+    json.field(2, "queries", &pair_sets.len().to_string(), false);
+    json.field(2, "full_echo_bytes_per_reply", &num(full_bytes), false);
+    json.field(2, "ok_digest_bytes_per_reply", &num(slim_bytes), false);
+    json.field(
+        2,
+        "wire_bytes_ratio",
+        &num(full_bytes / slim_bytes.max(1.0)),
+        false,
+    );
+    json.field(2, "full_echo_qps", &num(n / full_secs), false);
+    json.field(2, "ok_digest_qps", &num(n / slim_secs), true);
+    json.close(1, false);
+
+    // ---- TCP_NODELAY on vs off --------------------------------------------
+    eprintln!("[bench_pr5] nodelay: small-frame round-trip latency on vs off…");
+    let latency_queries = pair_sets.len().min(120);
+    let run_latency = |nodelay: bool| -> f64 {
+        let handle = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                nodelay,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut connection =
+            Connection::connect_with_nodelay(handle.addr(), params.clone(), nodelay)
+                .expect("connect");
+        // Warm the path once, then time per-query round trips.
+        connection.query_terms(&pair_sets[0], 3).expect("warmup");
+        let start = Instant::now();
+        for pairs in pair_sets.iter().take(latency_queries) {
+            connection.query_terms(pairs, 3).expect("verified");
+        }
+        let mean_us = start.elapsed().as_secs_f64() * 1e6 / latency_queries as f64;
+        handle.shutdown();
+        mean_us
+    };
+    let on_us = run_latency(true);
+    let off_us = run_latency(false);
+    json.open(1, "nodelay");
+    json.field(2, "queries", &latency_queries.to_string(), false);
+    json.field(2, "nodelay_on_us_per_query", &num(on_us), false);
+    json.field(2, "nodelay_off_us_per_query", &num(off_us), false);
+    json.field(2, "off_over_on", &num(off_us / on_us.max(1e-9)), true);
+    json.close(1, true);
+
+    let out = json.finish();
+    std::fs::write(&out_path, &out).expect("write BENCH_PR5.json");
+    eprintln!("[bench_pr5] wrote {out_path}");
+    print!("{out}");
+}

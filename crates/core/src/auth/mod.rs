@@ -208,27 +208,32 @@ impl AuthConfig {
     }
 }
 
-/// Parse an `AUTHSEARCH_THREADS` value: `None` (unset) and `"0"` both
-/// mean auto; any non-empty decimal is a pinned width; everything else
-/// — empty, whitespace, negative, non-numeric — is rejected with a
-/// message naming the offending value.
-///
-/// Split out as a pure function so the reject paths are unit-testable
-/// without mutating process environment.
-pub(crate) fn parse_threads_env(raw: Option<&str>) -> Result<usize, String> {
-    let Some(raw) = raw else { return Ok(0) };
+/// Parse one non-negative-integer environment override named `name` —
+/// the shared grammar of every `AUTHSEARCH_*` numeric knob
+/// (`AUTHSEARCH_THREADS`, `AUTHSEARCH_MAX_CONNECTIONS`,
+/// `AUTHSEARCH_IDLE_MS`): surrounding whitespace tolerated; empty,
+/// negative, or non-numeric values rejected with a message naming the
+/// variable and the offending value. Pure, so the reject paths are
+/// unit-testable without mutating process environment; callers decide
+/// unset semantics and warn-once policy.
+pub(crate) fn parse_usize_env(name: &str, raw: &str) -> Result<usize, String> {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
-        return Err(
-            "AUTHSEARCH_THREADS is set but empty; expected a thread count (0 = auto)".to_string(),
-        );
+        return Err(format!(
+            "{name} is set but empty; expected a non-negative integer"
+        ));
     }
-    trimmed.parse::<usize>().map_err(|_| {
-        format!(
-            "AUTHSEARCH_THREADS={trimmed:?} is not a valid thread count \
-             (expected a non-negative integer; 0 = auto)"
-        )
-    })
+    trimmed
+        .parse::<usize>()
+        .map_err(|_| format!("{name}={trimmed:?} is not a valid non-negative integer"))
+}
+
+/// Parse an `AUTHSEARCH_THREADS` value: `None` (unset) and `"0"` both
+/// mean auto; any non-empty decimal is a pinned width; everything else
+/// is rejected via [`parse_usize_env`].
+pub(crate) fn parse_threads_env(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else { return Ok(0) };
+    parse_usize_env("AUTHSEARCH_THREADS", raw).map_err(|why| format!("{why} (0 = auto)"))
 }
 
 /// The process-wide default for [`AuthConfig::threads`]: the

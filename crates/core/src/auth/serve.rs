@@ -17,7 +17,7 @@ use crate::types::{ProcessingOutcome, Query, QueryResult};
 use crate::vo::{DictVo, DocVo, PrefixData, TermProof, TermVo, VerificationObject};
 use crate::{tnra, tra};
 use authsearch_corpus::{DocId, TermId};
-use authsearch_crypto::MerkleTree;
+use authsearch_crypto::{Digest, MerkleTree};
 use authsearch_index::{ImpactEntry, IoStats};
 use std::collections::BTreeSet;
 
@@ -38,6 +38,19 @@ pub struct QueryResponse {
     /// Entries fetched per query-term list (pre-buddy-padding) — the
     /// paper's "# entries read" metric.
     pub entries_read: Vec<usize>,
+}
+
+impl QueryResponse {
+    /// `(doc, h(content))` for every delivered result document, in
+    /// result order — what the digest-mode wire reply
+    /// ([`crate::wire::Reply::OkDigest`]) ships in place of the
+    /// contents themselves.
+    pub fn content_digests(&self) -> Vec<(DocId, Digest)> {
+        self.contents
+            .iter()
+            .map(|(d, bytes)| (*d, Digest::hash(bytes)))
+            .collect()
+    }
 }
 
 impl AuthenticatedIndex {

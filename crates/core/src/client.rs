@@ -6,9 +6,11 @@ use crate::auth::serve::QueryResponse;
 use crate::types::{Query, QueryTerm};
 use crate::verify::{self, VerifiedResult, VerifierParams, VerifyError};
 use crate::wire::{self, Reply, Request, WireError};
-use authsearch_corpus::TermId;
+use authsearch_corpus::{DocId, TermId};
+use authsearch_crypto::Digest;
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A verifying client.
 pub struct Client {
@@ -172,6 +174,40 @@ impl From<VerifyError> for ClientNetError {
     }
 }
 
+/// Backoff schedule for [`Connection::query_terms_retrying`]: capped
+/// exponential — attempt `i` waits `min(base · 2^i, cap)` before
+/// reconnecting. Deterministic (no jitter source in this no-dependency
+/// build); the cap keeps a long outage from growing unbounded sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (`1` = no retry).
+    pub max_attempts: usize,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(800),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay after failed attempt `attempt` (0-based).
+    pub fn delay(&self, attempt: usize) -> Duration {
+        // 2^attempt with the shift clamped so the multiply cannot
+        // overflow before the cap applies.
+        let factor = 1u32 << attempt.min(20) as u32;
+        self.cap.min(self.base.saturating_mul(factor))
+    }
+}
+
 /// A verifying client connected to a running [`crate::server`]: sends
 /// framed queries, receives framed responses, and accepts **nothing**
 /// until the VO inside checks out against the owner's public
@@ -179,6 +215,13 @@ impl From<VerifyError> for ClientNetError {
 pub struct Connection {
     stream: TcpStream,
     client: Client,
+    /// Resolved peer address, kept for [`Connection::reconnect`] (the
+    /// retry-on-busy path needs a fresh socket — a shed connection is
+    /// closed by the server right after the BUSY frame).
+    addr: SocketAddr,
+    /// Whether sockets are opened with `TCP_NODELAY` (see
+    /// [`Connection::connect_with_nodelay`]).
+    nodelay: bool,
     /// The stream's framing can no longer be trusted (a reply header
     /// failed to parse, so the next frame boundary is unknown). Every
     /// subsequent operation fails fast instead of misreading stale
@@ -190,13 +233,44 @@ impl Connection {
     /// Connect to a server and verify against `params` (obtained from
     /// the data owner's broadcast, *not* from the server).
     pub fn connect<A: ToSocketAddrs>(addr: A, params: VerifierParams) -> io::Result<Connection> {
+        Connection::connect_with_nodelay(addr, params, true)
+    }
+
+    /// [`Connection::connect`] with `TCP_NODELAY` explicit. The default
+    /// (`true`) is right for this protocol — request and reply frames
+    /// are small, and Nagle batching adds a delayed-ACK round trip to
+    /// every exchange; `false` exists for measurement (`bench_pr5`
+    /// records the latency gap).
+    pub fn connect_with_nodelay<A: ToSocketAddrs>(
+        addr: A,
+        params: VerifierParams,
+        nodelay: bool,
+    ) -> io::Result<Connection> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        if nodelay {
+            stream.set_nodelay(true)?;
+        }
+        let addr = stream.peer_addr()?;
         Ok(Connection {
             stream,
             client: Client::new(params),
+            addr,
+            nodelay,
             desynced: false,
         })
+    }
+
+    /// Drop the current socket and dial the same server again, clearing
+    /// any desynchronization — the transport is fresh; the verification
+    /// parameters (and their trust root) are unchanged.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        if self.nodelay {
+            stream.set_nodelay(true)?;
+        }
+        self.stream = stream;
+        self.desynced = false;
+        Ok(())
     }
 
     /// The local verifying client (for offline re-checks).
@@ -217,6 +291,7 @@ impl Connection {
         self.send(&Request::Terms {
             terms: terms.to_vec(),
             r: request_r(r)?,
+            want_digests: false,
         })?;
         let (echo, response) = self.receive()?;
         if echo != terms {
@@ -226,6 +301,86 @@ impl Connection {
         }
         let verified = self.client.verify_terms(terms, r, &response)?;
         Ok((verified, response))
+    }
+
+    /// [`Connection::query_terms`] with retry-on-busy: a server at its
+    /// connection cap answers with a typed
+    /// [`crate::wire::errcode::BUSY`] frame and closes — this wrapper
+    /// backs off per `policy` (capped exponential), reconnects, and
+    /// tries again, up to `policy.max_attempts` total attempts.
+    /// A [`crate::wire::errcode::TIMEOUT`] idle eviction and
+    /// connection-level I/O failures (reset/EOF — the close racing a
+    /// refusal frame, or a server mid-restart) retry the same way;
+    /// every other error, above all a **verification failure**,
+    /// surfaces immediately — retrying cannot make a forged proof
+    /// honest.
+    pub fn query_terms_retrying(
+        &mut self,
+        terms: &[(TermId, u32)],
+        r: usize,
+        policy: RetryPolicy,
+    ) -> Result<(VerifiedResult, QueryResponse), ClientNetError> {
+        let mut attempt = 0usize;
+        loop {
+            let result = self.query_terms(terms, r);
+            let retriable = match &result {
+                // TIMEOUT is the server's idle eviction ("reconnect to
+                // continue") — the same condition surfaces as an I/O
+                // error when the close wins the race, so treat both
+                // uniformly.
+                Err(ClientNetError::Server { code, .. }) => {
+                    *code == wire::errcode::BUSY || *code == wire::errcode::TIMEOUT
+                }
+                Err(ClientNetError::Io(e)) => matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::UnexpectedEof
+                ),
+                _ => false,
+            };
+            if !retriable || attempt + 1 >= policy.max_attempts.max(1) {
+                return result;
+            }
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
+            // A failed reconnect leaves the dead socket in place; the
+            // next attempt fails fast with a retriable I/O error and
+            // dials again, so the policy's budget still bounds the loop.
+            let _ = self.reconnect();
+        }
+    }
+
+    /// Pose a term query in **digest mode**: ask the server to stream
+    /// the VO with `(doc, h(content))` pairs instead of echoing full
+    /// result-document contents ([`crate::wire::Reply::OkDigest`]).
+    /// TNRA verification never consumes the contents, so the verdict is
+    /// byte-identical to [`Connection::query_terms`] (regression-tested
+    /// against the attack suite); the returned `response` has an empty
+    /// `contents`. A TRA server falls back to the full echo — then the
+    /// digests are computed locally from the delivered (and verified)
+    /// contents, so the caller sees one shape either way.
+    #[allow(clippy::type_complexity)]
+    pub fn query_terms_digests(
+        &mut self,
+        terms: &[(TermId, u32)],
+        r: usize,
+    ) -> Result<(VerifiedResult, QueryResponse, Vec<(DocId, Digest)>), ClientNetError> {
+        self.send(&Request::Terms {
+            terms: terms.to_vec(),
+            r: request_r(r)?,
+            want_digests: true,
+        })?;
+        let (echo, response, digests) = self.receive_any()?;
+        if echo != terms {
+            return Err(ClientNetError::Protocol(format!(
+                "server echoed terms {echo:?} for a query posing {terms:?}"
+            )));
+        }
+        let verified = self.client.verify_terms(terms, r, &response)?;
+        let digests = digests.unwrap_or_else(|| response.content_digests());
+        Ok((verified, response, digests))
     }
 
     /// Pose a natural-language query. The server parses it against its
@@ -242,6 +397,7 @@ impl Connection {
         self.send(&Request::Text {
             text: text.to_string(),
             r: request_r(r)?,
+            want_digests: false,
         })?;
         let (echo, response) = self.receive()?;
         let verified = self.client.verify_terms(&echo, r, &response)?;
@@ -280,6 +436,7 @@ impl Connection {
                 Request::Terms {
                     terms: terms.clone(),
                     r: wire_r,
+                    want_digests: false,
                 }
                 .encode_frame()
             })
@@ -302,19 +459,36 @@ impl Connection {
         }
         // Verify the successfully received responses as one batch
         // (shared-signature memoization), then zip verdicts back.
+        //
+        // Alignment is structural, not positional: the pass that queues
+        // a response for verification records, *in the same slot*, the
+        // index its verdict will land at. A reply that arrived as an
+        // error frame or with a mismatched echo surfaces as exactly
+        // that slot's per-query error — it can never shift a neighbor
+        // onto someone else's verdict (the bug a running `next()`
+        // cursor over a separately-filtered iterator invites).
         let mut requests: Vec<(&[(TermId, u32)], &QueryResponse)> = Vec::new();
+        let mut verdict_index: Vec<Option<usize>> = Vec::with_capacity(queries.len());
         for (terms, reply) in queries.iter().zip(&replies) {
-            if let Ok((echo, response)) = reply {
-                if echo == terms {
+            match reply {
+                Ok((echo, response)) if echo == terms => {
+                    verdict_index.push(Some(requests.len()));
                     requests.push((terms.as_slice(), response));
                 }
+                _ => verdict_index.push(None),
             }
         }
-        let mut verdicts = self.client.verify_batch(&requests, r).into_iter();
+        let mut verdicts: Vec<Option<Result<VerifiedResult, VerifyError>>> = self
+            .client
+            .verify_batch(&requests, r)
+            .into_iter()
+            .map(Some)
+            .collect();
         let out = queries
             .iter()
             .zip(replies)
-            .map(|(terms, reply)| {
+            .zip(verdict_index)
+            .map(|((terms, reply), vix)| {
                 let (echo, response) = reply?;
                 if echo != *terms {
                     return Err(ClientNetError::Protocol(format!(
@@ -322,8 +496,9 @@ impl Connection {
                     )));
                 }
                 let verified = verdicts
-                    .next()
-                    .expect("one verdict per well-echoed response")?;
+                    [vix.expect("well-echoed replies were queued for verification")]
+                .take()
+                .expect("each verdict is consumed exactly once")?;
                 Ok((verified, response))
             })
             .collect();
@@ -343,8 +518,7 @@ impl Connection {
     /// is malformed keeps the stream in sync — exactly the advertised
     /// bytes were consumed — so later queries on the connection remain
     /// sound.
-    #[allow(clippy::type_complexity)]
-    fn receive(&mut self) -> Result<(Vec<(TermId, u32)>, QueryResponse), ClientNetError> {
+    fn receive_reply(&mut self) -> Result<Reply, ClientNetError> {
         if self.desynced {
             return Err(ClientNetError::Protocol(
                 "connection desynchronized by an earlier framing error; reconnect".to_string(),
@@ -361,8 +535,44 @@ impl Connection {
         };
         let mut payload = vec![0u8; len];
         self.stream.read_exact(&mut payload)?;
-        match wire::decode_reply_payload(kind, &payload)? {
+        Ok(wire::decode_reply_payload(kind, &payload)?)
+    }
+
+    /// Receive for queries that did **not** ask for digest mode: a
+    /// digest-mode reply is a protocol violation (a server must not
+    /// strip contents the client never agreed to forgo).
+    #[allow(clippy::type_complexity)]
+    fn receive(&mut self) -> Result<(Vec<(TermId, u32)>, QueryResponse), ClientNetError> {
+        match self.receive_reply()? {
             Reply::Ok { terms, response } => Ok((terms, response)),
+            Reply::OkDigest { .. } => Err(ClientNetError::Protocol(
+                "unsolicited digest-mode reply to a full-echo query".to_string(),
+            )),
+            Reply::Err { code, message } => Err(ClientNetError::Server { code, message }),
+        }
+    }
+
+    /// Receive for digest-mode queries: accepts the digest reply
+    /// (`Some(digests)`) or the full-echo fallback (`None` — the caller
+    /// derives digests from the delivered contents).
+    #[allow(clippy::type_complexity)]
+    fn receive_any(
+        &mut self,
+    ) -> Result<
+        (
+            Vec<(TermId, u32)>,
+            QueryResponse,
+            Option<Vec<(DocId, Digest)>>,
+        ),
+        ClientNetError,
+    > {
+        match self.receive_reply()? {
+            Reply::Ok { terms, response } => Ok((terms, response, None)),
+            Reply::OkDigest {
+                terms,
+                response,
+                digests,
+            } => Ok((terms, response, Some(digests))),
             Reply::Err { code, message } => Err(ClientNetError::Server { code, message }),
         }
     }
@@ -569,6 +779,177 @@ mod tests {
         assert_eq!(parse.len(), 1);
         assert_eq!(verified.result, response.result);
         handle.shutdown();
+    }
+
+    #[test]
+    fn retrying_query_waits_out_a_busy_server() {
+        let (engine, client, terms) = setup(Mechanism::TnraCmht);
+        let params = client.params().clone();
+        let handle = crate::server::Server::start(
+            std::sync::Arc::new(engine),
+            "127.0.0.1:0",
+            crate::server::ServerConfig {
+                max_connections: 1,
+                poll_interval: Duration::from_millis(10),
+                ..crate::server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        // A occupies the single slot.
+        let mut a = Connection::connect(handle.addr(), params.clone()).unwrap();
+        a.query_terms(&pairs, 5).expect("A is admitted");
+        // B without retry: the typed BUSY error, immediately.
+        let mut b = Connection::connect(handle.addr(), params).unwrap();
+        match b.query_terms(&pairs, 5) {
+            Err(ClientNetError::Server { code, .. }) => {
+                assert_eq!(code, crate::wire::errcode::BUSY)
+            }
+            other => panic!("expected BUSY, got {other:?}"),
+        }
+        // Free the slot shortly; B's retry loop must then get through.
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            drop(a);
+        });
+        let policy = RetryPolicy {
+            max_attempts: 60,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+        };
+        let (verified, response) = b
+            .query_terms_retrying(&pairs, 5, policy)
+            .expect("retry succeeds once the slot frees");
+        assert_eq!(verified.result, response.result);
+        release.join().unwrap();
+        let stats = handle.shutdown();
+        assert!(stats.connections_shed >= 1, "B was shed at least once");
+        assert_eq!(stats.active_highwater, 1);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(70),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(10));
+        assert_eq!(policy.delay(1), Duration::from_millis(20));
+        assert_eq!(policy.delay(2), Duration::from_millis(40));
+        assert_eq!(policy.delay(3), Duration::from_millis(70)); // capped
+        assert_eq!(policy.delay(60), Duration::from_millis(70)); // no overflow
+    }
+
+    #[test]
+    fn digest_query_verdict_matches_full_echo_over_loopback() {
+        // TNRA: digest mode saves the contents echo and must verify to
+        // the same verdict; the digests name exactly the result docs.
+        let (handle, mut connection, terms) = loopback(Mechanism::TnraCmht);
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let (full_verified, full_response) = connection.query_terms(&pairs, 5).expect("full echo");
+        let (slim_verified, slim_response, digests) = connection
+            .query_terms_digests(&pairs, 5)
+            .expect("digest mode");
+        assert_eq!(full_verified, slim_verified);
+        assert_eq!(full_response.vo, slim_response.vo);
+        assert!(slim_response.contents.is_empty());
+        assert_eq!(digests, full_response.content_digests());
+        handle.shutdown();
+        // TRA: the server falls back to the full echo; the client
+        // derives the digests locally so the caller sees one shape.
+        let (handle, mut connection, terms) = loopback(Mechanism::TraCmht);
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let (_, response, digests) = connection.query_terms_digests(&pairs, 5).expect("fallback");
+        assert!(!response.contents.is_empty(), "TRA needs the contents");
+        assert_eq!(digests, response.content_digests());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batch_slots_stay_aligned_through_a_misbehaving_server() {
+        // Regression for the pipelined batch: an error frame in slot 1
+        // and a tampered echo in slot 2 must surface as exactly those
+        // slots' errors — and slot 3 must verify against its OWN
+        // response, not inherit a neighbor's verdict.
+        use std::net::TcpListener;
+        let (engine, client, _) = setup(Mechanism::TnraCmht);
+        let engine = std::sync::Arc::new(engine);
+        let params = client.params().clone();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let engine = std::sync::Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut slot = 0usize;
+                loop {
+                    let mut header = [0u8; wire::FRAME_HEADER_LEN];
+                    if stream.read_exact(&mut header).is_err() {
+                        return; // client done
+                    }
+                    let (kind, len) = wire::decode_frame_header(&header).unwrap();
+                    let mut payload = vec![0u8; len];
+                    stream.read_exact(&mut payload).unwrap();
+                    let Request::Terms { terms, r, .. } =
+                        Request::decode_payload(kind, &payload).unwrap()
+                    else {
+                        panic!("term requests only")
+                    };
+                    let query = Query::from_term_pairs(engine.auth().index(), &terms);
+                    let response = engine.search(&query, r as usize);
+                    let bytes = match slot {
+                        1 => wire::encode_err_reply(crate::wire::errcode::INTERNAL, "injected")
+                            .unwrap(),
+                        2 => {
+                            // Honest response, lying echo.
+                            let mut echo = terms.clone();
+                            echo[0].1 += 7;
+                            wire::encode_ok_reply(&echo, &response).unwrap()
+                        }
+                        _ => wire::encode_ok_reply(&terms, &response).unwrap(),
+                    };
+                    stream.write_all(&bytes).unwrap();
+                    slot += 1;
+                }
+            })
+        };
+        let mut connection = Connection::connect(addr, params).unwrap();
+        let queries: Vec<Vec<(TermId, u32)>> = vec![
+            vec![(0, 1), (2, 1)],
+            vec![(1, 1)],
+            vec![(0, 1), (3, 1)],
+            vec![(2, 2)],
+        ];
+        let out = connection.query_terms_batch(&queries, 5).expect("batch");
+        assert_eq!(out.len(), 4);
+        assert!(out[0].is_ok(), "{:?}", out[0].as_ref().err());
+        assert!(matches!(
+            out[1],
+            Err(ClientNetError::Server {
+                code: crate::wire::errcode::INTERNAL,
+                ..
+            })
+        ));
+        assert!(matches!(out[2], Err(ClientNetError::Protocol(_))));
+        let (verified, response) = out[3].as_ref().expect("slot 3 is honest");
+        assert_eq!(verified.result, response.result);
+        // The alignment proof: slot 3's response is the engine's answer
+        // to QUERY 3 (not a shifted neighbor's).
+        let want = engine.search(
+            &Query::from_term_pairs(engine.auth().index(), &queries[3]),
+            5,
+        );
+        assert_eq!(response.result, want.result);
+        assert_eq!(response.vo, want.vo);
+        drop(connection);
+        server.join().unwrap();
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod wire;
 pub use auth::serve::QueryResponse;
 pub use auth::{AuthConfig, AuthenticatedIndex, CacheStats, ContentProvider, WarmStats};
 pub use cache::LruCache;
-pub use client::{Client, ClientNetError, Connection};
+pub use client::{Client, ClientNetError, Connection, RetryPolicy};
 pub use engine::SearchEngine;
 pub use metrics::{measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot};
 pub use owner::{DataOwner, Publication};

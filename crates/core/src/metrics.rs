@@ -21,9 +21,10 @@ use std::time::{Duration, Instant};
 /// connection handler; snapshot with [`ServerMetrics::snapshot`].
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    /// Connections accepted.
+    /// Connections admitted (shed connections are **not** counted here).
     pub connections: AtomicU64,
-    /// Requests answered with a [`crate::wire::kind::REPLY_OK`] frame.
+    /// Requests answered with a [`crate::wire::kind::REPLY_OK`] (or
+    /// [`crate::wire::kind::REPLY_OK_DIGEST`]) frame.
     pub requests_ok: AtomicU64,
     /// Requests answered with a [`crate::wire::kind::REPLY_ERR`] frame.
     pub requests_err: AtomicU64,
@@ -31,14 +32,28 @@ pub struct ServerMetrics {
     pub bytes_in: AtomicU64,
     /// Reply frame bytes written to the wire.
     pub bytes_out: AtomicU64,
+    /// Connections refused at admission because the server sat at
+    /// [`crate::ServerConfig::max_connections`]. Each gets a typed
+    /// [`crate::wire::errcode::BUSY`] reply while the polite-refusal
+    /// path has capacity; past its bound (a connect flood) the
+    /// remainder are dropped without one — both count here, because
+    /// both were shed.
+    pub connections_shed: AtomicU64,
+    /// Connections evicted by the idle deadline (slow-loris peers and
+    /// parked sockets), answered with a
+    /// [`crate::wire::errcode::TIMEOUT`] reply.
+    pub connections_timed_out: AtomicU64,
+    /// High-water mark of simultaneously admitted connections — how
+    /// close the server has come to its cap.
+    pub active_highwater: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerMetrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerMetricsSnapshot {
-    /// Connections accepted.
+    /// Connections admitted.
     pub connections: u64,
-    /// Requests answered successfully.
+    /// Requests answered successfully (full-echo or digest-mode).
     pub requests_ok: u64,
     /// Requests answered with an error reply.
     pub requests_err: u64,
@@ -46,6 +61,12 @@ pub struct ServerMetricsSnapshot {
     pub bytes_in: u64,
     /// Reply frame bytes written.
     pub bytes_out: u64,
+    /// Connections shed at admission with a typed BUSY reply.
+    pub connections_shed: u64,
+    /// Connections evicted by the idle deadline.
+    pub connections_timed_out: u64,
+    /// High-water mark of simultaneously admitted connections.
+    pub active_highwater: u64,
 }
 
 impl ServerMetrics {
@@ -57,6 +78,9 @@ impl ServerMetrics {
             requests_err: self.requests_err.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
+            active_highwater: self.active_highwater.load(Ordering::Relaxed),
         }
     }
 }

@@ -69,6 +69,42 @@ pub struct ServerConfig {
     /// `read` before re-checking the shutdown flag. Bounds shutdown
     /// latency for idle connections.
     pub poll_interval: Duration,
+    /// Admission cap: the most connections served simultaneously
+    /// (`0` = unlimited, the pre-PR-5 behavior). A connection accepted
+    /// over the cap is **shed with an answer** — a
+    /// [`crate::wire::errcode::BUSY`] reply frame, then a clean close —
+    /// never a silent RST, so clients can back off and retry
+    /// ([`crate::Connection::query_terms_retrying`]). The default reads
+    /// `AUTHSEARCH_MAX_CONNECTIONS` (unset/`0` = unlimited), which is
+    /// how CI runs the loopback suite in shedding mode.
+    pub max_connections: usize,
+    /// Idle deadline: a connection that receives **no byte** for this
+    /// long — parked between requests, or dribbling a partial frame
+    /// (the slow-loris shape) — is answered with a
+    /// [`crate::wire::errcode::TIMEOUT`] frame and closed, releasing
+    /// its thread. The clock restarts at every received byte **and**
+    /// every written reply, so time the *server* spends computing an
+    /// answer is never charged to the peer. `Duration::ZERO` disables
+    /// the deadline (consistent with
+    /// [`ServerConfig::max_connections`]'s `0` = unlimited). The
+    /// default reads `AUTHSEARCH_IDLE_MS` (unset = 30 seconds).
+    pub idle_deadline: Duration,
+    /// Bound on writing one complete reply. This is a **total** budget
+    /// for the frame, not a per-`write(2)` stall timeout: a peer
+    /// trickling its reads just fast enough to keep individual writes
+    /// "making progress" is the slow-loris attack moved to the write
+    /// side, and it must not park the thread (or hang the graceful
+    /// shutdown, which waits for in-flight replies to drain) any longer
+    /// than a fully stalled one. A peer that exceeds it is dropped and
+    /// counted as timed out (nothing can be *sent* through a clogged
+    /// pipe). `Duration::ZERO` falls back to the 30-second default
+    /// rather than disabling the bound.
+    pub write_timeout: Duration,
+    /// `TCP_NODELAY` on connection sockets (default on: request/reply
+    /// frames are small, and Nagle batching just adds a delayed-ACK
+    /// round trip to every exchange). Off exists for measurement —
+    /// `bench_pr5` records the latency gap.
+    pub nodelay: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +113,77 @@ impl Default for ServerConfig {
             warm_top_k: None,
             max_r: 1024,
             poll_interval: Duration::from_millis(50),
+            max_connections: env_usize("AUTHSEARCH_MAX_CONNECTIONS").unwrap_or(0),
+            idle_deadline: env_usize("AUTHSEARCH_IDLE_MS")
+                .map(|ms| Duration::from_millis(ms as u64))
+                .unwrap_or(DEFAULT_IDLE_DEADLINE),
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+            nodelay: true,
+        }
+    }
+}
+
+/// Default [`ServerConfig::idle_deadline`].
+pub const DEFAULT_IDLE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Default [`ServerConfig::write_timeout`]; also substituted when the
+/// configured value is zero (the write bound is what keeps a
+/// non-draining peer from hanging graceful shutdown).
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Write `bytes` completely within a **total** budget of `bound`. The
+/// socket's own write timeout caps any single stalled `write(2)`; the
+/// elapsed check caps the sum, so a trickle-reading peer cannot stretch
+/// one reply indefinitely by letting each call make token progress
+/// (worst case ≈ `bound` plus one socket write timeout).
+/// The write budget actually enforced: the configured value, or the
+/// default when configured zero (never unbounded).
+fn effective_write_timeout(config: &ServerConfig) -> Duration {
+    if config.write_timeout.is_zero() {
+        DEFAULT_WRITE_TIMEOUT
+    } else {
+        config.write_timeout
+    }
+}
+
+fn write_all_bounded(mut stream: &TcpStream, bytes: &[u8], bound: Duration) -> io::Result<()> {
+    let start = std::time::Instant::now();
+    let mut written = 0;
+    while written < bytes.len() {
+        if start.elapsed() >= bound {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "peer not draining its replies",
+            ));
+        }
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0")),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Read a `usize` environment override through the shared
+/// [`crate::auth::parse_usize_env`] grammar, warning (once per process
+/// *per variable* — a second malformed variable must not be masked by
+/// the first one's warning) and ignoring the value when it does not
+/// parse — a typo in a deployment manifest should surface in the logs,
+/// not silently change admission behavior.
+fn env_usize(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match crate::auth::parse_usize_env(name, &raw) {
+        Ok(v) => Some(v),
+        Err(why) => {
+            static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+            let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+            if !warned.iter().any(|n| n == name) {
+                warned.push(name.to_string());
+                eprintln!("warning: {why}; ignoring the override");
+            }
+            None
         }
     }
 }
@@ -107,6 +214,11 @@ struct ServerState {
     /// past connections — the map's size tracks *live* connections
     /// only.
     connections: Mutex<std::collections::HashMap<u64, ConnEntry>>,
+    /// Shed handshakes currently in flight (each owns a short-lived
+    /// thread writing the BUSY frame); bounded by
+    /// [`MAX_SHED_HANDSHAKES`] so a connect flood cannot turn the
+    /// refusal path itself into a thread bomb.
+    shedding: std::sync::atomic::AtomicU64,
 }
 
 /// The server front: binds, warms, and accepts.
@@ -139,6 +251,7 @@ impl Server {
             metrics: ServerMetrics::default(),
             shutdown: Arc::clone(&shutdown),
             connections: Mutex::new(std::collections::HashMap::new()),
+            shedding: std::sync::atomic::AtomicU64::new(0),
         });
         let acceptor = {
             let state = Arc::clone(&state);
@@ -193,14 +306,21 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Graceful drain: close only the **read** side first. Blocked
+        // readers wake with EOF (and the poll ticks observe the flag),
+        // but a handler that already consumed a request keeps a working
+        // write side, so its in-flight reply is delivered before the
+        // join below — shutting down never swallows an answer the
+        // server already owed.
         let connections = std::mem::take(&mut *lock_recover(&self.state.connections));
+        for (stream, _) in connections.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
         for (_, (stream, handle)) in connections {
-            // Readers wake with an error (or at the next poll tick) and
-            // observe the flag.
-            let _ = stream.shutdown(Shutdown::Both);
             if let Some(handle) = handle {
                 let _ = handle.join();
             }
+            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -242,6 +362,15 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         // sockets on some platforms; connection I/O must block (with a
         // read timeout) instead.
         let _ = stream.set_nonblocking(false);
+        // Admission: at the cap, shed this connection with a typed BUSY
+        // reply instead of parking another thread on it. The registry
+        // holds live connections only (handlers self-prune on exit), so
+        // its size *is* the live count.
+        let live = lock_recover(&state.connections).len();
+        if state.config.max_connections > 0 && live >= state.config.max_connections {
+            shed_connection(stream, &state);
+            continue;
+        }
         state.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let monitor = match stream.try_clone() {
             Ok(clone) => clone,
@@ -252,7 +381,14 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         // Register before spawning: the handler removes its own entry
         // when it exits, and removal of a not-yet-registered entry
         // would leak the monitor fd.
-        lock_recover(&state.connections).insert(id, (monitor, None));
+        {
+            let mut connections = lock_recover(&state.connections);
+            connections.insert(id, (monitor, None));
+            state
+                .metrics
+                .active_highwater
+                .fetch_max(connections.len() as u64, Ordering::Relaxed);
+        }
         let spawned = {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
@@ -275,6 +411,67 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     }
 }
 
+/// Most shed handshakes allowed in flight at once. Refusing a
+/// connection politely takes a (short-lived) thread — writing the BUSY
+/// frame, then draining briefly so closing with unread request bytes
+/// does not turn into an RST that destroys the refusal in the peer's
+/// receive buffer. Past this bound the server is under a connect flood
+/// and sheds silently (drop), keeping the acceptor itself unblockable.
+const MAX_SHED_HANDSHAKES: u64 = 64;
+
+/// Refuse one over-cap connection: typed BUSY reply, FIN (not RST),
+/// bounded drain, close. Runs on a detached short-lived thread so the
+/// acceptor never blocks on a slow refused peer.
+fn shed_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    state
+        .metrics
+        .connections_shed
+        .fetch_add(1, Ordering::Relaxed);
+    let inflight = state.shedding.fetch_add(1, Ordering::AcqRel);
+    if inflight >= MAX_SHED_HANDSHAKES {
+        // Connect flood: the polite path is saturated; dropping is the
+        // only shed that cannot be weaponized against the acceptor.
+        state.shedding.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    let outer = Arc::clone(state);
+    let state = Arc::clone(state);
+    let spawned = std::thread::Builder::new()
+        .name("authsearch-shed".into())
+        .spawn(move || {
+            let max = state.config.max_connections;
+            let message = format!("server at capacity ({max} connections); retry with backoff");
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            if let Ok(bytes) = wire::encode_err_reply(wire::errcode::BUSY, &message) {
+                if (&stream).write_all(&bytes).is_ok() {
+                    state
+                        .metrics
+                        .bytes_out
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                }
+            }
+            // FIN first, then consume whatever request bytes are already
+            // in our receive buffer: closing with unread data provokes
+            // an RST on many stacks, which can wipe the BUSY frame out
+            // of the peer's receive buffer before it is read. The drain
+            // is bounded — a peer that keeps talking gets cut off.
+            let _ = stream.shutdown(Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut sink = [0u8; 1024];
+            for _ in 0..64 {
+                match (&stream).read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            state.shedding.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        outer.shedding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Serve one connection, then close the underlying socket explicitly —
 /// the acceptor holds a monitoring clone of it (for shutdown
 /// unblocking), so dropping our handle alone would leave the peer
@@ -287,17 +484,46 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>, id: u64) {
     lock_recover(&state.connections).remove(&id);
 }
 
+/// Why a [`read_full`] call stopped short of filling its buffer.
+enum ReadAbort {
+    /// EOF before the first byte: the peer closed cleanly between frames.
+    CleanEof,
+    /// No byte arrived within the idle deadline — the slow-loris shape
+    /// (or a parked connection); the caller owes the peer a typed
+    /// TIMEOUT reply before closing.
+    IdleExpired,
+    /// Server shutdown, mid-frame EOF, or a socket error; just close.
+    Fatal,
+}
+
 /// Read frames and answer them until the peer hangs up, the bytes stop
-/// making sense, or the server shuts down. Never panics on input.
-fn connection_loop(mut stream: &TcpStream, state: &Arc<ServerState>) {
+/// making sense, the idle deadline expires, or the server shuts down.
+/// Never panics on input.
+fn connection_loop(stream: &TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(state.config.poll_interval));
-    let _ = stream.set_nodelay(true);
+    // The write bound is non-optional: a blocked `write` cannot be
+    // interrupted, so without it one non-draining peer would hang the
+    // graceful shutdown (which waits for in-flight replies). Zero falls
+    // back to the default instead of meaning "unbounded".
+    let write_timeout = effective_write_timeout(&state.config);
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(state.config.nodelay);
+    // The idle clock restarts at every received byte, so a legitimately
+    // slow sender is never evicted mid-frame for link speed — but
+    // per-gap resets alone would let a peer *dribble* one byte per
+    // almost-deadline and stretch a frame indefinitely, so read_full
+    // additionally enforces a total per-buffer budget (frame_budget: a
+    // minimum average byte rate). It also restarts at every written
+    // reply (below), so server compute time is never charged to the
+    // peer's idle budget.
+    let mut last_byte = std::time::Instant::now();
     loop {
         // Frame header (tolerating read-timeout ticks between frames).
         let mut header = [0u8; wire::FRAME_HEADER_LEN];
-        match read_full(stream, &mut header, &state.shutdown) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return, // clean EOF, peer error, or shutdown
+        match read_full(stream, &mut header, state, &mut last_byte) {
+            Ok(()) => {}
+            Err(ReadAbort::CleanEof | ReadAbort::Fatal) => return,
+            Err(ReadAbort::IdleExpired) => return evict_idle(stream, state),
         }
         // Lenient header parse: magic, version, and payload length must
         // check out (without them the frame boundary is unknowable and
@@ -314,10 +540,30 @@ fn connection_loop(mut stream: &TcpStream, state: &Arc<ServerState>) {
                 return;
             }
         };
+        // Server-side request cap, far below the wire format's 64 MiB
+        // frame cap (which replies legitimately need): the largest
+        // encodable request is ~512 KiB of term pairs, so a bigger
+        // declaration is either garbage or an attempt to size our
+        // buffer — and consuming it would hand the dribble clock a
+        // 64 Mi-byte frame to stretch. Refuse and drop.
+        if len > MAX_REQUEST_PAYLOAD {
+            let _ = send_error_frame(
+                stream,
+                state,
+                wire::errcode::MALFORMED,
+                &format!(
+                    "request payload of {len} bytes exceeds the \
+                     {MAX_REQUEST_PAYLOAD}-byte request cap"
+                ),
+            );
+            return;
+        }
         let mut payload = vec![0u8; len];
-        match read_full(stream, &mut payload, &state.shutdown) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return, // truncated frame: peer is gone
+        match read_full(stream, &mut payload, state, &mut last_byte) {
+            Ok(()) => {}
+            // Mid-frame EOF: the peer died inside a frame; just close.
+            Err(ReadAbort::CleanEof | ReadAbort::Fatal) => return,
+            Err(ReadAbort::IdleExpired) => return evict_idle(stream, state),
         }
         state
             .metrics
@@ -329,6 +575,9 @@ fn connection_loop(mut stream: &TcpStream, state: &Arc<ServerState>) {
                 if send_error_frame(stream, state, code, &message).is_err() {
                     return;
                 }
+                // Serving the (failed) request consumed wall-clock the
+                // peer has no control over; don't charge it as idleness.
+                last_byte = std::time::Instant::now();
                 continue;
             }
         };
@@ -337,9 +586,26 @@ fn connection_loop(mut stream: &TcpStream, state: &Arc<ServerState>) {
             .bytes_out
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         state.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
-        if stream.write_all(&bytes).is_err() {
-            return;
+        match write_all_bounded(stream, &bytes, write_timeout) {
+            Ok(()) => {}
+            Err(e) => {
+                if e.kind() == io::ErrorKind::TimedOut || e.kind() == io::ErrorKind::WouldBlock {
+                    // A non-draining peer is the write-side slow loris;
+                    // count the eviction (no frame can tell it so — the
+                    // pipe is the problem).
+                    state
+                        .metrics
+                        .connections_timed_out
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
         }
+        // Restart the idle clock only after the reply has fully
+        // drained: engine compute time AND our own (bounded) write time
+        // are the server's wall-clock, not the peer's silence — its
+        // next-request budget starts now.
+        last_byte = std::time::Instant::now();
     }
 }
 
@@ -349,7 +615,14 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     let request = Request::decode_payload(kind, payload)
         .map_err(|e| (wire::errcode::MALFORMED, e.to_string()))?;
     // Validate before spending engine time.
-    let (pairs, query, r) = prepare(&state.engine, request, state.config.max_r)?;
+    let (pairs, query, r, want_digests) = prepare(&state.engine, request, state.config.max_r)?;
+    // Digest mode is honored only for TNRA deployments: TRA
+    // verification hashes the delivered result contents against the
+    // signed document-MHT roots, so stripping them would turn every
+    // honest TRA reply into a rejection. TNRA verification never reads
+    // them, so the verdict is unchanged (the falls-back-to-full-echo
+    // contract the client handles).
+    let digest_mode = want_digests && !state.engine.auth().config().mechanism.is_tra();
     // Dispatch onto the persistent pool: connection threads do I/O,
     // pool workers do crypto. The channel observes completion; a
     // panicking worker drops the sender, which surfaces as a coded
@@ -358,7 +631,12 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     let engine = Arc::clone(&state.engine);
     state.pool.submit(move || {
         let response = engine.search(&query, r);
-        let _ = tx.send(wire::encode_ok_reply(&pairs, &response));
+        let bytes = if digest_mode {
+            wire::encode_ok_digest_reply(&pairs, &response)
+        } else {
+            wire::encode_ok_reply(&pairs, &response)
+        };
+        let _ = tx.send(bytes);
     });
     match rx.recv() {
         Ok(Ok(bytes)) => Ok(bytes),
@@ -374,22 +652,30 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     }
 }
 
-/// Turn a decoded request into the `(echo, query, r)` triple, rejecting
-/// anything the engine should not be asked to do.
+/// Turn a decoded request into the `(echo, query, r, want_digests)`
+/// tuple, rejecting anything the engine should not be asked to do.
 #[allow(clippy::type_complexity)]
 fn prepare(
     engine: &SearchEngine,
     request: Request,
     max_r: usize,
-) -> Result<(Vec<(TermId, u32)>, Query, usize), (u8, String)> {
-    let (pairs, query, r) = match request {
-        Request::Text { text, r } => {
+) -> Result<(Vec<(TermId, u32)>, Query, usize, bool), (u8, String)> {
+    let (pairs, query, r, want_digests) = match request {
+        Request::Text {
+            text,
+            r,
+            want_digests,
+        } => {
             let query = engine.parse_query(&text);
             let pairs: Vec<(TermId, u32)> =
                 query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
-            (pairs, query, r)
+            (pairs, query, r, want_digests)
         }
-        Request::Terms { terms, r } => {
+        Request::Terms {
+            terms,
+            r,
+            want_digests,
+        } => {
             let num_terms = engine.auth().index().num_terms() as TermId;
             for window in terms.windows(2) {
                 if window[0].0 >= window[1].0 {
@@ -411,7 +697,7 @@ fn prepare(
                 }
             }
             let query = Query::from_term_pairs(engine.auth().index(), &terms);
-            (terms, query, r)
+            (terms, query, r, want_digests)
         }
     };
     if query.is_empty() {
@@ -427,7 +713,7 @@ fn prepare(
             format!("r = {r} outside the served range 1..={max_r}"),
         ));
     }
-    Ok((pairs, query, r))
+    Ok((pairs, query, r, want_digests))
 }
 
 fn send_error_frame(
@@ -446,37 +732,102 @@ fn send_error_frame(
     stream.write_all(&bytes)
 }
 
-/// Fill `buf` completely, tolerating read-timeout ticks (re-checking
-/// `shutdown` at each) and treating EOF *before the first byte* as a
-/// clean close (`Ok(false)`). EOF mid-buffer is an error: the peer died
-/// inside a frame.
-fn read_full(mut stream: &TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+/// Largest request payload the server will buffer. Well above the
+/// largest encodable request (u16-capped term pairs ≈ 512 KiB) and far
+/// below the wire format's [`wire::MAX_FRAME_PAYLOAD`], which exists
+/// for *replies*.
+pub const MAX_REQUEST_PAYLOAD: usize = 1 << 20;
+
+/// Minimum average inbound byte rate a mid-frame peer must sustain.
+/// Together with the per-gap idle deadline this bounds how long one
+/// frame can be stretched: a dribbler sending one byte per
+/// almost-deadline stays under the gap check but blows the total
+/// budget ([`frame_budget`]).
+const MIN_FRAME_BYTES_PER_SEC: u64 = 1024;
+
+/// Total time allowed to fill one `len`-byte buffer: one full idle gap
+/// (the wait for the first byte) plus the minimum-rate allowance for
+/// the bytes themselves. For the 10-byte header this is ≈ the idle
+/// deadline + 1 s; for a cap-sized request ≈ deadline + 17 min — long
+/// enough for any honest link, finite for every dribbler.
+fn frame_budget(idle_deadline: Duration, len: usize) -> Duration {
+    idle_deadline + Duration::from_secs(len as u64 / MIN_FRAME_BYTES_PER_SEC + 1)
+}
+
+/// Fill `buf` completely, tolerating read-timeout ticks. At every tick
+/// the shutdown flag, the per-gap idle deadline, and the total
+/// [`frame_budget`] are re-checked — a peer that has sent nothing for
+/// [`ServerConfig::idle_deadline`], or is dribbling below the minimum
+/// frame rate, is reported as [`ReadAbort::IdleExpired`] so the caller
+/// can answer it with a typed TIMEOUT frame instead of holding the
+/// thread forever (the slow-loris fix, both the silent and the
+/// trickling variant). `last_byte` restarts at every received byte.
+fn read_full(
+    mut stream: &TcpStream,
+    buf: &mut [u8],
+    state: &Arc<ServerState>,
+    last_byte: &mut std::time::Instant,
+) -> Result<(), ReadAbort> {
+    let started = std::time::Instant::now();
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
-                return if filled == 0 {
-                    Ok(false)
+                return Err(if filled == 0 {
+                    ReadAbort::CleanEof
                 } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "peer closed mid-frame",
-                    ))
-                };
+                    ReadAbort::Fatal // peer closed mid-frame
+                });
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                *last_byte = std::time::Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if shutdown.load(Ordering::Acquire) {
-                    return Err(io::Error::other("server shutting down"));
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Err(ReadAbort::Fatal);
+                }
+                // A zero deadline disables eviction (0 = unlimited,
+                // like `max_connections`), not "evict instantly".
+                let deadline = state.config.idle_deadline;
+                if !deadline.is_zero()
+                    && (last_byte.elapsed() >= deadline
+                        || started.elapsed() >= frame_budget(deadline, buf.len()))
+                {
+                    return Err(ReadAbort::IdleExpired);
                 }
             }
-            Err(e) => return Err(e),
+            Err(_) => return Err(ReadAbort::Fatal),
         }
     }
-    Ok(true)
+    Ok(())
+}
+
+/// Evict a peer that outlived the idle deadline: typed TIMEOUT reply
+/// (best effort — the write side has its own timeout), then the caller
+/// closes the socket. Shed with an answer, never a silent RST. Counted
+/// as a timed-out *connection*, not a request error — no request was
+/// ever completed.
+fn evict_idle(mut stream: &TcpStream, state: &Arc<ServerState>) {
+    state
+        .metrics
+        .connections_timed_out
+        .fetch_add(1, Ordering::Relaxed);
+    let deadline = state.config.idle_deadline;
+    let bytes = wire::encode_err_reply(
+        wire::errcode::TIMEOUT,
+        &format!("connection idle past the {deadline:?} deadline; reconnect to continue"),
+    )
+    .expect("error replies are always representable");
+    if stream.write_all(&bytes).is_ok() {
+        state
+            .metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -536,6 +887,7 @@ mod tests {
             &Request::Text {
                 text: "night keeper keep".into(),
                 r: 3,
+                want_digests: false,
             },
         );
         let client = crate::Client::new(params);
@@ -565,6 +917,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(m + 5, 1)],
                     r: 3,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -573,6 +926,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(1, 1), (1, 1)],
                     r: 3,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -581,6 +935,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(3, 1), (1, 1)],
                     r: 3,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -589,6 +944,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(1, 0)],
                     r: 3,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -597,6 +953,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(1, 1)],
                     r: u32::MAX,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -604,6 +961,7 @@ mod tests {
                 Request::Terms {
                     terms: vec![(1, 1)],
                     r: 0,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -612,6 +970,7 @@ mod tests {
                 Request::Text {
                     text: "zzzz qqqq".into(),
                     r: 3,
+                    want_digests: false,
                 },
                 wire::errcode::BAD_QUERY,
             ),
@@ -629,6 +988,7 @@ mod tests {
             &Request::Text {
                 text: "night keeper".into(),
                 r: 2,
+                want_digests: false,
             },
         ) {
             wire::Reply::Ok { .. } => {}
@@ -668,6 +1028,7 @@ mod tests {
             let good = Request::Text {
                 text: "night".into(),
                 r: 1,
+                want_digests: false,
             }
             .encode_frame()
             .unwrap();
@@ -696,6 +1057,7 @@ mod tests {
                 &Request::Text {
                     text: "night keeper".into(),
                     r: 2,
+                    want_digests: false,
                 },
             ) {
                 wire::Reply::Ok { .. } => {}
@@ -709,6 +1071,7 @@ mod tests {
             &Request::Text {
                 text: "night keeper".into(),
                 r: 2,
+                want_digests: false,
             },
         ) {
             wire::Reply::Ok { .. } => {}
@@ -718,6 +1081,277 @@ mod tests {
         let stats = handle.shutdown();
         assert!(stats.requests_err >= 3);
         assert_eq!(stats.requests_ok, 2);
+    }
+
+    #[test]
+    fn env_override_values_parse_strictly() {
+        let parse = |raw| crate::auth::parse_usize_env("AUTHSEARCH_MAX_CONNECTIONS", raw);
+        assert_eq!(parse("2"), Ok(2));
+        assert_eq!(parse(" 16 "), Ok(16));
+        assert_eq!(parse("0"), Ok(0));
+        for bad in ["", "   ", "two", "-3"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("AUTHSEARCH_MAX_CONNECTIONS"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn over_cap_connection_is_shed_with_typed_busy() {
+        let (engine, _) = test_engine(Mechanism::TnraCmht);
+        let handle = Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Admit A (the completed roundtrip proves it is registered).
+        let mut a = TcpStream::connect(handle.addr()).unwrap();
+        match roundtrip(
+            &mut a,
+            &Request::Text {
+                text: "night keeper".into(),
+                r: 2,
+                want_digests: false,
+            },
+        ) {
+            wire::Reply::Ok { .. } => {}
+            other => panic!("admitted connection must serve: {other:?}"),
+        }
+        // B lands over the cap: a typed BUSY frame, then close — the
+        // refusal arrives unprompted, before B sends a single byte.
+        let mut b = TcpStream::connect(handle.addr()).unwrap();
+        match read_reply(&mut b) {
+            wire::Reply::Err { code, message } => {
+                assert_eq!(code, wire::errcode::BUSY);
+                assert!(message.contains("capacity"), "{message}");
+            }
+            other => panic!("expected BUSY, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        let _ = b.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "nothing after the BUSY frame");
+        // A is unaffected by the shed.
+        match roundtrip(
+            &mut a,
+            &Request::Text {
+                text: "night keeper".into(),
+                r: 2,
+                want_digests: false,
+            },
+        ) {
+            wire::Reply::Ok { .. } => {}
+            other => panic!("shedding must not disturb admitted peers: {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections, 1, "only A was admitted");
+        assert_eq!(stats.connections_shed, 1);
+        assert_eq!(stats.active_highwater, 1);
+        assert_eq!(stats.requests_ok, 2);
+    }
+
+    #[test]
+    fn slow_loris_peer_evicted_by_idle_deadline() {
+        let (engine, _) = test_engine(Mechanism::TnraMht);
+        let handle = Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_deadline: Duration::from_millis(250),
+                poll_interval: Duration::from_millis(20),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Three bytes of a valid header, then silence — the classic
+        // slow-loris shape that used to park a server thread forever.
+        stream.write_all(&wire::FRAME_MAGIC[..3]).unwrap();
+        let start = std::time::Instant::now();
+        match read_reply(&mut stream) {
+            wire::Reply::Err { code, message } => {
+                assert_eq!(code, wire::errcode::TIMEOUT);
+                assert!(message.contains("idle"), "{message}");
+            }
+            other => panic!("expected TIMEOUT, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "eviction must happen within the deadline, not hang"
+        );
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "connection closed after the eviction");
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections_timed_out, 1);
+        assert_eq!(stats.requests_err, 0, "an eviction is not a request error");
+    }
+
+    #[test]
+    fn dribbling_peer_is_evicted_by_the_frame_budget() {
+        // One byte every 100ms stays under the 200ms per-gap deadline
+        // forever — the trickling slow loris. The total frame budget
+        // (deadline + len/rate) must evict it anyway.
+        let (engine, _) = test_engine(Mechanism::TnraMht);
+        let handle = Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_deadline: Duration::from_millis(200),
+                poll_interval: Duration::from_millis(20),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // A valid header declaring a 600-byte payload: budget ≈ 1.2s.
+        let header = wire::encode_frame_header(wire::kind::REQ_TEXT, 600).unwrap();
+        stream.write_all(&header).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let dribbler = std::thread::spawn(move || {
+            for _ in 0..60 {
+                if writer.write_all(&[0u8]).is_err() {
+                    break; // server evicted us
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let start = std::time::Instant::now();
+        match read_reply(&mut stream) {
+            wire::Reply::Err { code, .. } => assert_eq!(code, wire::errcode::TIMEOUT),
+            other => panic!("expected TIMEOUT, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the frame budget must bound the dribble, took {:?}",
+            start.elapsed()
+        );
+        dribbler.join().unwrap();
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections_timed_out, 1);
+    }
+
+    #[test]
+    fn oversized_request_declaration_is_refused() {
+        // 64 MiB frames exist for replies; a *request* claiming more
+        // than MAX_REQUEST_PAYLOAD is refused before any buffering (it
+        // would otherwise size our allocation and feed the dribble
+        // clock a multi-megabyte frame to stretch).
+        let (engine, _) = test_engine(Mechanism::TnraCmht);
+        let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let header = wire::encode_frame_header(wire::kind::REQ_TERMS, MAX_REQUEST_PAYLOAD + 1)
+            .expect("within the wire frame cap");
+        stream.write_all(&header).unwrap();
+        match read_reply(&mut stream) {
+            wire::Reply::Err { code, message } => {
+                assert_eq!(code, wire::errcode::MALFORMED);
+                assert!(message.contains("request cap"), "{message}");
+            }
+            other => panic!("expected MALFORMED, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "connection dropped after the refusal");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_idle_deadline_disables_eviction() {
+        let (engine, _) = test_engine(Mechanism::TnraMht);
+        let handle = Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_deadline: Duration::ZERO,
+                poll_interval: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Sit silent across many poll ticks; a zero deadline must mean
+        // "never evict", not "evict at the first tick".
+        std::thread::sleep(Duration::from_millis(120));
+        match roundtrip(
+            &mut stream,
+            &Request::Text {
+                text: "night keeper".into(),
+                r: 2,
+                want_digests: false,
+            },
+        ) {
+            wire::Reply::Ok { .. } => {}
+            other => panic!("idle connection must survive: {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.connections_timed_out, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_reply() {
+        let (engine, params) = test_engine(Mechanism::TnraCmht);
+        let handle =
+            Server::start(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let request = Request::Text {
+            text: "night keeper keep".into(),
+            r: 3,
+            want_digests: false,
+        };
+        stream.write_all(&request.encode_frame().unwrap()).unwrap();
+        // Give the connection thread time to consume the frame, then
+        // shut down while the reply may still be in flight: the drain
+        // contract says a request the server accepted is answered.
+        std::thread::sleep(Duration::from_millis(150));
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests_ok, 1, "the in-flight request completed");
+        match read_reply(&mut stream) {
+            wire::Reply::Ok { terms, response } => {
+                let client = crate::Client::new(params);
+                client.verify_terms(&terms, 3, &response).expect("verifies");
+            }
+            other => panic!("drained reply expected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_mode_negotiated_for_tnra_only() {
+        // TNRA: the flag is honored — OkDigest with empty contents.
+        let (engine, params) = test_engine(Mechanism::TnraCmht);
+        let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let request = Request::Text {
+            text: "night keeper keep".into(),
+            r: 3,
+            want_digests: true,
+        };
+        match roundtrip(&mut stream, &request) {
+            wire::Reply::OkDigest {
+                terms,
+                response,
+                digests,
+            } => {
+                assert!(response.contents.is_empty());
+                assert_eq!(digests.len(), response.result.entries.len());
+                let client = crate::Client::new(params);
+                client.verify_terms(&terms, 3, &response).expect("verifies");
+            }
+            other => panic!("expected OkDigest, got {other:?}"),
+        }
+        handle.shutdown();
+        // TRA: verification hashes delivered contents, so the server
+        // falls back to the full echo rather than break every verdict.
+        let (engine, _) = test_engine(Mechanism::TraCmht);
+        let handle = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        match roundtrip(&mut stream, &request) {
+            wire::Reply::Ok { response, .. } => assert!(!response.contents.is_empty()),
+            other => panic!("TRA must fall back to the full echo, got {other:?}"),
+        }
+        handle.shutdown();
     }
 
     #[test]

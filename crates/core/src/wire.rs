@@ -18,11 +18,14 @@
 //! ```
 //!
 //! Requests carry a query (natural-language text, or explicit
-//! `(term, f_{Q,t})` pairs) plus the result size `r`
+//! `(term, f_{Q,t})` pairs) plus the result size `r` and a flags byte
 //! ([`Request`]); replies carry either the full [`QueryResponse`] —
 //! ranked result, VO bytes, result-document contents, I/O trace —
 //! prefixed by the `(term, f_{Q,t})` echo the client verifies against,
-//! or a coded error ([`Reply`]). Every decode path returns a
+//! a **digest-mode** reply ([`Reply::OkDigest`]: same echo, result and
+//! VO, but `(doc, h(content))` pairs in place of the contents echo —
+//! the TNRA streaming mode, where verification never consumes the
+//! contents), or a coded error ([`Reply`]). Every decode path returns a
 //! [`WireError`] on malformed input — attacker-controlled bytes can
 //! never panic the server or force an implausible allocation (counts
 //! are bounded before `Vec::with_capacity`, payload length by
@@ -32,7 +35,7 @@
 use crate::auth::serve::QueryResponse;
 use crate::types::{QueryResult, ResultEntry};
 use crate::vo::{DictVo, DocVo, Mechanism, PrefixData, TermProof, TermVo, VerificationObject};
-use authsearch_corpus::TermId;
+use authsearch_corpus::{DocId, TermId};
 use authsearch_crypto::{ChainPrefixProof, Digest, MerkleProof, DIGEST_LEN};
 use authsearch_index::{ImpactEntry, IoStats};
 
@@ -413,7 +416,20 @@ pub const FRAME_MAGIC: [u8; 4] = *b"ASRV";
 /// Protocol version carried in every frame header. A server or client
 /// seeing any other value rejects the frame as
 /// [`WireError::Malformed`] — it never guesses at a foreign layout.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// **v2** added a flags byte to every request payload (bit 0 =
+/// [`FLAG_DIGEST_VO`], requesting the streaming digest-mode reply) and
+/// the [`kind::REPLY_OK_DIGEST`] frame; v1 frames are rejected by the
+/// version check, never misparsed.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Request flag bit: ask for a [`Reply::OkDigest`] — the VO with
+/// per-document content digests instead of the full contents echo.
+/// Honored only for TNRA deployments (whose verification never consumes
+/// the contents); TRA servers fall back to the full [`Reply::Ok`].
+/// Unknown flag bits are rejected at decode, so a client cannot ask for
+/// semantics this build would silently ignore.
+pub const FLAG_DIGEST_VO: u8 = 0x01;
 
 /// Fixed size of the frame header: magic (4) + version (1) + kind (1) +
 /// payload length (4).
@@ -434,6 +450,9 @@ pub mod kind {
     pub const REPLY_OK: u8 = 0x81;
     /// Error reply: code + message.
     pub const REPLY_ERR: u8 = 0x82;
+    /// Successful digest-mode reply: query echo + result + VO +
+    /// per-document content digests (no contents echo).
+    pub const REPLY_OK_DIGEST: u8 = 0x83;
 }
 
 /// Error codes carried by [`kind::REPLY_ERR`] frames.
@@ -449,6 +468,14 @@ pub mod errcode {
     pub const INTERNAL: u8 = 3;
     /// The response exists but cannot be represented on the wire.
     pub const UNREPRESENTABLE: u8 = 4;
+    /// The server is at its connection cap and shed this connection
+    /// instead of serving it. The reply is typed — never a silent RST —
+    /// so a client can back off and retry
+    /// ([`crate::Connection::query_terms_retrying`]).
+    pub const BUSY: u8 = 5;
+    /// The connection sat idle (or dribbled a partial frame) past the
+    /// server's idle deadline and was evicted to free its thread.
+    pub const TIMEOUT: u8 = 6;
 }
 
 /// Encode a frame header for `payload_len` bytes of `kind`.
@@ -509,7 +536,11 @@ pub fn decode_frame_header_any(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, u
 pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), WireError> {
     let (kind, len) = decode_frame_header_any(header)?;
     match kind {
-        kind::REQ_TEXT | kind::REQ_TERMS | kind::REPLY_OK | kind::REPLY_ERR => Ok((kind, len)),
+        kind::REQ_TEXT
+        | kind::REQ_TERMS
+        | kind::REPLY_OK
+        | kind::REPLY_ERR
+        | kind::REPLY_OK_DIGEST => Ok((kind, len)),
         _ => Err(WireError::Malformed(format!(
             "unknown frame kind {kind:#04x}"
         ))),
@@ -527,6 +558,9 @@ pub enum Request {
         text: String,
         /// Requested result size.
         r: u32,
+        /// Ask for a digest-mode reply ([`FLAG_DIGEST_VO`]); the server
+        /// honors it only for TNRA deployments.
+        want_digests: bool,
     },
     /// Explicit `(term id, f_{Q,t})` pairs, strictly ascending by term —
     /// the paper's user-posed query shape, verified end to end.
@@ -535,7 +569,32 @@ pub enum Request {
         terms: Vec<(TermId, u32)>,
         /// Requested result size.
         r: u32,
+        /// Ask for a digest-mode reply ([`FLAG_DIGEST_VO`]); the server
+        /// honors it only for TNRA deployments.
+        want_digests: bool,
     },
+}
+
+/// Encode a request's flags byte.
+fn request_flags(want_digests: bool) -> u8 {
+    if want_digests {
+        FLAG_DIGEST_VO
+    } else {
+        0
+    }
+}
+
+/// Decode a request's flags byte, rejecting bits this build does not
+/// understand (a server cannot honor semantics it does not know, and
+/// silently dropping them would let a lying middlebox downgrade the
+/// request unnoticed).
+fn parse_request_flags(flags: u8) -> Result<bool, WireError> {
+    if flags & !FLAG_DIGEST_VO != 0 {
+        return Err(WireError::Malformed(format!(
+            "unknown request flags {flags:#04x} (this build understands {FLAG_DIGEST_VO:#04x})"
+        )));
+    }
+    Ok(flags & FLAG_DIGEST_VO != 0)
 }
 
 impl Request {
@@ -543,12 +602,22 @@ impl Request {
     pub fn encode_frame(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer { buf: Vec::new() };
         let kind = match self {
-            Request::Text { text, r } => {
+            Request::Text {
+                text,
+                r,
+                want_digests,
+            } => {
+                w.u8(request_flags(*want_digests));
                 w.u32(*r);
                 w.bytes16(text.as_bytes(), "query text")?;
                 kind::REQ_TEXT
             }
-            Request::Terms { terms, r } => {
+            Request::Terms {
+                terms,
+                r,
+                want_digests,
+            } => {
+                w.u8(request_flags(*want_digests));
                 w.u32(*r);
                 w.len16(terms.len(), "query terms")?;
                 for &(t, f_qt) in terms {
@@ -569,19 +638,29 @@ impl Request {
         };
         let request = match kind {
             kind::REQ_TEXT => {
+                let want_digests = parse_request_flags(r.u8()?)?;
                 let top_r = r.u32()?;
                 let text =
                     String::from_utf8(r.bytes16()?).map_err(|_| err("query text is not UTF-8"))?;
-                Request::Text { text, r: top_r }
+                Request::Text {
+                    text,
+                    r: top_r,
+                    want_digests,
+                }
             }
             kind::REQ_TERMS => {
+                let want_digests = parse_request_flags(r.u8()?)?;
                 let top_r = r.u32()?;
                 let n = r.u16()? as usize;
                 let mut terms = Vec::with_capacity(n);
                 for _ in 0..n {
                     terms.push((r.u32()?, r.u32()?));
                 }
-                Request::Terms { terms, r: top_r }
+                Request::Terms {
+                    terms,
+                    r: top_r,
+                    want_digests,
+                }
             }
             _ => return Err(err("not a request frame")),
         };
@@ -605,6 +684,23 @@ pub enum Reply {
         /// contents, and the engine's simulated I/O trace.
         response: QueryResponse,
     },
+    /// The query was served in digest mode ([`FLAG_DIGEST_VO`]): the
+    /// full result, VO, and I/O trace travel as usual, but the
+    /// result-document contents are replaced by `(doc, h(content))`
+    /// pairs. TNRA verification never consumes the contents — the
+    /// verifier authenticates list prefixes and replays the threshold
+    /// algorithm — so the accept/reject verdict is **identical** to the
+    /// full-echo path (regression-tested against the attack suite); the
+    /// digests let a client fetch the documents out of band and check
+    /// it received what the engine served.
+    OkDigest {
+        /// The `(term, f_{Q,t})` echo, exactly as in [`Reply::Ok`].
+        terms: Vec<(TermId, u32)>,
+        /// The response with `contents` empty (nothing travelled).
+        response: QueryResponse,
+        /// `(doc, h(content))` per result document, in result order.
+        digests: Vec<(DocId, Digest)>,
+    },
     /// The query was not served; the connection stays up.
     Err {
         /// An [`errcode`] constant.
@@ -614,12 +710,13 @@ pub enum Reply {
     },
 }
 
-/// Serialize a successful reply to a complete frame.
-pub fn encode_ok_reply(
+/// Write the sections shared by both OK reply shapes: the
+/// `(term, f_qt)` echo, the ranked result, and the nested VO.
+fn write_ok_head(
+    w: &mut Writer,
     terms: &[(TermId, u32)],
     response: &QueryResponse,
-) -> Result<Vec<u8>, WireError> {
-    let mut w = Writer { buf: Vec::new() };
+) -> Result<(), WireError> {
     w.len16(terms.len(), "reply term echo")?;
     for &(t, f_qt) in terms {
         w.u32(t);
@@ -635,6 +732,27 @@ pub fn encode_ok_reply(
     let vo = encode(&response.vo)?;
     w.len32(vo.len(), "VO bytes")?;
     w.buf.extend_from_slice(&vo);
+    Ok(())
+}
+
+/// Write the trailing engine-side accounting shared by both OK shapes.
+fn write_ok_tail(w: &mut Writer, response: &QueryResponse) -> Result<(), WireError> {
+    w.u64(response.io.seeks);
+    w.u64(response.io.blocks);
+    w.len16(response.entries_read.len(), "entries-read counts")?;
+    for &n in &response.entries_read {
+        w.len32(n, "entries-read value")?;
+    }
+    Ok(())
+}
+
+/// Serialize a successful reply to a complete frame.
+pub fn encode_ok_reply(
+    terms: &[(TermId, u32)],
+    response: &QueryResponse,
+) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer { buf: Vec::new() };
+    write_ok_head(&mut w, terms, response)?;
     // Result-document contents.
     w.len32(response.contents.len(), "result contents")?;
     for (d, bytes) in &response.contents {
@@ -642,14 +760,28 @@ pub fn encode_ok_reply(
         w.len32(bytes.len(), "document content")?;
         w.buf.extend_from_slice(bytes);
     }
-    // Engine-side accounting.
-    w.u64(response.io.seeks);
-    w.u64(response.io.blocks);
-    w.len16(response.entries_read.len(), "entries-read counts")?;
-    for &n in &response.entries_read {
-        w.len32(n, "entries-read value")?;
-    }
+    write_ok_tail(&mut w, response)?;
     frame(kind::REPLY_OK, w.buf)
+}
+
+/// Serialize a digest-mode reply ([`Reply::OkDigest`]): identical to
+/// [`encode_ok_reply`] except the contents section is replaced by
+/// `(doc, h(content))` pairs — the TNRA streaming mode that saves the
+/// dominant share of bytes on the wire for content-heavy results.
+pub fn encode_ok_digest_reply(
+    terms: &[(TermId, u32)],
+    response: &QueryResponse,
+) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer { buf: Vec::new() };
+    write_ok_head(&mut w, terms, response)?;
+    let digests = response.content_digests();
+    w.len32(digests.len(), "content digests")?;
+    for (d, digest) in &digests {
+        w.u32(*d);
+        w.digest(digest);
+    }
+    write_ok_tail(&mut w, response)?;
+    frame(kind::REPLY_OK_DIGEST, w.buf)
 }
 
 /// Serialize an error reply to a complete frame.
@@ -674,7 +806,7 @@ pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError
         pos: 0,
     };
     let reply = match kind {
-        kind::REPLY_OK => {
+        kind::REPLY_OK | kind::REPLY_OK_DIGEST => {
             let nt = r.u16()? as usize;
             let mut terms = Vec::with_capacity(nt);
             for _ in 0..nt {
@@ -690,13 +822,27 @@ pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError
             }
             let vo_len = r.u32()? as usize;
             let vo = decode(r.take(vo_len)?)?;
-            let nc = r.u32()? as usize;
-            let nc = r.checked_count(nc, 8, "result content")?;
-            let mut contents = Vec::with_capacity(nc);
-            for _ in 0..nc {
-                let doc = r.u32()?;
-                let len = r.u32()? as usize;
-                contents.push((doc, r.take(len)?.to_vec()));
+            // The one structural difference between the two OK shapes:
+            // delivered contents (full echo) vs `(doc, digest)` pairs.
+            let mut contents = Vec::new();
+            let mut digests = Vec::new();
+            if kind == kind::REPLY_OK {
+                let nc = r.u32()? as usize;
+                let nc = r.checked_count(nc, 8, "result content")?;
+                contents.reserve_exact(nc);
+                for _ in 0..nc {
+                    let doc = r.u32()?;
+                    let len = r.u32()? as usize;
+                    contents.push((doc, r.take(len)?.to_vec()));
+                }
+            } else {
+                let nd = r.u32()? as usize;
+                let nd = r.checked_count(nd, 4 + DIGEST_LEN, "content digest")?;
+                digests.reserve_exact(nd);
+                for _ in 0..nd {
+                    let doc = r.u32()?;
+                    digests.push((doc, r.digest()?));
+                }
             }
             let io = IoStats {
                 seeks: r.u64()?,
@@ -707,15 +853,21 @@ pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError
             for _ in 0..nr {
                 entries_read.push(r.u32()? as usize);
             }
-            Reply::Ok {
-                terms,
-                response: QueryResponse {
-                    result: QueryResult { entries },
-                    vo,
-                    contents,
-                    io,
-                    entries_read,
-                },
+            let response = QueryResponse {
+                result: QueryResult { entries },
+                vo,
+                contents,
+                io,
+                entries_read,
+            };
+            if kind == kind::REPLY_OK {
+                Reply::Ok { terms, response }
+            } else {
+                Reply::OkDigest {
+                    terms,
+                    response,
+                    digests,
+                }
             }
         }
         kind::REPLY_ERR => {
@@ -934,18 +1086,22 @@ mod tests {
             Request::Text {
                 text: "night keeper keep".into(),
                 r: 5,
+                want_digests: false,
             },
             Request::Text {
                 text: String::new(),
                 r: 0,
+                want_digests: true,
             },
             Request::Terms {
                 terms: vec![(1, 1), (7, 2), (15, 1)],
                 r: 10,
+                want_digests: true,
             },
             Request::Terms {
                 terms: Vec::new(),
                 r: 1,
+                want_digests: false,
             },
         ];
         for request in requests {
@@ -953,6 +1109,24 @@ mod tests {
             let (kind, payload) = split_frame(&bytes).unwrap();
             assert_eq!(Request::decode_payload(kind, payload).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn unknown_request_flag_bits_rejected() {
+        // A request advertising semantics this build does not implement
+        // must be refused, not silently downgraded.
+        let good = Request::Terms {
+            terms: vec![(1, 1)],
+            r: 3,
+            want_digests: true,
+        }
+        .encode_frame()
+        .unwrap();
+        let (kind, payload) = split_frame(&good).unwrap();
+        let mut bad = payload.to_vec();
+        bad[0] |= 0x80; // an unknown flag bit
+        let err = Request::decode_payload(kind, &bad).unwrap_err();
+        assert!(err.to_string().contains("flags"), "{err}");
     }
 
     #[test]
@@ -976,6 +1150,58 @@ mod tests {
                 }
                 other => panic!("expected Ok reply, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn ok_digest_reply_round_trips_and_sheds_content_bytes() {
+        for mechanism in Mechanism::ALL {
+            let response = sample_response(mechanism);
+            let terms: Vec<(TermId, u32)> = response.vo.terms.iter().map(|t| (t.term, 1)).collect();
+            let full = encode_ok_reply(&terms, &response).unwrap();
+            let slim = encode_ok_digest_reply(&terms, &response).unwrap();
+            // Digest mode drops each content body and its u32 length
+            // prefix, shipping a 16-byte digest instead.
+            let content_bytes: usize = response.contents.iter().map(|(_, b)| b.len()).sum();
+            assert_eq!(
+                full.len() - content_bytes + 12 * response.contents.len(),
+                slim.len(),
+                "{}",
+                mechanism.name()
+            );
+            let (kind, payload) = split_frame(&slim).unwrap();
+            assert_eq!(kind, kind::REPLY_OK_DIGEST);
+            match decode_reply_payload(kind, payload).unwrap() {
+                Reply::OkDigest {
+                    terms: back_terms,
+                    response: back,
+                    digests,
+                } => {
+                    assert_eq!(back_terms, terms);
+                    assert_eq!(back.vo, response.vo);
+                    assert_eq!(back.result, response.result);
+                    assert_eq!(back.io, response.io);
+                    assert_eq!(back.entries_read, response.entries_read);
+                    assert!(back.contents.is_empty(), "nothing travelled");
+                    assert_eq!(digests, response.content_digests());
+                }
+                other => panic!("expected OkDigest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ok_digest_truncations_rejected() {
+        let response = sample_response(Mechanism::TnraCmht);
+        let terms: Vec<(TermId, u32)> = response.vo.terms.iter().map(|t| (t.term, 1)).collect();
+        let bytes = encode_ok_digest_reply(&terms, &response).unwrap();
+        for cut in (0..bytes.len()).step_by(9) {
+            let truncated = &bytes[..cut];
+            let rejected = match split_frame(truncated) {
+                Err(_) => true,
+                Ok((kind, payload)) => decode_reply_payload(kind, payload).is_err(),
+            };
+            assert!(rejected, "cut={cut}");
         }
     }
 
@@ -1067,6 +1293,7 @@ mod tests {
         let good = Request::Text {
             text: "abc".into(),
             r: 3,
+            want_digests: false,
         }
         .encode_frame()
         .unwrap();

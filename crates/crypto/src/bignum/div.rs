@@ -1,24 +1,44 @@
 //! Division with remainder: Knuth TAOCP Vol. 2, Algorithm 4.3.1 D.
 
 use super::BigUint;
+use crate::rsa::RsaError;
 
 impl BigUint {
     /// Quotient and remainder of `self / divisor`. Panics on division by
-    /// zero (a zero modulus is always a caller bug here).
+    /// zero; use [`BigUint::checked_div_rem`] when the divisor comes
+    /// from data that has not been validated yet (deserialized key
+    /// material, attacker-supplied moduli).
     pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
-        assert!(!divisor.is_zero(), "BigUint division by zero");
+        self.checked_div_rem(divisor)
+            .expect("BigUint division by zero")
+    }
+
+    /// Quotient and remainder of `self / divisor`, with a zero divisor
+    /// reported as [`RsaError::DivisionByZero`] instead of a panic.
+    /// This is the boundary where the `divisor.limbs.last().unwrap()`
+    /// inside Knuth's algorithm becomes unreachable: a normalized
+    /// nonzero [`BigUint`] always has a top limb.
+    pub fn checked_div_rem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint), RsaError> {
+        if divisor.is_zero() {
+            return Err(RsaError::DivisionByZero);
+        }
         if self < divisor {
-            return (BigUint::zero(), self.clone());
+            return Ok((BigUint::zero(), self.clone()));
         }
         if divisor.limbs.len() == 1 {
-            return self.div_rem_small(divisor.limbs[0]);
+            return Ok(self.div_rem_small(divisor.limbs[0]));
         }
-        self.div_rem_knuth(divisor)
+        Ok(self.div_rem_knuth(divisor))
     }
 
     /// `self mod m`.
     pub fn rem(&self, m: &BigUint) -> BigUint {
         self.div_rem(m).1
+    }
+
+    /// `self mod m`, with a zero modulus as a typed error.
+    pub fn checked_rem(&self, m: &BigUint) -> Result<BigUint, RsaError> {
+        Ok(self.checked_div_rem(m)?.1)
     }
 
     /// Fast path for single-limb divisors.
@@ -35,10 +55,16 @@ impl BigUint {
         (q, BigUint::from_u64(rem as u64))
     }
 
-    /// Knuth Algorithm D for multi-limb divisors.
+    /// Knuth Algorithm D for multi-limb divisors. Only reachable through
+    /// [`BigUint::checked_div_rem`], which has already rejected a zero
+    /// divisor — so the top limb exists by the normalization invariant.
     fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         // D1: normalize so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let shift = divisor
+            .limbs
+            .last()
+            .expect("checked_div_rem rejected zero divisors")
+            .leading_zeros() as usize;
         let u = self.shl_bits(shift); // dividend
         let v = divisor.shl_bits(shift); // divisor
         let n = v.limbs.len();
@@ -179,6 +205,36 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn div_by_zero_panics() {
         let _ = n(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn checked_division_reports_zero_divisor_as_typed_error() {
+        use crate::rsa::RsaError;
+        // The boundary: zero divisor is an Err, never a panic — for
+        // every dividend shape (zero, single-limb, multi-limb).
+        for dividend in [BigUint::zero(), n(7), BigUint::from_bytes_be(&[0xab; 24])] {
+            assert_eq!(
+                dividend.checked_div_rem(&BigUint::zero()).unwrap_err(),
+                RsaError::DivisionByZero
+            );
+            assert_eq!(
+                dividend.checked_rem(&BigUint::zero()).unwrap_err(),
+                RsaError::DivisionByZero
+            );
+        }
+        // And one past the boundary: the smallest nonzero divisor works.
+        let (q, r) = n(7).checked_div_rem(&BigUint::one()).unwrap();
+        assert_eq!(q, n(7));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn checked_division_matches_panicking_path_on_nonzero_divisors() {
+        let a = BigUint::from_bytes_be(&[0x5c; 33]);
+        for b in [n(3), n(1 << 40), BigUint::from_bytes_be(&[0x11; 17])] {
+            assert_eq!(a.checked_div_rem(&b).unwrap(), a.div_rem(&b));
+            assert_eq!(a.checked_rem(&b).unwrap(), a.rem(&b));
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@ const SHA256_DIGEST_INFO: [u8; 19] = [
     0x00, 0x04, 0x20,
 ];
 
-/// Errors from signature operations.
+/// Errors from signature operations (and the bignum arithmetic
+/// backing them — see [`crate::bignum::BigUint::checked_div_rem`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RsaError {
     /// Modulus too small to hold the PKCS#1 v1.5 encoding.
@@ -33,6 +34,11 @@ pub enum RsaError {
     },
     /// Signature arithmetic check failed (forged or corrupted signature).
     VerificationFailed,
+    /// A reduction was asked for modulo zero (e.g. a zero modulus in
+    /// deserialized key material) — a caller bug or corrupt input,
+    /// reported as a typed error by the `checked_*` bignum entry points
+    /// instead of a panic.
+    DivisionByZero,
 }
 
 impl fmt::Display for RsaError {
@@ -43,6 +49,7 @@ impl fmt::Display for RsaError {
                 write!(f, "bad signature length: expected {expected}, got {got}")
             }
             RsaError::VerificationFailed => write!(f, "RSA signature verification failed"),
+            RsaError::DivisionByZero => write!(f, "bignum division by zero"),
         }
     }
 }

@@ -96,11 +96,51 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // 4. Graceful shutdown; the handle returns the final counters.
+    // 4. Digest mode (TNRA only): the same query streamed without the
+    //    contents echo — identical verification verdict, fewer bytes on
+    //    the wire; the digests let the user fetch documents out of band.
+    // ------------------------------------------------------------------
+    let mut connection =
+        Connection::connect(addr, publication.verifier_params.clone()).expect("connect");
+    let dictionary = |text: &str| {
+        engine
+            .parse_query(text)
+            .terms
+            .iter()
+            .map(|qt| (qt.term, qt.f_qt))
+            .collect::<Vec<_>>()
+    };
+    let pairs = dictionary("night keeper keep");
+    let (_, full_response) = connection.query_terms(&pairs, 3).expect("full echo");
+    let (verified, slim_response, digests) = connection
+        .query_terms_digests(&pairs, 3)
+        .expect("digest mode");
+    let saved: usize = full_response.contents.iter().map(|(_, b)| b.len()).sum();
+    println!(
+        "digest mode: verdict unchanged ({} results VERIFIED), {} content bytes replaced by {} digests ({}B saved on the wire)",
+        verified.result.entries.len(),
+        saved,
+        digests.len(),
+        saved.saturating_sub(16 * digests.len())
+    );
+    assert!(slim_response.contents.is_empty());
+
+    // ------------------------------------------------------------------
+    // 5. Graceful shutdown; the handle returns the final counters —
+    //    including the overload ones (shed / timed-out / high-water),
+    //    all zero on this polite loopback run.
     // ------------------------------------------------------------------
     let stats = handle.shutdown();
     println!(
-        "server: shut down after {} connections, {} ok / {} error replies, {}B in / {}B out",
-        stats.connections, stats.requests_ok, stats.requests_err, stats.bytes_in, stats.bytes_out
+        "server: shut down after {} connections (high-water {}), {} ok / {} error replies, \
+         {} shed / {} timed out, {}B in / {}B out",
+        stats.connections,
+        stats.active_highwater,
+        stats.requests_ok,
+        stats.requests_err,
+        stats.connections_shed,
+        stats.connections_timed_out,
+        stats.bytes_in,
+        stats.bytes_out
     );
 }

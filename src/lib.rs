@@ -31,7 +31,7 @@ pub use authsearch_index as index;
 pub mod prelude {
     pub use authsearch_core::{
         AuthConfig, AuthenticatedIndex, Client, Connection, DataOwner, Mechanism, Query,
-        QueryResponse, SearchEngine, Server, ServerConfig, VerifierParams,
+        QueryResponse, RetryPolicy, SearchEngine, Server, ServerConfig, VerifierParams,
     };
     pub use authsearch_corpus::{Corpus, CorpusBuilder, SyntheticConfig};
     pub use authsearch_crypto::{Digest, RsaPrivateKey, RsaPublicKey};

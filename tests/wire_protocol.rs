@@ -17,8 +17,8 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
     #[test]
-    fn text_requests_round_trip(text in ".{0,300}", r in 0u32..100_000) {
-        let request = Request::Text { text: text.clone(), r };
+    fn text_requests_round_trip(text in ".{0,300}", r in 0u32..100_000, want_digests in any::<bool>()) {
+        let request = Request::Text { text: text.clone(), r, want_digests };
         let bytes = request.encode_frame().unwrap();
         let (kind, payload) = split_frame(&bytes).unwrap();
         prop_assert_eq!(Request::decode_payload(kind, payload).unwrap(), request);
@@ -29,6 +29,7 @@ proptest! {
         raw in proptest::collection::vec(any::<u32>(), 0..40),
         freqs in proptest::collection::vec(1u32..16, 0..40),
         r in 1u32..10_000,
+        want_digests in any::<bool>(),
     ) {
         // Strictly ascending distinct term ids, paired with frequencies.
         let mut ids = raw;
@@ -39,7 +40,7 @@ proptest! {
             .zip(freqs.iter().chain(std::iter::repeat(&1)))
             .map(|(&t, &f)| (t, f))
             .collect();
-        let request = Request::Terms { terms, r };
+        let request = Request::Terms { terms, r, want_digests };
         let bytes = request.encode_frame().unwrap();
         let (kind, payload) = split_frame(&bytes).unwrap();
         prop_assert_eq!(Request::decode_payload(kind, payload).unwrap(), request);
@@ -63,8 +64,8 @@ proptest! {
         if let Ok((kind, len)) = decode_frame_header(&arr) {
             prop_assert!(len <= MAX_FRAME_PAYLOAD);
             prop_assert!(
-                [wire::kind::REQ_TEXT, wire::kind::REQ_TERMS,
-                 wire::kind::REPLY_OK, wire::kind::REPLY_ERR].contains(&kind)
+                [wire::kind::REQ_TEXT, wire::kind::REQ_TERMS, wire::kind::REPLY_OK,
+                 wire::kind::REPLY_ERR, wire::kind::REPLY_OK_DIGEST].contains(&kind)
             );
         }
     }
