@@ -147,6 +147,7 @@ fn main() {
                     max_attempts: 10_000,
                     base: Duration::from_millis(1),
                     cap: Duration::from_millis(20),
+                    ..RetryPolicy::default()
                 };
                 let mut connection = Connection::connect(addr, params).expect("connect");
                 for i in 0..queries_per_client {

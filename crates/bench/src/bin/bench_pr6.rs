@@ -1,0 +1,177 @@
+//! PR 6 perf-trajectory benchmark: crash-safe authenticated snapshots.
+//!
+//! Emits machine-readable `BENCH_PR6.json` (override the path with
+//! `--out <path>`; corpus with `--scale <frac>`, key with
+//! `--key-bits <n>`, verification workload with `--queries <n>`).
+//! Three sections:
+//!
+//! * **boot**: cold build (index + every RSA signature) vs snapshot
+//!   boot (parse + digest checks + boot signature verification) of the
+//!   same artifact — the wall-clock ratio is the whole point of the
+//!   snapshot subsystem;
+//! * **snapshot**: bytes on disk (container + manifest) and save /
+//!   load throughput through the crash-safe commit protocol;
+//! * **equivalence**: sanity counters showing the booted engine served
+//!   the verification workload with VOs byte-identical to the built
+//!   engine's.
+//!
+//! Plain `std::time` loops, no dev-dependencies, CI-smoke friendly;
+//! absolute numbers are host-dependent (the JSON records
+//! `available_parallelism`).
+
+use authsearch_bench::json::{num, Json};
+use authsearch_core::pool::available_parallelism;
+use authsearch_core::{AuthConfig, AuthenticatedIndex, Mechanism, Query};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::keys::{cached_keypair, PAPER_KEY_BITS};
+use authsearch_index::persist::manifest_path;
+use authsearch_index::{build_index, OkapiParams};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR6.json");
+    let mut scale_frac = 0.01f64;
+    let mut key_bits = PAPER_KEY_BITS;
+    let mut num_queries = 60usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--scale" => {
+                scale_frac = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("bad --scale value")
+            }
+            "--key-bits" => {
+                key_bits = it
+                    .next()
+                    .expect("--key-bits needs a value")
+                    .parse()
+                    .expect("bad --key-bits value")
+            }
+            "--queries" => {
+                num_queries = it
+                    .next()
+                    .expect("--queries needs a value")
+                    .parse()
+                    .expect("bad --queries value")
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: [--out <path>] [--scale <frac>] \
+                     [--key-bits <n>] [--queries <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = available_parallelism();
+    eprintln!(
+        "[bench_pr6] corpus scale {scale_frac}, key {key_bits} bits, \
+         {num_queries} queries, {cores} core(s)…"
+    );
+    let corpus = SyntheticConfig::wsj(scale_frac).generate();
+    let index = build_index(&corpus, OkapiParams::default());
+    let key = cached_keypair(key_bits);
+    let mechanism = Mechanism::TnraCmht;
+    let config = AuthConfig {
+        key_bits,
+        ..AuthConfig::new(mechanism)
+    };
+
+    // ---- cold build vs snapshot boot --------------------------------------
+    eprintln!("[bench_pr6] boot: cold artifact build…");
+    let start = Instant::now();
+    let auth = AuthenticatedIndex::build(index.clone(), &key, config, &corpus);
+    let cold_build_secs = start.elapsed().as_secs_f64();
+
+    let dir = std::env::temp_dir().join("authsearch-bench-pr6");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("engine.snap");
+
+    eprintln!("[bench_pr6] snapshot: crash-safe save…");
+    let start = Instant::now();
+    let info = auth.save_snapshot(&path).expect("save snapshot");
+    let save_secs = start.elapsed().as_secs_f64();
+    let manifest_bytes = std::fs::metadata(manifest_path(&path))
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    eprintln!("[bench_pr6] boot: verified snapshot load…");
+    let start = Instant::now();
+    let booted = AuthenticatedIndex::load_snapshot(&path, &config).expect("load snapshot");
+    let snapshot_boot_secs = start.elapsed().as_secs_f64();
+
+    let mut json = Json::new();
+    json.field(1, "pr", "6", false);
+    json.field(
+        1,
+        "description",
+        "\"Crash-safe authenticated snapshots: checksummed persistence, verified boot, fault-injection hardening\"",
+        false,
+    );
+    json.open(1, "machine");
+    json.field(2, "available_parallelism", &cores.to_string(), false);
+    json.field(2, "num_docs", &corpus.num_docs().to_string(), false);
+    json.field(2, "num_terms", &index.num_terms().to_string(), false);
+    json.field(2, "key_bits", &key_bits.to_string(), false);
+    json.field(2, "mechanism", &format!("\"{}\"", mechanism.name()), true);
+    json.close(1, false);
+
+    json.open(1, "boot");
+    json.field(2, "cold_build_secs", &num(cold_build_secs), false);
+    json.field(2, "snapshot_boot_secs", &num(snapshot_boot_secs), false);
+    json.field(
+        2,
+        "build_over_boot",
+        &num(cold_build_secs / snapshot_boot_secs.max(1e-9)),
+        true,
+    );
+    json.close(1, false);
+
+    json.open(1, "snapshot");
+    json.field(2, "container_bytes", &info.bytes.to_string(), false);
+    json.field(2, "manifest_bytes", &manifest_bytes.to_string(), false);
+    json.field(2, "generation", &info.generation.to_string(), false);
+    json.field(2, "save_secs", &num(save_secs), false);
+    json.field(
+        2,
+        "save_mib_per_sec",
+        &num(info.bytes as f64 / (1 << 20) as f64 / save_secs.max(1e-9)),
+        false,
+    );
+    json.field(
+        2,
+        "load_mib_per_sec",
+        &num(info.bytes as f64 / (1 << 20) as f64 / snapshot_boot_secs.max(1e-9)),
+        true,
+    );
+    json.close(1, false);
+
+    // ---- equivalence: booted VOs are the built VOs -------------------------
+    eprintln!("[bench_pr6] equivalence: {num_queries} queries, built vs booted…");
+    let df: Vec<u32> = (0..index.num_terms() as u32).map(|t| index.ft(t)).collect();
+    let term_sets = authsearch_corpus::workload::trec_like(&df, num_queries, 0.35, 17);
+    let mut identical = 0usize;
+    for terms in &term_sets {
+        let query = Query::from_term_ids(auth.index(), terms);
+        let a = auth.query(&query, 10, &corpus);
+        let b = booted.query(&query, 10, &corpus);
+        assert_eq!(a.result, b.result, "booted result diverged");
+        assert_eq!(a.vo, b.vo, "booted VO diverged");
+        identical += 1;
+    }
+    json.open(1, "equivalence");
+    json.field(2, "queries", &term_sets.len().to_string(), false);
+    json.field(2, "identical_vos", &identical.to_string(), true);
+    json.close(1, true);
+
+    std::fs::remove_dir_all(&dir).ok();
+    let out = json.finish();
+    std::fs::write(&out_path, &out).expect("write BENCH_PR6.json");
+    eprintln!("[bench_pr6] wrote {out_path}");
+    print!("{out}");
+}

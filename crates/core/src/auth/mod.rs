@@ -36,9 +36,11 @@
 
 mod cache;
 pub mod serve;
+pub mod snapshot;
 pub mod space;
 
 pub use cache::{CacheStats, WarmStats};
+pub use snapshot::{boot_authenticated_index, BootReport, BootSource};
 
 use crate::pool::ThreadPool;
 use crate::types::DocTable;

@@ -8,6 +8,8 @@ use crate::verify::{self, VerifiedResult, VerifierParams, VerifyError};
 use crate::wire::{self, Reply, Request, WireError};
 use authsearch_corpus::{DocId, TermId};
 use authsearch_crypto::Digest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -175,10 +177,18 @@ impl From<VerifyError> for ClientNetError {
 }
 
 /// Backoff schedule for [`Connection::query_terms_retrying`]: capped
-/// exponential — attempt `i` waits `min(base · 2^i, cap)` before
-/// reconnecting. Deterministic (no jitter source in this no-dependency
-/// build); the cap keeps a long outage from growing unbounded sleeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// exponential with **decorrelating jitter** — attempt `i` waits
+/// `min(base · 2^i, cap)`, then shaves off a seeded-random fraction of
+/// up to [`RetryPolicy::jitter`] so a herd of clients shed by the same
+/// overloaded server does not reconnect in lockstep and re-create the
+/// spike that shed them. The cap keeps a long outage from growing
+/// unbounded sleeps.
+///
+/// The jittered delay is a **pure function of `(seed, attempt)`**
+/// ([`RetryPolicy::jittered_delay`]): per-client seeds (the entropy
+/// default) decorrelate the herd, while a fixed seed makes every sleep
+/// reproducible — which is how the schedule is unit-tested.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts, the first included (`1` = no retry).
     pub max_attempts: usize,
@@ -186,6 +196,15 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Upper bound on any single delay.
     pub cap: Duration,
+    /// Largest fraction of the exponential delay that jitter may remove:
+    /// attempt `i` sleeps uniformly in `[(1 − jitter) · dᵢ, dᵢ]`.
+    /// Clamped to `[0, 1]`; `0.0` restores the exact deterministic
+    /// schedule of [`RetryPolicy::delay`]. Default `0.5`.
+    pub jitter: f64,
+    /// Seed of the jitter stream. The default draws per-policy entropy
+    /// (distinct clients → distinct schedules); pin it for reproducible
+    /// sleeps in tests and simulations.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -194,17 +213,49 @@ impl Default for RetryPolicy {
             max_attempts: 6,
             base: Duration::from_millis(25),
             cap: Duration::from_millis(800),
+            jitter: 0.5,
+            seed: entropy_seed(),
         }
     }
 }
 
+/// A per-call entropy seed: hasher-keyed randomness (the same source
+/// the key cache uses — see `crypto::rsa`), good enough to decorrelate
+/// client backoff schedules; no cryptographic claim.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
 impl RetryPolicy {
-    /// The delay after failed attempt `attempt` (0-based).
+    /// The undithered delay after failed attempt `attempt` (0-based) —
+    /// the upper envelope of [`RetryPolicy::jittered_delay`].
     pub fn delay(&self, attempt: usize) -> Duration {
         // 2^attempt with the shift clamped so the multiply cannot
         // overflow before the cap applies.
         let factor = 1u32 << attempt.min(20) as u32;
         self.cap.min(self.base.saturating_mul(factor))
+    }
+
+    /// The delay actually slept after failed attempt `attempt`:
+    /// [`RetryPolicy::delay`] minus a uniform random shave of up to
+    /// [`RetryPolicy::jitter`] of it. Pure in `(seed, attempt)` — same
+    /// inputs, same `Duration`, with no state carried between calls —
+    /// so a retry loop that skips attempts (or several loops sharing a
+    /// policy) stays reproducible.
+    pub fn jittered_delay(&self, attempt: usize) -> Duration {
+        let d = self.delay(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return d;
+        }
+        // Decorrelate attempts by mixing the attempt index into the
+        // seed (SplitMix64's odd constant), then draw one uniform.
+        let stream = self.seed ^ (attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let u: f64 = StdRng::seed_from_u64(stream).gen();
+        d.mul_f64(1.0 - jitter * u)
     }
 }
 
@@ -343,7 +394,7 @@ impl Connection {
             if !retriable || attempt + 1 >= policy.max_attempts.max(1) {
                 return result;
             }
-            std::thread::sleep(policy.delay(attempt));
+            std::thread::sleep(policy.jittered_delay(attempt));
             attempt += 1;
             // A failed reconnect leaves the dead socket in place; the
             // next attempt fails fast with a retriable I/O error and
@@ -818,6 +869,7 @@ mod tests {
             max_attempts: 60,
             base: Duration::from_millis(5),
             cap: Duration::from_millis(50),
+            ..RetryPolicy::default()
         };
         let (verified, response) = b
             .query_terms_retrying(&pairs, 5, policy)
@@ -835,12 +887,86 @@ mod tests {
             max_attempts: 8,
             base: Duration::from_millis(10),
             cap: Duration::from_millis(70),
+            ..RetryPolicy::default()
         };
         assert_eq!(policy.delay(0), Duration::from_millis(10));
         assert_eq!(policy.delay(1), Duration::from_millis(20));
         assert_eq!(policy.delay(2), Duration::from_millis(40));
         assert_eq!(policy.delay(3), Duration::from_millis(70)); // capped
         assert_eq!(policy.delay(60), Duration::from_millis(70)); // no overflow
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_under_a_fixed_seed() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(800),
+            jitter: 0.5,
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let a = policy.jittered_delay(attempt);
+            let b = policy.jittered_delay(attempt);
+            assert_eq!(a, b, "pure in (seed, attempt)");
+            // Bounded by [(1 − jitter)·d, d].
+            let d = policy.delay(attempt);
+            assert!(a <= d, "attempt {attempt}: {a:?} > {d:?}");
+            assert!(
+                a >= d.mul_f64(0.5),
+                "attempt {attempt}: {a:?} shaved too far"
+            );
+        }
+        // Replays are independent of call order (no hidden RNG state).
+        let late = policy.jittered_delay(5);
+        let early = policy.jittered_delay(1);
+        assert_eq!(late, policy.jittered_delay(5));
+        assert_eq!(early, policy.jittered_delay(1));
+    }
+
+    #[test]
+    fn jittered_backoff_decorrelates_across_seeds() {
+        let base = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(10),
+            jitter: 1.0,
+            seed: 0,
+        };
+        // Across many seeds, some attempt must differ: identical full
+        // schedules would mean the seed is ignored (the thundering-herd
+        // bug this field exists to prevent).
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let policy = RetryPolicy { seed, ..base };
+            (0..6).map(|i| policy.jittered_delay(i)).collect()
+        };
+        let reference = schedule(1);
+        assert!(
+            (2..32).any(|s| schedule(s) != reference),
+            "every seed produced the same schedule"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_restores_the_exact_schedule() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(70),
+            jitter: 0.0,
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            assert_eq!(policy.jittered_delay(attempt), policy.delay(attempt));
+        }
+        // Out-of-range jitter clamps instead of inverting the range.
+        let wild = RetryPolicy {
+            jitter: 7.5,
+            ..policy
+        };
+        for attempt in 0..8 {
+            assert!(wild.jittered_delay(attempt) <= wild.delay(attempt));
+        }
     }
 
     #[test]

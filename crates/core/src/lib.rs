@@ -83,7 +83,10 @@ pub mod vo;
 pub mod wire;
 
 pub use auth::serve::QueryResponse;
-pub use auth::{AuthConfig, AuthenticatedIndex, CacheStats, ContentProvider, WarmStats};
+pub use auth::{
+    boot_authenticated_index, AuthConfig, AuthenticatedIndex, BootReport, BootSource, CacheStats,
+    ContentProvider, WarmStats,
+};
 pub use cache::LruCache;
 pub use client::{Client, ClientNetError, Connection, RetryPolicy};
 pub use engine::SearchEngine;

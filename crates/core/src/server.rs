@@ -36,6 +36,7 @@
 //!   acceptor, unblocks and joins every connection thread, and returns
 //!   the final [`ServerMetricsSnapshot`].
 
+use crate::auth::{boot_authenticated_index, AuthConfig, BootReport, BootSource};
 use crate::cache::lock_recover;
 use crate::engine::SearchEngine;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
@@ -43,6 +44,7 @@ use crate::pool::ThreadPool;
 use crate::types::Query;
 use crate::wire::{self, Request, WireError};
 use crate::WarmStats;
+use authsearch_corpus::Corpus;
 use authsearch_corpus::TermId;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -53,7 +55,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Operational knobs of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// How many top-df terms to pre-warm into the structure caches at
     /// startup. `None` (the default) is **`AuthConfig`-driven**: warm up
@@ -105,6 +107,14 @@ pub struct ServerConfig {
     /// round trip to every exchange). Off exists for measurement —
     /// `bench_pr5` records the latency gap.
     pub nodelay: bool,
+    /// Where [`Server::start_booted`] looks for (and heals) the
+    /// authenticated snapshot
+    /// ([`crate::AuthenticatedIndex::save_snapshot`]). `None` (the
+    /// default) always builds fresh. A configured path that is missing,
+    /// stale, or corrupt falls back to a fresh build — counted in
+    /// [`ServerMetricsSnapshot::boot_fresh_builds`] — and the rebuilt
+    /// artifact is written back so the next boot takes the fast path.
+    pub snapshot_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +129,7 @@ impl Default for ServerConfig {
                 .unwrap_or(DEFAULT_IDLE_DEADLINE),
             write_timeout: DEFAULT_WRITE_TIMEOUT,
             nodelay: true,
+            snapshot_path: None,
         }
     }
 }
@@ -266,6 +277,42 @@ impl Server {
             state,
             warmed,
         })
+    }
+
+    /// Boot the engine's artifact through the snapshot decision tree
+    /// ([`crate::auth::boot_authenticated_index`]) and start serving it.
+    ///
+    /// With [`ServerConfig::snapshot_path`] set and a valid snapshot on
+    /// disk, the server is up in near-O(1) — load, verify the owner's
+    /// signatures, serve — and `fallback` never runs. When the snapshot
+    /// is unconfigured, missing, stale, or corrupt, `fallback` rebuilds
+    /// the artifact (and the result is saved back, best effort). Either
+    /// way the outcome is visible twice: in the returned
+    /// [`BootReport`], and in the
+    /// [`boot_snapshot_loads`](ServerMetricsSnapshot::boot_snapshot_loads) /
+    /// [`boot_fresh_builds`](ServerMetricsSnapshot::boot_fresh_builds)
+    /// counters.
+    pub fn start_booted<A, F>(
+        corpus: Corpus,
+        expected: &AuthConfig,
+        fallback: F,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<(ServerHandle, BootReport)>
+    where
+        A: ToSocketAddrs,
+        F: FnOnce() -> crate::AuthenticatedIndex,
+    {
+        let (auth, report) =
+            boot_authenticated_index(config.snapshot_path.as_deref(), expected, fallback);
+        let engine = Arc::new(SearchEngine::new(auth, corpus));
+        let handle = Server::start(engine, addr, config)?;
+        let counter = match report.source {
+            BootSource::Snapshot => &handle.state.metrics.boot_snapshot_loads,
+            BootSource::FreshBuild => &handle.state.metrics.boot_fresh_builds,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok((handle, report))
     }
 }
 

@@ -9,7 +9,10 @@
 //! * [`block`] — the 1-KByte block layout and the ρ / ρ′ capacities;
 //! * [`disk`] — the simulated Seagate ST973401KC disk of the testbed;
 //! * [`iostats`] — block-access traces fed into the disk model;
-//! * [`persist`] — binary serialization for indexes and corpora.
+//! * [`persist`] — binary serialization for indexes and corpora, plus
+//!   the crash-safe, digest-trailed v2 snapshot container;
+//! * [`faults`] — deterministic fault-injection I/O (short reads, torn
+//!   writes, fsync failures, bit flips) for the persistence harness.
 
 #![warn(missing_docs)]
 
@@ -17,6 +20,7 @@ pub mod block;
 pub mod builder;
 pub mod dictionary;
 pub mod disk;
+pub mod faults;
 pub mod iostats;
 pub mod okapi;
 pub mod persist;
@@ -26,6 +30,8 @@ pub use block::BlockLayout;
 pub use builder::build_index;
 pub use dictionary::InvertedIndex;
 pub use disk::DiskModel;
+pub use faults::{FaultConfig, FaultStats, FaultyFile};
 pub use iostats::IoStats;
 pub use okapi::OkapiParams;
+pub use persist::{PersistError, SnapshotInfo};
 pub use postings::{ImpactEntry, InvertedList};

@@ -106,3 +106,90 @@ fn public_key_distribution_roundtrip() {
     let response = publication.auth.query(&query, 5, &corpus);
     verify::verify(&params, &query, 5, &response).unwrap();
 }
+
+// ---- v2 snapshot container (PR 6) -----------------------------------------
+
+mod snapshot_container {
+    use authsearch_index::persist::{self, PersistError, SectionTag};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Deterministic arbitrary section list: tags and payload bytes are
+    /// a pure function of `seed`.
+    fn arbitrary_sections(seed: u64, count: usize, max_len: usize) -> Vec<(SectionTag, Vec<u8>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut tag = [0u8; 4];
+                rng.fill_bytes(&mut tag);
+                let len = rng.gen_range(0..=max_len);
+                let mut payload = vec![0u8; len];
+                rng.fill_bytes(&mut payload);
+                (tag, payload)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn container_roundtrip(seed in any::<u64>(), count in 0usize..6, max_len in 0usize..512) {
+            let sections = arbitrary_sections(seed, count, max_len);
+            let bytes = persist::encode_snapshot(&sections).unwrap();
+            let back = persist::read_snapshot(&mut bytes.as_slice()).unwrap();
+            prop_assert_eq!(back, sections);
+        }
+
+        #[test]
+        fn every_flip_in_every_section_is_caught(seed in any::<u64>()) {
+            // Three sections of distinct sizes; flip every payload byte
+            // of each and assert the *owning* section's digest trailer
+            // reports it — corruption is caught and localized.
+            let sections = vec![
+                (*b"AAAA", arbitrary_sections(seed, 1, 40).remove(0).1),
+                (*b"BBBB", arbitrary_sections(seed ^ 1, 1, 80).remove(0).1),
+                (*b"CCCC", arbitrary_sections(seed ^ 2, 1, 20).remove(0).1),
+            ];
+            let bytes = persist::encode_snapshot(&sections).unwrap();
+            // Walk the framing to find each payload's byte range:
+            // header = 4 magic + 4 version + 4 count; per section:
+            // 4 tag + 8 len + payload + 16 digest.
+            let mut at = 12usize;
+            for (tag, payload) in &sections {
+                let start = at + 12;
+                for i in 0..payload.len() {
+                    let mut evil = bytes.clone();
+                    evil[start + i] ^= 1 << (i % 8);
+                    match persist::read_snapshot(&mut evil.as_slice()) {
+                        Err(PersistError::SectionDigest { section }) => {
+                            prop_assert_eq!(
+                                section.as_bytes(), &tag[..],
+                                "flip at byte {} blamed the wrong section", i
+                            );
+                        }
+                        other => prop_assert!(
+                            false,
+                            "payload flip at byte {} of {:?} not caught: {:?}",
+                            i, String::from_utf8_lossy(tag), other.map(|_| ())
+                        ),
+                    }
+                }
+                at = start + payload.len() + 16;
+            }
+        }
+
+        #[test]
+        fn every_truncation_is_an_error(seed in any::<u64>(), count in 1usize..4) {
+            let sections = arbitrary_sections(seed, count, 64);
+            let bytes = persist::encode_snapshot(&sections).unwrap();
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    persist::read_snapshot(&mut &bytes[..cut]).is_err(),
+                    "truncation to {} bytes parsed", cut
+                );
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@ fn patient() -> RetryPolicy {
         max_attempts: 400,
         base: Duration::from_millis(2),
         cap: Duration::from_millis(100),
+        ..RetryPolicy::default()
     }
 }
 

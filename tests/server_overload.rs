@@ -143,6 +143,7 @@ fn retrying_client_rides_out_the_cap() {
         max_attempts: 100,
         base: Duration::from_millis(5),
         cap: Duration::from_millis(50),
+        ..RetryPolicy::default()
     };
     let (verified, response) = waiter
         .query_terms_retrying(&workloads[1], 5, policy)

@@ -1,0 +1,219 @@
+//! Verified boot from authenticated snapshots: a server pointed at a
+//! valid snapshot ([`ServerConfig::snapshot_path`]) comes up without
+//! rebuilding anything, and the engine it serves is *indistinguishable*
+//! from a build-from-scratch one — byte-identical VOs on honest
+//! queries, identical rejections across the attack catalogue. A
+//! missing or corrupted snapshot costs a rebuild (counted, healed),
+//! never correctness or availability.
+
+use authsearch_core::attacks::Attack;
+use authsearch_core::{
+    boot_authenticated_index, verify, AuthConfig, AuthenticatedIndex, BootSource, Connection,
+    DataOwner, Mechanism, Query, Server, ServerConfig,
+};
+use authsearch_corpus::{Corpus, SyntheticConfig};
+use authsearch_crypto::keys::TEST_KEY_BITS;
+use authsearch_index::persist::manifest_path;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("authsearch-boot-{name}"));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_corpus() -> Corpus {
+    SyntheticConfig::tiny(120, 41).generate()
+}
+
+fn test_config(mechanism: Mechanism) -> AuthConfig {
+    AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    }
+}
+
+fn sample_query(auth: &AuthenticatedIndex, seed: u64) -> Query {
+    let terms =
+        authsearch_corpus::workload::synthetic(auth.index().num_terms(), 1, 3, seed).remove(0);
+    Query::from_term_ids(auth.index(), &terms)
+}
+
+/// A snapshot-booted engine is the built engine, across every mechanism
+/// and the whole attack catalogue: honest VOs byte-identical, every
+/// attack detected identically.
+#[test]
+fn booted_engine_matches_built_engine_across_attack_catalogue() {
+    let dir = temp_dir("attacks");
+    let corpus = test_corpus();
+    for mechanism in Mechanism::ALL {
+        let config = test_config(mechanism);
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let publication = owner.publish(&corpus, config);
+        let path = dir.join(format!("{mechanism:?}.snap"));
+        publication.auth.save_snapshot(&path).unwrap();
+        let booted = AuthenticatedIndex::load_snapshot(&path, &config).unwrap();
+
+        for seed in [4u64, 5, 6] {
+            let query = sample_query(&publication.auth, seed);
+            let a = publication.auth.query(&query, 10, &corpus);
+            let b = booted.query(&query, 10, &corpus);
+            assert_eq!(a.result, b.result, "{mechanism:?} seed {seed}");
+            assert_eq!(
+                a.vo, b.vo,
+                "{mechanism:?} seed {seed}: VO must be byte-identical"
+            );
+            verify::verify(&publication.verifier_params, &query, 10, &b)
+                .unwrap_or_else(|e| panic!("{mechanism:?}: booted honest response rejected: {e}"));
+
+            let attacks = Attack::COMMON.iter().chain(if mechanism.is_tra() {
+                Attack::TRA_ONLY.iter()
+            } else {
+                [].iter()
+            });
+            for attack in attacks {
+                let mut tampered = b.clone();
+                if !attack.apply(&mut tampered) {
+                    continue;
+                }
+                assert!(
+                    verify::verify(&publication.verifier_params, &query, 10, &tampered).is_err(),
+                    "{mechanism:?}: attack '{}' undetected against the booted engine",
+                    attack.name()
+                );
+            }
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Happy path: with a valid snapshot on disk the server boots without
+/// building — fresh-build counter 0, snapshot counter 1 — and serves
+/// verifying answers over the wire.
+#[test]
+fn server_boots_from_snapshot_without_rebuilding() {
+    let dir = temp_dir("server-happy");
+    let path = dir.join("engine.snap");
+    let corpus = test_corpus();
+    let config = test_config(Mechanism::TnraCmht);
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let publication = owner.publish(&corpus, config);
+    publication.auth.save_snapshot(&path).unwrap();
+
+    let server_config = ServerConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (handle, report) = Server::start_booted(
+        corpus,
+        &config,
+        || panic!("fallback must not run: the snapshot is valid"),
+        "127.0.0.1:0",
+        server_config,
+    )
+    .unwrap();
+    assert_eq!(report.source, BootSource::Snapshot);
+
+    let mut connection =
+        Connection::connect(handle.addr(), publication.verifier_params.clone()).unwrap();
+    let query = sample_query(&publication.auth, 9);
+    let mut pairs: Vec<_> = query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|p| p.0);
+    let (verified, response) = connection.query_terms(&pairs, 5).expect("verified answer");
+    assert_eq!(verified.result, response.result);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.boot_snapshot_loads, 1);
+    assert_eq!(stats.boot_fresh_builds, 0, "happy path must not rebuild");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The CI fixture check: a pre-corrupted snapshot file forces the
+/// fallback build (counted), the server still comes up and serves, and
+/// the rebuilt artifact heals the path for the next boot.
+#[test]
+fn corrupted_snapshot_falls_back_to_build() {
+    let dir = temp_dir("server-corrupt");
+    let path = dir.join("engine.snap");
+    let corpus = test_corpus();
+    let config = test_config(Mechanism::TraMht);
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let publication = owner.publish(&corpus, config);
+    publication.auth.save_snapshot(&path).unwrap();
+
+    // Corrupt the committed container mid-file (past the header, inside
+    // a section payload) — the pre-corrupted fixture.
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let fallback_corpus = corpus.clone();
+    let server_config = ServerConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (handle, report) = Server::start_booted(
+        corpus,
+        &config,
+        move || {
+            DataOwner::with_cached_key(TEST_KEY_BITS)
+                .publish(&fallback_corpus, config)
+                .auth
+        },
+        "127.0.0.1:0",
+        server_config,
+    )
+    .unwrap();
+    assert_eq!(report.source, BootSource::FreshBuild);
+    let reason = report
+        .reason
+        .as_deref()
+        .expect("fallback carries the typed reason");
+    assert!(!reason.is_empty());
+    assert!(report.healed, "the rebuild must be saved back");
+
+    // Degraded but correct: the freshly built engine serves verifying
+    // answers.
+    let mut connection =
+        Connection::connect(handle.addr(), publication.verifier_params.clone()).unwrap();
+    let query = sample_query(&publication.auth, 11);
+    let mut pairs: Vec<_> = query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|p| p.0);
+    let (verified, response) = connection.query_terms(&pairs, 5).expect("verified answer");
+    assert_eq!(verified.result, response.result);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.boot_fresh_builds, 1);
+    assert_eq!(stats.boot_snapshot_loads, 0);
+
+    // Healed: the next boot takes the snapshot path.
+    let (_auth, report) =
+        boot_authenticated_index(Some(&path), &config, || panic!("healed snapshot must load"));
+    assert_eq!(report.source, BootSource::Snapshot);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Deleting the snapshot between boots is the cold-start path, not an
+/// error: build, heal, then load on the boot after.
+#[test]
+fn missing_snapshot_is_a_counted_cold_start() {
+    let dir = temp_dir("server-missing");
+    let path = dir.join("never-written.snap");
+    let config = test_config(Mechanism::TnraMht);
+    let corpus = test_corpus();
+    let fallback_corpus = corpus.clone();
+    let (_auth, report) = boot_authenticated_index(Some(&path), &config, move || {
+        DataOwner::with_cached_key(TEST_KEY_BITS)
+            .publish(&fallback_corpus, config)
+            .auth
+    });
+    assert_eq!(report.source, BootSource::FreshBuild);
+    assert!(report.healed);
+    assert!(path.exists() && manifest_path(&path).exists());
+    fs::remove_dir_all(&dir).ok();
+}
