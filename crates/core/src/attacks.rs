@@ -40,6 +40,21 @@ pub enum Attack {
     DropDocProof,
     /// TRA: substitute the content of a result document.
     TamperContent,
+    /// Conjunctive: shorten a revealed list prefix, hiding the tail a
+    /// complete intersection must account for (dropping a conjunct's
+    /// evidence).
+    DropConjunct,
+    /// Conjunctive: report a silently narrowed intersection (drop the
+    /// last member while keeping every proof intact).
+    WrongIntersection,
+    /// Conjunctive: smuggle a revealed-but-nonqualifying document into
+    /// the reported intersection, with fabricated content.
+    ExtraIntersectionDoc,
+    /// Phrase (TRA): swap two adjacent words inside a delivered result
+    /// document, breaking phrase order while preserving the word
+    /// multiset — term frequencies are unchanged, so only the
+    /// content-digest binding can catch it.
+    PhraseOrderSwap,
 }
 
 impl Attack {
@@ -62,6 +77,17 @@ impl Attack {
         Attack::TamperContent,
     ];
 
+    /// Attacks against the conjunctive / phrase query model
+    /// ([`crate::types::QueryMode::Conjunctive`]). `PhraseOrderSwap`
+    /// applies only to TRA responses (TNRA delivers no authenticated
+    /// contents); the rest apply to every mechanism.
+    pub const CONJUNCTIVE: [Attack; 4] = [
+        Attack::DropConjunct,
+        Attack::WrongIntersection,
+        Attack::ExtraIntersectionDoc,
+        Attack::PhraseOrderSwap,
+    ];
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -76,6 +102,10 @@ impl Attack {
             Attack::AlterDocFrequency => "alter document frequency",
             Attack::DropDocProof => "drop document proof",
             Attack::TamperContent => "tamper with document content",
+            Attack::DropConjunct => "drop conjunct evidence",
+            Attack::WrongIntersection => "narrow the intersection",
+            Attack::ExtraIntersectionDoc => "widen the intersection",
+            Attack::PhraseOrderSwap => "swap phrase word order",
         }
     }
 
@@ -200,6 +230,90 @@ impl Attack {
                 *bytes = b"this patent never existed".to_vec();
                 true
             }
+            Attack::DropConjunct => {
+                // Pop the tail of the first non-empty revealed prefix:
+                // the hidden entry is exactly the evidence a complete
+                // intersection would have had to account for.
+                for tv in &mut response.vo.terms {
+                    match &mut tv.prefix {
+                        PrefixData::Entries(entries) if !entries.is_empty() => {
+                            entries.pop();
+                            return true;
+                        }
+                        PrefixData::DocIds(ids) if !ids.is_empty() => {
+                            ids.pop();
+                            return true;
+                        }
+                        _ => {}
+                    }
+                }
+                false
+            }
+            Attack::WrongIntersection => {
+                // Too-narrow intersection: silently drop the *last*
+                // member (OmitTopResult already covers the first) while
+                // every proof stays untouched.
+                let Some(gone) = response.result.entries.pop() else {
+                    return false;
+                };
+                response.contents.retain(|(d, _)| *d != gone.doc);
+                true
+            }
+            Attack::ExtraIntersectionDoc => {
+                // Too-wide intersection: promote a document the VO
+                // itself reveals (so its existence is plausible) but the
+                // result excludes, appending fabricated content for it.
+                let result_docs = response.result.docs();
+                let revealed: Vec<DocId> = if response.vo.mechanism.is_tra() {
+                    response.vo.docs.iter().map(|d| d.doc).collect()
+                } else {
+                    response
+                        .vo
+                        .terms
+                        .iter()
+                        .flat_map(|tv| match &tv.prefix {
+                            PrefixData::Entries(entries) => {
+                                entries.iter().map(|e| e.doc).collect::<Vec<_>>()
+                            }
+                            PrefixData::DocIds(ids) => ids.clone(),
+                        })
+                        .collect()
+                };
+                let Some(doc) = revealed.into_iter().find(|d| !result_docs.contains(d)) else {
+                    return false;
+                };
+                let score = response
+                    .result
+                    .entries
+                    .last()
+                    .map_or(0.5, |e| e.score / 2.0);
+                response.result.entries.push(ResultEntry { doc, score });
+                response
+                    .contents
+                    .push((doc, b"smuggled into the intersection".to_vec()));
+                true
+            }
+            Attack::PhraseOrderSwap => {
+                // Word-order tampering is invisible to every frequency-
+                // based proof; only TRA's content-digest binding is in a
+                // position to catch it.
+                if !response.vo.mechanism.is_tra() {
+                    return false;
+                }
+                for (_, bytes) in &mut response.contents {
+                    let mut words: Vec<String> = String::from_utf8_lossy(bytes)
+                        .split_whitespace()
+                        .map(str::to_owned)
+                        .collect();
+                    let Some(i) = words.windows(2).position(|w| w[0] != w[1]) else {
+                        continue;
+                    };
+                    words.swap(i, i + 1);
+                    *bytes = words.join(" ").into_bytes();
+                    return true;
+                }
+                false
+            }
         }
     }
 }
@@ -243,6 +357,49 @@ pub fn truncated_prefix_response<C: crate::auth::ContentProvider>(
     Some(auth.respond(query, outcome, contents))
 }
 
+/// The conjunctive analogue of [`truncated_prefix_response`]: the engine
+/// reveals one buddy group less than the conjunctive completeness bar
+/// requires (the anchor list under TRA, the longest list under TNRA) but
+/// re-derives a *perfectly well-formed* VO for the shortened reveal —
+/// honest result, valid proofs, valid signatures. Only the
+/// [`VerifyError::ConjunctIncomplete`](crate::verify::VerifyError)
+/// completeness check stands between this response and acceptance.
+///
+/// Returns `None` when every revealed prefix is too short to shorten
+/// further.
+pub fn incomplete_conjunct_response<C: crate::auth::ContentProvider>(
+    auth: &AuthenticatedIndex,
+    query: &Query,
+    r: usize,
+    contents: &C,
+) -> Option<QueryResponse> {
+    let honest = auth.query_conjunctive(query, r, contents);
+    // Shorten past the buddy padding, which would otherwise round the
+    // reveal back up to the full list.
+    let pad = if auth.config().buddy {
+        crate::buddy::buddy_group_size(auth.config().term_leaf_bytes(), 16)
+    } else {
+        1
+    };
+    let (argmax, &len) = honest
+        .entries_read
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &l)| l)?;
+    if len <= pad {
+        return None;
+    }
+    let mut prefix_lens = honest.entries_read.clone();
+    prefix_lens[argmax] = len - pad;
+    let outcome = ProcessingOutcome {
+        result: honest.result.clone(),
+        prefix_lens,
+        encountered: honest.vo.docs.iter().map(|d| d.doc).collect(),
+        iterations: 0,
+    };
+    Some(auth.respond(query, outcome, contents))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,11 +413,51 @@ mod tests {
         let mut names: Vec<&str> = Attack::COMMON
             .iter()
             .chain(Attack::TRA_ONLY.iter())
+            .chain(Attack::CONJUNCTIVE.iter())
             .map(|a| a.name())
             .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn conjunctive_attacks_apply_to_toy_conjunctive_responses() {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        for mechanism in [Mechanism::TraMht, Mechanism::TnraCmht] {
+            let config = AuthConfig {
+                key_bits: TEST_KEY_BITS,
+                ..AuthConfig::new(mechanism)
+            };
+            let publication =
+                owner.publish_index(crate::toy::toy_index(), config, &crate::toy::toy_contents());
+            let honest = publication.auth.query_conjunctive(
+                &crate::toy::toy_query(),
+                2,
+                &crate::toy::toy_contents(),
+            );
+            for attack in Attack::CONJUNCTIVE {
+                let mut copy = honest.clone();
+                let applied = attack.apply(&mut copy);
+                // Phrase tampering needs delivered contents → TRA only.
+                // Widening needs a revealed non-result doc, which the toy
+                // TRA anchor (exactly the one result doc) cannot offer.
+                let expect = match attack {
+                    Attack::PhraseOrderSwap => mechanism.is_tra(),
+                    Attack::ExtraIntersectionDoc => !mechanism.is_tra(),
+                    _ => true,
+                };
+                assert_eq!(applied, expect, "{mechanism:?}: {}", attack.name());
+                if applied {
+                    assert_ne!(
+                        (&copy.vo, &copy.result, &copy.contents),
+                        (&honest.vo, &honest.result, &honest.contents),
+                        "{mechanism:?}: {} left the response unchanged",
+                        attack.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

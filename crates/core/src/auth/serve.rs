@@ -103,6 +103,104 @@ impl AuthenticatedIndex {
             .map(queries.len(), |i| self.query(&queries[i], r, contents))
     }
 
+    /// Process a query under AND-semantics
+    /// ([`QueryMode::Conjunctive`](crate::types::QueryMode)) and produce
+    /// the intersection with its integrity proof.
+    ///
+    /// The proof strategy reuses the owner's existing signed structures
+    /// — no new signatures, no VO format change:
+    ///
+    /// * **TRA**: reveal the *anchor* list (the shortest one,
+    ///   [`crate::conjunctive::anchor_index`]) in full; every other term
+    ///   gets a zero-length prefix whose proof still reconstructs the
+    ///   signed root (the proof degenerates to the root digest itself).
+    ///   Every anchor document ships its document-MHT proof, whose
+    ///   adjacent-leaf bounding pairs prove *absence* of the other query
+    ///   terms where they do not occur — so dropping a candidate from
+    ///   the intersection is detectable, not just asserted.
+    /// * **TNRA**: reveal every query term's list in full; absence is
+    ///   then provable by exhaustion against the signed roots.
+    ///
+    /// Responses are bit-identical across thread counts, serve-cache
+    /// settings, and snapshot-booted vs. cold-built engines, exactly
+    /// like the disjunctive path ([`Self::query`]).
+    pub fn query_conjunctive<C: ContentProvider>(
+        &self,
+        query: &Query,
+        r: usize,
+        contents: &C,
+    ) -> QueryResponse {
+        let outcome = self.conjunctive_outcome(query, r);
+        self.respond(query, outcome, contents)
+    }
+
+    /// [`Self::serve_batch`] for conjunctive queries: response `i` is
+    /// bit-identical to `self.query_conjunctive(&queries[i], …)` at any
+    /// thread count.
+    pub fn serve_batch_conjunctive<C: ContentProvider>(
+        &self,
+        queries: &[Query],
+        r: usize,
+        contents: &C,
+    ) -> Vec<QueryResponse> {
+        self.serve_pool().map(queries.len(), |i| {
+            self.query_conjunctive(&queries[i], r, contents)
+        })
+    }
+
+    /// Run the conjunctive intersection and decide which prefixes the VO
+    /// must reveal (see [`Self::query_conjunctive`] for the strategy).
+    fn conjunctive_outcome(&self, query: &Query, r: usize) -> ProcessingOutcome {
+        let q = query.terms.len();
+        if q == 0 {
+            return ProcessingOutcome {
+                result: QueryResult::default(),
+                prefix_lens: Vec::new(),
+                encountered: Vec::new(),
+                iterations: 0,
+            };
+        }
+        let fts: Vec<usize> = query
+            .terms
+            .iter()
+            .map(|qt| self.index.list(qt.term).len())
+            .collect();
+        let anchor = crate::conjunctive::anchor_index(&fts);
+        let candidates: Vec<DocId> = self
+            .index
+            .list(query.terms[anchor].term)
+            .entries()
+            .iter()
+            .map(|e| e.doc)
+            .collect();
+        let wq: Vec<f64> = query.terms.iter().map(|qt| qt.wq).collect();
+        let result = crate::conjunctive::rank_intersection(
+            &candidates,
+            &wq,
+            |d, i| Some(self.doc_table.weight(d, query.terms[i].term)),
+            r,
+        )
+        .expect("engine-side access is total");
+
+        let (prefix_lens, encountered) = if self.config.mechanism.is_tra() {
+            // Anchor revealed in full; other terms prove only their
+            // signed root (zero-length prefix). Absence comes from the
+            // candidates' document-MHT bounding pairs.
+            let mut lens = vec![0usize; q];
+            lens[anchor] = fts[anchor];
+            (lens, candidates.clone())
+        } else {
+            // Every list revealed in full: absence by exhaustion.
+            (fts, Vec::new())
+        };
+        ProcessingOutcome {
+            result,
+            prefix_lens,
+            encountered,
+            iterations: candidates.len(),
+        }
+    }
+
     /// Assemble the response for an already-computed processing outcome.
     pub(crate) fn respond<C: ContentProvider>(
         &self,
@@ -511,6 +609,94 @@ mod tests {
         let stats = tiny_cache.cache_stats();
         assert_eq!(stats.resident_terms, 1);
         assert!(stats.misses >= 4);
+    }
+
+    #[test]
+    fn conjunctive_toy_intersects_to_d6() {
+        // Figure 1: d6 is the only document containing all four query
+        // terms, so the conjunctive answer is exactly [6] and its score
+        // matches the disjunctive top-1 score for d6.
+        for mechanism in Mechanism::ALL {
+            let a = auth(mechanism);
+            let conj = a.query_conjunctive(&toy_query(), 2, &toy_contents());
+            assert_eq!(conj.result.docs(), vec![6], "{mechanism:?}");
+            let disj = a.query(&toy_query(), 2, &toy_contents());
+            let d6 = disj.result.entries.iter().find(|e| e.doc == 6).unwrap();
+            // Same formula, but the conjunctive path accumulates in
+            // query-term order while the threshold algorithm accumulates
+            // in pop order — identical up to f64 rounding.
+            assert!(
+                (conj.result.entries[0].score - d6.score).abs() < 1e-9,
+                "{mechanism:?}"
+            );
+            assert_eq!(conj.contents.len(), 1);
+            assert_eq!(conj.contents[0].0, 6);
+        }
+    }
+
+    #[test]
+    fn conjunctive_tra_reveals_anchor_only() {
+        let a = auth(Mechanism::TraMht);
+        let resp = a.query_conjunctive(&toy_query(), 2, &toy_contents());
+        let fts: Vec<usize> = toy_query()
+            .terms
+            .iter()
+            .map(|qt| a.index().list(qt.term).len())
+            .collect();
+        let anchor = crate::conjunctive::anchor_index(&fts);
+        for (i, tv) in resp.vo.terms.iter().enumerate() {
+            let want = if i == anchor { fts[i] } else { 0 };
+            assert_eq!(tv.prefix.len(), want, "term #{i}");
+            assert_eq!(resp.entries_read[i], want);
+        }
+        // One document proof per anchor-list document, in list order.
+        let anchor_docs: Vec<DocId> = a
+            .index()
+            .list(toy_query().terms[anchor].term)
+            .entries()
+            .iter()
+            .map(|e| e.doc)
+            .collect();
+        let proved: Vec<DocId> = resp.vo.docs.iter().map(|d| d.doc).collect();
+        assert_eq!(proved, anchor_docs);
+    }
+
+    #[test]
+    fn conjunctive_tnra_reveals_every_list_in_full() {
+        for mechanism in [Mechanism::TnraMht, Mechanism::TnraCmht] {
+            let a = auth(mechanism);
+            let resp = a.query_conjunctive(&toy_query(), 2, &toy_contents());
+            assert!(resp.vo.docs.is_empty(), "{mechanism:?}");
+            for (tv, qt) in resp.vo.terms.iter().zip(&toy_query().terms) {
+                assert_eq!(
+                    tv.prefix.len(),
+                    a.index().list(qt.term).len(),
+                    "{mechanism:?} term {}",
+                    qt.term
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_conjunctive_query_is_empty_response() {
+        let a = auth(Mechanism::TraCmht);
+        let resp = a.query_conjunctive(&Query::default(), 5, &toy_contents());
+        assert!(resp.result.entries.is_empty());
+        assert!(resp.vo.terms.is_empty());
+        assert!(resp.contents.is_empty());
+    }
+
+    #[test]
+    fn serve_batch_conjunctive_matches_sequential() {
+        let a = auth(Mechanism::TnraCmht);
+        let queries = vec![toy_query(), Query::default(), toy_query()];
+        let batch = a.serve_batch_conjunctive(&queries, 2, &toy_contents());
+        for (i, (got, q)) in batch.iter().zip(&queries).enumerate() {
+            let want = a.query_conjunctive(q, 2, &toy_contents());
+            assert_eq!(got.vo, want.vo, "query {i}");
+            assert_eq!(got.result, want.result, "query {i}");
+        }
     }
 
     #[test]

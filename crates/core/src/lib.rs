@@ -68,6 +68,7 @@ pub mod baseline;
 pub mod buddy;
 pub mod cache;
 pub mod client;
+mod conjunctive;
 pub mod engine;
 pub mod metrics;
 pub mod owner;
@@ -93,6 +94,6 @@ pub use engine::SearchEngine;
 pub use metrics::{measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot};
 pub use owner::{DataOwner, Publication};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use types::{DocTable, ProcessingOutcome, Query, QueryResult, ResultEntry};
-pub use verify::{verify, VerifiedResult, VerifierParams, VerifyError};
+pub use types::{DocTable, ProcessingOutcome, Query, QueryMode, QueryResult, ResultEntry};
+pub use verify::{verify, verify_conjunctive, VerifiedResult, VerifierParams, VerifyError};
 pub use vo::{Mechanism, VerificationObject, VoSize};

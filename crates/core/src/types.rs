@@ -5,6 +5,24 @@ use authsearch_corpus::{Corpus, DocId, TermId};
 use authsearch_index::InvertedIndex;
 use std::collections::HashMap;
 
+/// How a multi-term query combines its terms.
+///
+/// The paper's query model is purely disjunctive (top-r by the summed
+/// Okapi similarity, §2). Conjunctive mode keeps the identical scoring
+/// formula but admits only documents that contain *every* query term,
+/// and its VO additionally proves that intersection is exactly right —
+/// see [`crate::verify::verify_conjunctive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryMode {
+    /// OR-semantics: any document containing at least one query term is
+    /// a candidate (the paper's model).
+    #[default]
+    Disjunctive,
+    /// AND-semantics: only documents containing all query terms are
+    /// candidates, and absence from the result must be provable.
+    Conjunctive,
+}
+
 /// One search term of a query with its query-side weight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryTerm {

@@ -35,6 +35,12 @@ impl ResolvedFreqs {
     pub fn num_docs(&self) -> usize {
         self.map.len()
     }
+
+    /// True when the VO carried an authenticated proof for document `d`
+    /// (even if some query-term weights remained unproven).
+    pub fn contains(&self, d: DocId) -> bool {
+        self.map.contains_key(&d)
+    }
 }
 
 /// Verify every document proof in the response and build the frequency

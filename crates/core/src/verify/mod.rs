@@ -82,6 +82,13 @@ pub enum VerifyError {
     },
     /// The replayed result differs from the reported one.
     ResultMismatch(String),
+    /// A conjunctive VO does not reveal enough of a term's list for the
+    /// intersection to be complete (the anchor list under TRA, every
+    /// list under TNRA, must be revealed up to its signed `f_t`).
+    ConjunctIncomplete {
+        /// The term whose list is not fully revealed.
+        term: TermId,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -110,6 +117,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "content of result document {doc} missing")
             }
             VerifyError::ResultMismatch(w) => write!(f, "result incorrect: {w}"),
+            VerifyError::ConjunctIncomplete { term } => write!(
+                f,
+                "term {term}'s list not fully revealed: conjunctive completeness unproven"
+            ),
         }
     }
 }
@@ -190,28 +201,7 @@ pub(crate) fn verify_with_memo(
     memo: &mut SigMemo,
 ) -> Result<VerifiedResult, VerifyError> {
     let vo = &response.vo;
-    if vo.mechanism != params.mechanism {
-        return Err(VerifyError::QueryShapeMismatch(format!(
-            "mechanism {} but owner deployed {}",
-            vo.mechanism.name(),
-            params.mechanism.name()
-        )));
-    }
-    if vo.terms.len() != query.terms.len() {
-        return Err(VerifyError::QueryShapeMismatch(format!(
-            "{} term proofs for {} query terms",
-            vo.terms.len(),
-            query.terms.len()
-        )));
-    }
-    for (tv, qt) in vo.terms.iter().zip(&query.terms) {
-        if tv.term != qt.term {
-            return Err(VerifyError::QueryShapeMismatch(format!(
-                "term proof for {} where query has {}",
-                tv.term, qt.term
-            )));
-        }
-    }
+    check_query_shape(params, query, vo)?;
 
     // Step 1: authenticate every list prefix.
     let mut term_roots = Vec::with_capacity(vo.terms.len());
@@ -237,6 +227,173 @@ pub(crate) fn verify_with_memo(
         result: response.result.clone(),
         vo_size: vo.size(),
     })
+}
+
+/// Verify a conjunctive (AND-semantics) response: same inputs as
+/// [`verify`], but the result is required to be the *exact* top-`r` of
+/// the documents containing **every** query term.
+///
+/// Beyond authenticating the list prefixes and signatures exactly as
+/// the disjunctive verifier does, this enforces *intersection
+/// completeness* from the existing signed structures alone:
+///
+/// * the anchor list (smallest signed `f_t`,
+///   [`crate::conjunctive::anchor_index`] — recomputed here from the
+///   signed values, never taken from the server) must be revealed in
+///   full, so the candidate set is provably exhaustive;
+/// * under **TRA**, every candidate's membership in the other lists is
+///   settled by its authenticated document-MHT: a revealed `(t, w)`
+///   leaf proves presence, an adjacent bounding pair proves absence —
+///   so no conjunct can be silently dropped and no outsider smuggled
+///   in;
+/// * under **TNRA**, every query term's list must be revealed in full
+///   ([`VerifyError::ConjunctIncomplete`] otherwise) and absence is
+///   proven by exhaustion against the signed roots.
+///
+/// The ranking replay is byte-for-byte the engine's own code
+/// (`crate::conjunctive`), so any score or ordering deviation is a lie,
+/// not a rounding artifact.
+pub fn verify_conjunctive(
+    params: &VerifierParams,
+    query: &Query,
+    r: usize,
+    response: &QueryResponse,
+) -> Result<VerifiedResult, VerifyError> {
+    verify_conjunctive_with_memo(params, query, r, response, &mut SigMemo::new())
+}
+
+/// [`verify_conjunctive`] with a cross-response signature memo.
+pub(crate) fn verify_conjunctive_with_memo(
+    params: &VerifierParams,
+    query: &Query,
+    r: usize,
+    response: &QueryResponse,
+    memo: &mut SigMemo,
+) -> Result<VerifiedResult, VerifyError> {
+    let vo = &response.vo;
+    check_query_shape(params, query, vo)?;
+
+    // Authenticate every list prefix and its signature, exactly as the
+    // disjunctive path does.
+    let mut term_roots = Vec::with_capacity(vo.terms.len());
+    for tv in &vo.terms {
+        term_roots.push(verify_term_prefix(params, tv)?);
+    }
+    verify_term_signatures(params, vo, &term_roots, memo)?;
+
+    let q = query.terms.len();
+    if q == 0 {
+        // The empty conjunction: trivially the empty result.
+        compare_results(&QueryResult::default(), &response.result)?;
+        return Ok(VerifiedResult {
+            result: response.result.clone(),
+            vo_size: vo.size(),
+        });
+    }
+
+    // The anchor is derived from the *signed* f_t values: understating
+    // one to shrink the reveal obligation breaks a list signature first.
+    let fts: Vec<usize> = vo.terms.iter().map(|tv| tv.ft as usize).collect();
+    let anchor = crate::conjunctive::anchor_index(&fts);
+    let wq: Vec<f64> = query.terms.iter().map(|qt| qt.wq).collect();
+
+    let expected = if params.mechanism.is_tra() {
+        let atv = &vo.terms[anchor];
+        if atv.prefix.len() != fts[anchor] {
+            return Err(VerifyError::ConjunctIncomplete { term: atv.term });
+        }
+        let PrefixData::DocIds(candidates) = &atv.prefix else {
+            return Err(VerifyError::MalformedProof(format!(
+                "term {}: prefix payload does not match mechanism",
+                atv.term
+            )));
+        };
+        // Authenticate the document-MHT proofs; they certify, for every
+        // candidate × query term, either the weight or a proven absence.
+        let freqs = docproof::resolve_doc_proofs(params, query, response, memo)?;
+        crate::conjunctive::rank_intersection(candidates, &wq, |d, i| freqs.weight_of(d, i), r)
+            .map_err(|(doc, i)| {
+                if freqs.contains(doc) {
+                    VerifyError::FrequencyUnproven {
+                        doc,
+                        term: query.terms[i].term,
+                    }
+                } else {
+                    VerifyError::MissingDocProof { doc }
+                }
+            })?
+    } else {
+        // TNRA: every list fully revealed → membership lookups by map,
+        // absence by exhaustion.
+        let mut maps: Vec<HashMap<DocId, f32>> = Vec::with_capacity(q);
+        let mut candidates: Vec<DocId> = Vec::new();
+        for (i, tv) in vo.terms.iter().enumerate() {
+            let PrefixData::Entries(entries) = &tv.prefix else {
+                return Err(VerifyError::MalformedProof(format!(
+                    "term {}: prefix payload does not match mechanism",
+                    tv.term
+                )));
+            };
+            if entries.len() != fts[i] {
+                return Err(VerifyError::ConjunctIncomplete { term: tv.term });
+            }
+            // Same defense-in-depth screen as the disjunctive replay.
+            if entries.windows(2).any(|w| w[0].weight < w[1].weight) {
+                return Err(VerifyError::PrefixNotOrdered { term: tv.term });
+            }
+            if i == anchor {
+                candidates = entries.iter().map(|e| e.doc).collect();
+            }
+            maps.push(entries.iter().map(|e| (e.doc, e.weight)).collect());
+        }
+        crate::conjunctive::rank_intersection(
+            &candidates,
+            &wq,
+            |d, i| Some(maps[i].get(&d).copied().unwrap_or(0.0)),
+            r,
+        )
+        .map_err(|(doc, i)| VerifyError::FrequencyUnproven {
+            doc,
+            term: query.terms[i].term,
+        })?
+    };
+
+    compare_results(&expected, &response.result)?;
+    Ok(VerifiedResult {
+        result: response.result.clone(),
+        vo_size: vo.size(),
+    })
+}
+
+/// The VO must speak for this mechanism and exactly this query's terms.
+fn check_query_shape(
+    params: &VerifierParams,
+    query: &Query,
+    vo: &VerificationObject,
+) -> Result<(), VerifyError> {
+    if vo.mechanism != params.mechanism {
+        return Err(VerifyError::QueryShapeMismatch(format!(
+            "mechanism {} but owner deployed {}",
+            vo.mechanism.name(),
+            params.mechanism.name()
+        )));
+    }
+    if vo.terms.len() != query.terms.len() {
+        return Err(VerifyError::QueryShapeMismatch(format!(
+            "{} term proofs for {} query terms",
+            vo.terms.len(),
+            query.terms.len()
+        )));
+    }
+    for (tv, qt) in vo.terms.iter().zip(&query.terms) {
+        if tv.term != qt.term {
+            return Err(VerifyError::QueryShapeMismatch(format!(
+                "term proof for {} where query has {}",
+                tv.term, qt.term
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Reconstruct one term's root/head digest from its prefix + proof.
@@ -681,5 +838,58 @@ mod tests {
         assert!(resp.result.entries.is_empty());
         let verified = verify(&params, &q, 5, &resp).unwrap();
         assert!(verified.result.entries.is_empty());
+    }
+
+    #[test]
+    fn honest_conjunctive_verifies_under_every_mechanism() {
+        for mechanism in Mechanism::ALL {
+            let (auth, params) = setup(mechanism);
+            let resp = auth.query_conjunctive(&toy_query(), 2, &toy_contents());
+            let verified = verify_conjunctive(&params, &toy_query(), 2, &resp)
+                .unwrap_or_else(|e| panic!("{mechanism:?}: {e}"));
+            assert_eq!(verified.result.docs(), vec![6], "{mechanism:?}");
+        }
+    }
+
+    #[test]
+    fn empty_conjunctive_query_verifies_trivially() {
+        let (auth, params) = setup(Mechanism::TraMht);
+        let q = Query::default();
+        let resp = auth.query_conjunctive(&q, 5, &toy_contents());
+        let verified = verify_conjunctive(&params, &q, 5, &resp).unwrap();
+        assert!(verified.result.entries.is_empty());
+    }
+
+    #[test]
+    fn widened_conjunctive_result_rejected() {
+        // The engine reports a doc that misses a conjunct (d5 lacks
+        // 'sleeps' and 'dark') with plausible score and valid proofs —
+        // the replay must narrow the intersection back to [6].
+        let (auth, params) = setup(Mechanism::TnraMht);
+        let mut resp = auth.query_conjunctive(&toy_query(), 2, &toy_contents());
+        let score = resp.result.entries[0].score / 2.0;
+        resp.result
+            .entries
+            .push(crate::types::ResultEntry { doc: 5, score });
+        resp.contents.push((5, toy_contents()[5].clone()));
+        assert!(matches!(
+            verify_conjunctive(&params, &toy_query(), 2, &resp),
+            Err(VerifyError::ResultMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn conjunctive_vo_fails_disjunctive_verification_and_vice_versa() {
+        // Mode confusion must not slip through: a conjunctive VO's
+        // zero-length prefixes cannot substantiate a disjunctive replay
+        // (TRA), and a disjunctive VO's short prefixes fail the
+        // conjunctive completeness bar. Results differ for the toy
+        // query ([6] vs [6, 5]), so the two VOs are never interchangeable.
+        let (auth, params) = setup(Mechanism::TraMht);
+        let conj = auth.query_conjunctive(&toy_query(), 2, &toy_contents());
+        let disj = auth.query(&toy_query(), 2, &toy_contents());
+        assert_ne!(conj.result, disj.result);
+        assert!(verify(&params, &toy_query(), 2, &conj).is_err());
+        assert!(verify_conjunctive(&params, &toy_query(), 2, &disj).is_err());
     }
 }

@@ -4,10 +4,10 @@
 //! responses would defeat the entire construction, so these tests are the
 //! security contract of the library.
 
-use authsearch_core::attacks::{truncated_prefix_response, Attack};
+use authsearch_core::attacks::{incomplete_conjunct_response, truncated_prefix_response, Attack};
 use authsearch_core::toy::{toy_contents, toy_index, toy_query};
-use authsearch_core::{verify, AuthConfig, DataOwner, Mechanism, Publication, VerifyError};
-use authsearch_corpus::SyntheticConfig;
+use authsearch_core::{verify, AuthConfig, DataOwner, Mechanism, Publication, Query, VerifyError};
+use authsearch_corpus::{CorpusBuilder, SyntheticConfig};
 use authsearch_crypto::keys::TEST_KEY_BITS;
 
 fn publish(mechanism: Mechanism) -> (Publication, authsearch_corpus::Corpus) {
@@ -137,6 +137,197 @@ fn attacks_rejected_on_the_paper_example() {
             );
         }
     }
+}
+
+/// A small text collection with a guaranteed non-trivial intersection:
+/// "night" and "keeper" co-occur in exactly three of the six documents,
+/// so a top-2 conjunctive query leaves one revealed-but-excluded
+/// candidate for the widening attack to promote.
+fn conjunctive_fixture(mechanism: Mechanism) -> (Publication, authsearch_corpus::Corpus, Query) {
+    let corpus = CorpusBuilder::new()
+        .min_df(1)
+        .add_text("the night keeper keeps the keep in the town")
+        .add_text("in the big old house in the big old gown")
+        .add_text("the house in the town had the big old keep")
+        .add_text("where the old night keeper never did sleep")
+        .add_text("the night keeper keeps the keep in the night")
+        .add_text("the town crier cried about the big old night")
+        .build();
+    let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+    let config = AuthConfig {
+        key_bits: TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    };
+    let publication = owner.publish(&corpus, config);
+    let query = Query::from_text(&corpus, publication.auth.index(), "night keeper");
+    assert_eq!(query.len(), 2);
+    (publication, corpus, query)
+}
+
+/// The conjunctive security contract: every applicable attack from the
+/// whole catalogue — the original eleven plus the four conjunctive/
+/// phrase variants — is rejected by [`verify::verify_conjunctive`]
+/// under every mechanism, and the honest response verifies first.
+#[test]
+fn every_conjunctive_attack_rejected_under_every_mechanism() {
+    for mechanism in Mechanism::ALL {
+        let (publication, corpus, query) = conjunctive_fixture(mechanism);
+        let honest = publication.auth.query_conjunctive(&query, 2, &corpus);
+        assert_eq!(
+            honest.result.entries.len(),
+            2,
+            "{}: fixture must yield a full top-2 intersection",
+            mechanism.name()
+        );
+        verify::verify_conjunctive(&publication.verifier_params, &query, 2, &honest)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: honest conjunctive response rejected: {e}",
+                    mechanism.name()
+                )
+            });
+
+        let catalogue = Attack::COMMON
+            .iter()
+            .chain(Attack::CONJUNCTIVE.iter())
+            .chain(if mechanism.is_tra() {
+                Attack::TRA_ONLY.iter()
+            } else {
+                [].iter()
+            });
+        for &attack in catalogue {
+            let mut tampered = honest.clone();
+            if !attack.apply(&mut tampered) {
+                // The only legitimate non-applicability on this fixture:
+                // phrase tampering without delivered contents (TNRA),
+                // entry-weight tampering without entries (TRA), and
+                // understating a length when every list is already fully
+                // revealed (TNRA).
+                assert!(
+                    matches!(
+                        attack,
+                        Attack::PhraseOrderSwap
+                            | Attack::AlterPrefixWeight
+                            | Attack::UnderstateListLength
+                    ),
+                    "{}: '{}' unexpectedly not applicable",
+                    mechanism.name(),
+                    attack.name()
+                );
+                continue;
+            }
+            let outcome =
+                verify::verify_conjunctive(&publication.verifier_params, &query, 2, &tampered);
+            assert!(
+                outcome.is_err(),
+                "{}: conjunctive attack '{}' was NOT detected",
+                mechanism.name(),
+                attack.name()
+            );
+        }
+    }
+}
+
+/// The four new variants must actually bite on this fixture: the three
+/// intersection attacks under every mechanism, phrase tampering wherever
+/// contents are delivered (TRA).
+#[test]
+fn conjunctive_attacks_applicable_on_the_fixture() {
+    for mechanism in Mechanism::ALL {
+        let (publication, corpus, query) = conjunctive_fixture(mechanism);
+        let honest = publication.auth.query_conjunctive(&query, 2, &corpus);
+        for attack in Attack::CONJUNCTIVE {
+            let mut tampered = honest.clone();
+            let expect = attack != Attack::PhraseOrderSwap || mechanism.is_tra();
+            assert_eq!(
+                attack.apply(&mut tampered),
+                expect,
+                "{}: '{}'",
+                mechanism.name(),
+                attack.name()
+            );
+        }
+    }
+}
+
+/// The clever conjunctive attack: a *perfectly well-formed* VO over a
+/// reveal one buddy group short of the completeness bar, honest result,
+/// valid proofs and signatures. Only the typed completeness check
+/// stands in the way, and it must name the under-revealed term.
+#[test]
+fn incomplete_conjunct_with_valid_proofs_rejected() {
+    for mechanism in Mechanism::ALL {
+        let (publication, corpus) = publish(mechanism);
+        let index = publication.auth.index();
+        // Pick the two longest lists so the shortened reveal survives
+        // buddy re-expansion (the helper bails on tiny lists).
+        let mut terms: Vec<u32> = (0..index.num_terms() as u32).collect();
+        terms.sort_by_key(|&t| std::cmp::Reverse(index.ft(t)));
+        let mut pick = [terms[0], terms[1]];
+        pick.sort_unstable();
+        let query = Query::from_term_ids(index, &pick);
+        let honest = publication.auth.query_conjunctive(&query, 10, &corpus);
+        verify::verify_conjunctive(&publication.verifier_params, &query, 10, &honest)
+            .unwrap_or_else(|e| panic!("{}: honest rejected: {e}", mechanism.name()));
+        let tampered = incomplete_conjunct_response(&publication.auth, &query, 10, &corpus)
+            .unwrap_or_else(|| panic!("{}: fixture lists too short", mechanism.name()));
+        let outcome =
+            verify::verify_conjunctive(&publication.verifier_params, &query, 10, &tampered);
+        assert!(
+            matches!(outcome, Err(VerifyError::ConjunctIncomplete { .. })),
+            "{}: incomplete conjunct not typed correctly ({outcome:?})",
+            mechanism.name()
+        );
+    }
+}
+
+/// Mode confusion on the worked example, where the conjunctive ([6]) and
+/// disjunctive ([6, 5]) answers provably differ: neither VO may pass the
+/// other model's verifier, in either direction, under any mechanism.
+#[test]
+fn conjunctive_mode_confusion_rejected() {
+    for mechanism in Mechanism::ALL {
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish_index(toy_index(), config, &toy_contents());
+        let conj = publication
+            .auth
+            .query_conjunctive(&toy_query(), 2, &toy_contents());
+        let disj = publication.auth.query(&toy_query(), 2, &toy_contents());
+        assert_ne!(conj.result, disj.result, "{}", mechanism.name());
+        assert!(
+            verify::verify(&publication.verifier_params, &toy_query(), 2, &conj).is_err(),
+            "{}: conjunctive VO accepted by the disjunctive verifier",
+            mechanism.name()
+        );
+        assert!(
+            verify::verify_conjunctive(&publication.verifier_params, &toy_query(), 2, &disj)
+                .is_err(),
+            "{}: disjunctive VO accepted by the conjunctive verifier",
+            mechanism.name()
+        );
+    }
+}
+
+/// Conjunctive wrong-key / wrong-query sanity, mirroring the disjunctive
+/// suite: foreign keys and replayed VOs for other queries are rejected.
+#[test]
+fn conjunctive_wrong_key_and_query_rejected() {
+    let (publication, corpus, query) = conjunctive_fixture(Mechanism::TnraCmht);
+    let honest = publication.auth.query_conjunctive(&query, 2, &corpus);
+    let other_key = authsearch_crypto::keys::cached_keypair(768);
+    let mut params = publication.verifier_params.clone();
+    params.public_key = other_key.public_key().clone();
+    assert!(verify::verify_conjunctive(&params, &query, 2, &honest).is_err());
+
+    let other = Query::from_text(&corpus, publication.auth.index(), "town house");
+    assert!(matches!(
+        verify::verify_conjunctive(&publication.verifier_params, &other, 2, &honest),
+        Err(VerifyError::QueryShapeMismatch(_))
+    ));
 }
 
 #[test]
