@@ -1,0 +1,209 @@
+//! PR 7 perf-trajectory benchmark: authenticated conjunctive queries.
+//!
+//! Emits machine-readable `BENCH_PR7.json` (override the path with
+//! `--out <path>`; corpus with `--scale <frac>`, key with
+//! `--key-bits <n>`, workload with `--queries <n>`). For each
+//! mechanism family it compares, over the same multi-term workload:
+//!
+//! * **conjunctive**: the server proves the intersection directly
+//!   (`search_conjunctive` + `verify_conjunctive`) — one VO per query;
+//! * **baseline**: the only sound alternative without the tentpole —
+//!   the client fetches each term's *entire* posting list as a
+//!   single-term disjunctive query (`r = N`, the collection size),
+//!   verifies each list, and intersects client-side — k VOs and k full
+//!   result sets per query.
+//!
+//! Reported per path: served queries/sec, mean verify time, and mean
+//! wire-encoded VO bytes; plus the baseline/conjunctive ratios that
+//! justify the server-side intersection proof. Plain `std::time`
+//! loops, no dev-dependencies, CI-smoke friendly.
+
+use authsearch_bench::json::{num, Json};
+use authsearch_core::pool::available_parallelism;
+use authsearch_core::{verify, verify_conjunctive, wire, AuthConfig, DataOwner, Mechanism, Query};
+use authsearch_corpus::SyntheticConfig;
+use authsearch_crypto::keys::PAPER_KEY_BITS;
+use std::time::Instant;
+
+const TOP_R: usize = 10;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut scale_frac = 0.01f64;
+    let mut key_bits = PAPER_KEY_BITS;
+    let mut num_queries = 40usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--scale" => {
+                scale_frac = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("bad --scale value")
+            }
+            "--key-bits" => {
+                key_bits = it
+                    .next()
+                    .expect("--key-bits needs a value")
+                    .parse()
+                    .expect("bad --key-bits value")
+            }
+            "--queries" => {
+                num_queries = it
+                    .next()
+                    .expect("--queries needs a value")
+                    .parse()
+                    .expect("bad --queries value")
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: [--out <path>] [--scale <frac>] \
+                     [--key-bits <n>] [--queries <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = available_parallelism();
+    eprintln!(
+        "[bench_pr7] corpus scale {scale_frac}, key {key_bits} bits, \
+         {num_queries} queries, {cores} core(s)…"
+    );
+    let corpus = SyntheticConfig::wsj(scale_frac).generate();
+    let owner = DataOwner::with_cached_key(key_bits);
+
+    let mut json = Json::new();
+    json.field(1, "pr", "7", false);
+    json.field(
+        1,
+        "description",
+        "\"Authenticated conjunctive queries: server-proved intersection vs \
+         fetch-every-list-and-intersect-client-side\"",
+        false,
+    );
+    json.open(1, "machine");
+    json.field(2, "available_parallelism", &cores.to_string(), false);
+    json.field(2, "num_docs", &corpus.num_docs().to_string(), false);
+    json.field(2, "key_bits", &key_bits.to_string(), false);
+    json.field(2, "top_r", &TOP_R.to_string(), true);
+    json.close(1, false);
+
+    let mechanisms = [Mechanism::TraMht, Mechanism::TnraCmht];
+    for (mi, &mechanism) in mechanisms.iter().enumerate() {
+        eprintln!("[bench_pr7] {}: publish…", mechanism.name());
+        let config = AuthConfig {
+            key_bits,
+            ..AuthConfig::new(mechanism)
+        };
+        let publication = owner.publish(&corpus, config);
+        let auth = &publication.auth;
+        let params = &publication.verifier_params;
+        let num_docs = corpus.num_docs();
+        let num_terms = auth.index().num_terms();
+        let term_sets = authsearch_corpus::workload::synthetic(num_terms, num_queries, 2, 17);
+        let queries: Vec<Query> = term_sets
+            .iter()
+            .map(|terms| Query::from_term_ids(auth.index(), terms))
+            .collect();
+
+        // ---- conjunctive: one proved-intersection VO per query -------
+        eprintln!("[bench_pr7] {}: conjunctive path…", mechanism.name());
+        let start = Instant::now();
+        let conj_responses: Vec<_> = queries
+            .iter()
+            .map(|q| auth.query_conjunctive(q, TOP_R, &corpus))
+            .collect();
+        let conj_serve_secs = start.elapsed().as_secs_f64();
+        let conj_vo_bytes: usize = conj_responses
+            .iter()
+            .map(|r| wire::encode(&r.vo).unwrap().len())
+            .sum();
+        let start = Instant::now();
+        for (q, r) in queries.iter().zip(conj_responses.iter()) {
+            verify_conjunctive(params, q, TOP_R, r).expect("honest conjunctive VO verifies");
+        }
+        let conj_verify_secs = start.elapsed().as_secs_f64();
+
+        // ---- baseline: fetch each full list, intersect client-side ---
+        eprintln!(
+            "[bench_pr7] {}: fetch-and-intersect baseline…",
+            mechanism.name()
+        );
+        let singles: Vec<Vec<Query>> = queries
+            .iter()
+            .map(|q| {
+                q.terms
+                    .iter()
+                    .map(|qt| Query::from_term_pairs(auth.index(), &[(qt.term, qt.f_qt)]))
+                    .collect()
+            })
+            .collect();
+        let start = Instant::now();
+        let base_responses: Vec<Vec<_>> = singles
+            .iter()
+            .map(|qs| {
+                qs.iter()
+                    .map(|q| auth.query(q, num_docs, &corpus))
+                    .collect()
+            })
+            .collect();
+        let base_serve_secs = start.elapsed().as_secs_f64();
+        let base_vo_bytes: usize = base_responses
+            .iter()
+            .flatten()
+            .map(|r| wire::encode(&r.vo).unwrap().len())
+            .sum();
+        let start = Instant::now();
+        let mut intersected = 0usize;
+        for (qs, rs) in singles.iter().zip(base_responses.iter()) {
+            let mut docs: Option<Vec<u32>> = None;
+            for (q, r) in qs.iter().zip(rs.iter()) {
+                let verified = verify::verify(params, q, num_docs, r).expect("honest list");
+                let set: Vec<u32> = verified.result.entries.iter().map(|e| e.doc).collect();
+                docs = Some(match docs {
+                    None => set,
+                    Some(prev) => prev.into_iter().filter(|d| set.contains(d)).collect(),
+                });
+            }
+            intersected += docs.map(|d| d.len()).unwrap_or(0);
+        }
+        let base_verify_secs = start.elapsed().as_secs_f64();
+
+        let n = queries.len().max(1) as f64;
+        json.open(1, mechanism.name());
+        json.open(2, "conjunctive");
+        json.field(3, "serve_qps", &num(n / conj_serve_secs.max(1e-9)), false);
+        json.field(3, "verify_ms_mean", &num(conj_verify_secs * 1e3 / n), false);
+        json.field(3, "vo_bytes_mean", &num(conj_vo_bytes as f64 / n), true);
+        json.close(2, false);
+        json.open(2, "fetch_and_intersect");
+        json.field(3, "serve_qps", &num(n / base_serve_secs.max(1e-9)), false);
+        json.field(3, "verify_ms_mean", &num(base_verify_secs * 1e3 / n), false);
+        json.field(3, "vo_bytes_mean", &num(base_vo_bytes as f64 / n), false);
+        json.field(3, "intersection_docs", &intersected.to_string(), true);
+        json.close(2, false);
+        json.open(2, "baseline_over_conjunctive");
+        json.field(
+            3,
+            "vo_bytes",
+            &num(base_vo_bytes as f64 / (conj_vo_bytes as f64).max(1e-9)),
+            false,
+        );
+        json.field(
+            3,
+            "verify_time",
+            &num(base_verify_secs / conj_verify_secs.max(1e-9)),
+            true,
+        );
+        json.close(2, true);
+        json.close(1, mi + 1 == mechanisms.len());
+    }
+
+    let out = json.finish();
+    std::fs::write(&out_path, &out).expect("write BENCH_PR7.json");
+    eprintln!("[bench_pr7] wrote {out_path}");
+    print!("{out}");
+}

@@ -111,7 +111,7 @@ impl AuthenticatedIndex {
     /// — no new signatures, no VO format change:
     ///
     /// * **TRA**: reveal the *anchor* list (the shortest one,
-    ///   [`crate::conjunctive::anchor_index`]) in full; every other term
+    ///   `crate::conjunctive::anchor_index`) in full; every other term
     ///   gets a zero-length prefix whose proof still reconstructs the
     ///   signed root (the proof degenerates to the root digest itself).
     ///   Every anchor document ships its document-MHT proof, whose

@@ -43,13 +43,14 @@ impl Client {
         self.verify_terms_with_memo(terms, r, response, &mut verify::SigMemo::new())
     }
 
-    fn verify_terms_with_memo(
+    /// Rebuild the weighted query from the posed `(term, f_{Q,t})` pairs
+    /// and the **signed** `f_t` values inside the VO — nothing the
+    /// engine reports unsigned is trusted.
+    fn query_from_signed_fts(
         &self,
         terms: &[(TermId, u32)],
-        r: usize,
         response: &QueryResponse,
-        memo: &mut verify::SigMemo,
-    ) -> Result<VerifiedResult, VerifyError> {
+    ) -> Result<Query, VerifyError> {
         if response.vo.terms.len() != terms.len() {
             return Err(VerifyError::QueryShapeMismatch(format!(
                 "{} proofs for {} query terms",
@@ -57,7 +58,7 @@ impl Client {
                 terms.len()
             )));
         }
-        let query = Query {
+        Ok(Query {
             terms: terms
                 .iter()
                 .zip(&response.vo.terms)
@@ -78,8 +79,33 @@ impl Client {
                     })
                 })
                 .collect::<Result<_, _>>()?,
-        };
+        })
+    }
+
+    fn verify_terms_with_memo(
+        &self,
+        terms: &[(TermId, u32)],
+        r: usize,
+        response: &QueryResponse,
+        memo: &mut verify::SigMemo,
+    ) -> Result<VerifiedResult, VerifyError> {
+        let query = self.query_from_signed_fts(terms, response)?;
         verify::verify_with_memo(&self.params, &query, r, response, memo)
+    }
+
+    /// Verify a **conjunctive** response to a query the user posed as
+    /// `(term, f_{Q,t})` pairs. Like [`Client::verify_terms`], the
+    /// query-side weights come from the signed `f_t` values in the VO;
+    /// the replay then checks the intersection is exactly right
+    /// ([`verify::verify_conjunctive`]).
+    pub fn verify_conjunctive_terms(
+        &self,
+        terms: &[(TermId, u32)],
+        r: usize,
+        response: &QueryResponse,
+    ) -> Result<VerifiedResult, VerifyError> {
+        let query = self.query_from_signed_fts(terms, response)?;
+        verify::verify_conjunctive(&self.params, &query, r, response)
     }
 
     /// Verify with an explicitly weighted query (used when weights are
@@ -434,6 +460,34 @@ impl Connection {
         Ok((verified, response, digests))
     }
 
+    /// Pose a **conjunctive** query as explicit `(term, f_{Q,t})` pairs
+    /// (strictly ascending term ids) and verify the reply: only
+    /// documents containing every term may appear, and the client
+    /// accepts nothing until the VO proves the intersection is exact
+    /// ([`Client::verify_conjunctive_terms`] — verification runs
+    /// *before* any verdict is returned). The server's term echo must
+    /// byte-match the posed pairs, exactly as in
+    /// [`Connection::query_terms`].
+    pub fn query_conjunctive(
+        &mut self,
+        terms: &[(TermId, u32)],
+        r: usize,
+    ) -> Result<(VerifiedResult, QueryResponse), ClientNetError> {
+        self.send(&Request::ConjunctiveTerms {
+            terms: terms.to_vec(),
+            r: request_r(r)?,
+            want_digests: false,
+        })?;
+        let (echo, response) = self.receive()?;
+        if echo != terms {
+            return Err(ClientNetError::Protocol(format!(
+                "server echoed terms {echo:?} for a conjunctive query posing {terms:?}"
+            )));
+        }
+        let verified = self.client.verify_conjunctive_terms(terms, r, &response)?;
+        Ok((verified, response))
+    }
+
     /// Pose a natural-language query. The server parses it against its
     /// dictionary and echoes the parse; the echo is what gets verified
     /// (the parse only fixes *which* query is asked — all integrity
@@ -636,6 +690,51 @@ impl Connection {
 /// client's sends never block, which is the invariant the deadlock-
 /// freedom argument in `query_terms_batch` rests on.
 pub const PIPELINE_WINDOW: usize = 8;
+
+/// Client-side **phrase** post-filter over a verified conjunctive
+/// response: keep only the result documents whose delivered content
+/// contains the phrase's tokens adjacently, in order.
+///
+/// This needs **no new server trust**. A TRA response already delivers
+/// the full result-document contents, and verification has hashed each
+/// one against the owner's *signed* document-MHT root (any altered byte
+/// is a [`VerifyError::MissingContent`]-class rejection) — so by the
+/// time this filter runs, the bytes it scans are provably the owner's.
+/// The conjunctive VO proves every result document contains all the
+/// phrase's words; adjacency is then a pure client-side predicate over
+/// authenticated text. Call it only **after**
+/// [`Client::verify_conjunctive_terms`] (or
+/// [`Connection::query_conjunctive`], which verifies internally)
+/// accepted the response.
+///
+/// Matching mirrors the indexing pipeline: the phrase and the contents
+/// are tokenized with stopwords **kept** ([`tokenize_all`] — a phrase
+/// is about exact adjacency, which stopword removal would fake), and
+/// compared case-insensitively. An empty phrase (or one that tokenizes
+/// to nothing) filters nothing: every result document is returned, in
+/// result order.
+///
+/// [`tokenize_all`]: authsearch_corpus::tokenizer::tokenize_all
+pub fn phrase_filter(phrase: &str, response: &QueryResponse) -> Vec<DocId> {
+    let want: Vec<String> = authsearch_corpus::tokenizer::tokenize_all(phrase).collect();
+    if want.is_empty() {
+        return response.result.docs();
+    }
+    response
+        .result
+        .entries
+        .iter()
+        .map(|e| e.doc)
+        .filter(|&d| {
+            let Some((_, bytes)) = response.contents.iter().find(|(doc, _)| *doc == d) else {
+                return false;
+            };
+            let text = String::from_utf8_lossy(bytes);
+            let words: Vec<String> = authsearch_corpus::tokenizer::tokenize_all(&text).collect();
+            words.windows(want.len()).any(|w| w == want.as_slice())
+        })
+        .collect()
+}
 
 /// An `r` a request frame can carry.
 fn request_r(r: usize) -> Result<u32, ClientNetError> {
@@ -1076,6 +1175,88 @@ mod tests {
         assert_eq!(response.vo, want.vo);
         drop(connection);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn connected_client_verifies_conjunctive_queries() {
+        for mechanism in [Mechanism::TraMht, Mechanism::TnraCmht] {
+            let (handle, mut connection, terms) = loopback(mechanism);
+            let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            pairs.sort_unstable();
+            pairs.dedup_by_key(|p| p.0);
+            let (verified, response) = connection
+                .query_conjunctive(&pairs, 5)
+                .unwrap_or_else(|e| panic!("{}: {e}", mechanism.name()));
+            assert_eq!(verified.result, response.result);
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn conjunctive_verdict_rejects_a_disjunctive_response() {
+        // A server answering a conjunctive ask with its disjunctive VO
+        // must be rejected by the client's conjunctive verifier.
+        let (engine, client, terms) = setup(Mechanism::TnraCmht);
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let query = Query::from_term_pairs(engine.auth().index(), &pairs);
+        let conj = engine.search_conjunctive(&query, 5);
+        let disj = engine.search(&query, 5);
+        client
+            .verify_conjunctive_terms(&pairs, 5, &conj)
+            .expect("honest conjunctive response verifies");
+        if disj.result != conj.result {
+            assert!(
+                client.verify_conjunctive_terms(&pairs, 5, &disj).is_err(),
+                "disjunctive response must not pass the conjunctive verifier"
+            );
+        }
+    }
+
+    #[test]
+    fn phrase_filter_keeps_adjacent_in_order_matches_only() {
+        use crate::auth::AuthConfig;
+        use authsearch_corpus::CorpusBuilder;
+        let corpus = CorpusBuilder::new()
+            .min_df(1)
+            .add_text("the night keeper keeps the keep")
+            .add_text("the keeper of night shifts")
+            .add_text("night keeper night keeper")
+            .build();
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let config = AuthConfig {
+            key_bits: TEST_KEY_BITS,
+            ..AuthConfig::new(Mechanism::TraMht)
+        };
+        let publication = owner.publish(&corpus, config);
+        let engine = SearchEngine::new(publication.auth, corpus);
+        let query = Query::from_text(engine.corpus(), engine.auth().index(), "night keeper");
+        let response = engine.search_conjunctive(&query, 5);
+        let client = Client::new(publication.verifier_params);
+        let pairs: Vec<(TermId, u32)> = query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
+        client
+            .verify_conjunctive_terms(&pairs, 5, &response)
+            .expect("verify before filtering");
+        // All three docs contain both words; only 0 and 2 have them
+        // adjacent in order ("keeper of night" is reversed in doc 1).
+        let hits = phrase_filter("night keeper", &response);
+        assert!(hits.contains(&0), "{hits:?}");
+        assert!(hits.contains(&2), "{hits:?}");
+        assert!(!hits.contains(&1), "{hits:?}");
+        // Result order is preserved.
+        let order: Vec<DocId> = response
+            .result
+            .docs()
+            .into_iter()
+            .filter(|d| hits.contains(d))
+            .collect();
+        assert_eq!(hits, order);
+        // An empty phrase filters nothing.
+        assert_eq!(phrase_filter("", &response), response.result.docs());
+        assert_eq!(phrase_filter("!!!", &response), response.result.docs());
+        // A phrase absent everywhere filters everything.
+        assert!(phrase_filter("keep the night", &response).is_empty());
     }
 
     #[test]

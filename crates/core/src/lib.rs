@@ -89,8 +89,8 @@ pub use auth::{
     ContentProvider, WarmStats,
 };
 pub use cache::LruCache;
-pub use client::{Client, ClientNetError, Connection, RetryPolicy};
-pub use engine::SearchEngine;
+pub use client::{phrase_filter, Client, ClientNetError, Connection, RetryPolicy};
+pub use engine::{ParsedQuery, SearchEngine, TokenResolution};
 pub use metrics::{measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot};
 pub use owner::{DataOwner, Publication};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -41,7 +41,7 @@ use crate::cache::lock_recover;
 use crate::engine::SearchEngine;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::pool::ThreadPool;
-use crate::types::Query;
+use crate::types::{Query, QueryMode};
 use crate::wire::{self, Request, WireError};
 use crate::WarmStats;
 use authsearch_corpus::Corpus;
@@ -662,7 +662,8 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     let request = Request::decode_payload(kind, payload)
         .map_err(|e| (wire::errcode::MALFORMED, e.to_string()))?;
     // Validate before spending engine time.
-    let (pairs, query, r, want_digests) = prepare(&state.engine, request, state.config.max_r)?;
+    let (pairs, query, r, want_digests, mode) =
+        prepare(&state.engine, request, state.config.max_r)?;
     // Digest mode is honored only for TNRA deployments: TRA
     // verification hashes the delivered result contents against the
     // signed document-MHT roots, so stripping them would turn every
@@ -677,7 +678,10 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     let (tx, rx) = mpsc::channel();
     let engine = Arc::clone(&state.engine);
     state.pool.submit(move || {
-        let response = engine.search(&query, r);
+        let response = match mode {
+            QueryMode::Disjunctive => engine.search(&query, r),
+            QueryMode::Conjunctive => engine.search_conjunctive(&query, r),
+        };
         let bytes = if digest_mode {
             wire::encode_ok_digest_reply(&pairs, &response)
         } else {
@@ -699,52 +703,70 @@ fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>,
     }
 }
 
-/// Turn a decoded request into the `(echo, query, r, want_digests)`
-/// tuple, rejecting anything the engine should not be asked to do.
+/// Validate one `(term, f_qt)`-pairs request body (shared by the
+/// disjunctive and conjunctive kinds): strictly ascending distinct
+/// terms, all in dictionary, no zero query frequencies.
+fn validate_term_pairs(engine: &SearchEngine, terms: &[(TermId, u32)]) -> Result<(), (u8, String)> {
+    let num_terms = engine.auth().index().num_terms() as TermId;
+    for window in terms.windows(2) {
+        if window[0].0 >= window[1].0 {
+            return Err((
+                wire::errcode::BAD_QUERY,
+                "query terms must be strictly ascending (no duplicates)".to_string(),
+            ));
+        }
+    }
+    for &(t, f_qt) in terms {
+        if t >= num_terms {
+            return Err((
+                wire::errcode::BAD_QUERY,
+                format!("term {t} out of dictionary (m = {num_terms})"),
+            ));
+        }
+        if f_qt == 0 {
+            return Err((wire::errcode::BAD_QUERY, format!("term {t} has f_qt = 0")));
+        }
+    }
+    Ok(())
+}
+
+/// Turn a decoded request into the `(echo, query, r, want_digests,
+/// mode)` tuple, rejecting anything the engine should not be asked to
+/// do.
 #[allow(clippy::type_complexity)]
 fn prepare(
     engine: &SearchEngine,
     request: Request,
     max_r: usize,
-) -> Result<(Vec<(TermId, u32)>, Query, usize, bool), (u8, String)> {
-    let (pairs, query, r, want_digests) = match request {
+) -> Result<(Vec<(TermId, u32)>, Query, usize, bool, QueryMode), (u8, String)> {
+    let (pairs, query, r, want_digests, mode) = match request {
         Request::Text {
             text,
             r,
             want_digests,
         } => {
-            let query = engine.parse_query(&text);
+            let query = engine.parse_query(&text).query;
             let pairs: Vec<(TermId, u32)> =
                 query.terms.iter().map(|qt| (qt.term, qt.f_qt)).collect();
-            (pairs, query, r, want_digests)
+            (pairs, query, r, want_digests, QueryMode::Disjunctive)
         }
         Request::Terms {
             terms,
             r,
             want_digests,
         } => {
-            let num_terms = engine.auth().index().num_terms() as TermId;
-            for window in terms.windows(2) {
-                if window[0].0 >= window[1].0 {
-                    return Err((
-                        wire::errcode::BAD_QUERY,
-                        "query terms must be strictly ascending (no duplicates)".to_string(),
-                    ));
-                }
-            }
-            for &(t, f_qt) in &terms {
-                if t >= num_terms {
-                    return Err((
-                        wire::errcode::BAD_QUERY,
-                        format!("term {t} out of dictionary (m = {num_terms})"),
-                    ));
-                }
-                if f_qt == 0 {
-                    return Err((wire::errcode::BAD_QUERY, format!("term {t} has f_qt = 0")));
-                }
-            }
+            validate_term_pairs(engine, &terms)?;
             let query = Query::from_term_pairs(engine.auth().index(), &terms);
-            (terms, query, r, want_digests)
+            (terms, query, r, want_digests, QueryMode::Disjunctive)
+        }
+        Request::ConjunctiveTerms {
+            terms,
+            r,
+            want_digests,
+        } => {
+            validate_term_pairs(engine, &terms)?;
+            let query = Query::from_term_pairs(engine.auth().index(), &terms);
+            (terms, query, r, want_digests, QueryMode::Conjunctive)
         }
     };
     if query.is_empty() {
@@ -760,7 +782,7 @@ fn prepare(
             format!("r = {r} outside the served range 1..={max_r}"),
         ));
     }
-    Ok((pairs, query, r, want_digests))
+    Ok((pairs, query, r, want_digests, mode))
 }
 
 fn send_error_frame(

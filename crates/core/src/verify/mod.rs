@@ -238,7 +238,7 @@ pub(crate) fn verify_with_memo(
 /// completeness* from the existing signed structures alone:
 ///
 /// * the anchor list (smallest signed `f_t`,
-///   [`crate::conjunctive::anchor_index`] — recomputed here from the
+///   `crate::conjunctive::anchor_index` — recomputed here from the
 ///   signed values, never taken from the server) must be revealed in
 ///   full, so the candidate set is provably exhaustive;
 /// * under **TRA**, every candidate's membership in the other lists is

@@ -440,12 +440,24 @@ pub const FRAME_HEADER_LEN: usize = 10;
 /// trust the length prefix enough to buffer the payload.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 26;
 
+/// The query-mode byte of a [`kind::REQ_CONJ_TERMS`] payload. The
+/// conjunctive frame carries the mode explicitly (rather than implying
+/// it from the kind alone) so a future mode can reuse the frame layout;
+/// any value other than this one is rejected at decode as
+/// [`WireError::Malformed`] — a server must never guess which semantics
+/// a client meant.
+pub const MODE_CONJUNCTIVE: u8 = 1;
+
 /// Frame kinds. Requests have the high bit clear, replies set.
 pub mod kind {
     /// Natural-language query request.
     pub const REQ_TEXT: u8 = 0x01;
     /// Explicit `(term, f_qt)`-pairs query request.
     pub const REQ_TERMS: u8 = 0x02;
+    /// Conjunctive (AND-semantics) `(term, f_qt)`-pairs query request
+    /// (**v2**): same pair layout as [`REQ_TERMS`] behind an explicit
+    /// mode byte ([`super::MODE_CONJUNCTIVE`]).
+    pub const REQ_CONJ_TERMS: u8 = 0x03;
     /// Successful reply: query echo + full `QueryResponse`.
     pub const REPLY_OK: u8 = 0x81;
     /// Error reply: code + message.
@@ -538,6 +550,7 @@ pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize
     match kind {
         kind::REQ_TEXT
         | kind::REQ_TERMS
+        | kind::REQ_CONJ_TERMS
         | kind::REPLY_OK
         | kind::REPLY_ERR
         | kind::REPLY_OK_DIGEST => Ok((kind, len)),
@@ -565,6 +578,20 @@ pub enum Request {
     /// Explicit `(term id, f_{Q,t})` pairs, strictly ascending by term —
     /// the paper's user-posed query shape, verified end to end.
     Terms {
+        /// Distinct query terms with their query-side frequencies.
+        terms: Vec<(TermId, u32)>,
+        /// Requested result size.
+        r: u32,
+        /// Ask for a digest-mode reply ([`FLAG_DIGEST_VO`]); the server
+        /// honors it only for TNRA deployments.
+        want_digests: bool,
+    },
+    /// Conjunctive (AND-semantics) query over explicit `(term, f_{Q,t})`
+    /// pairs: only documents containing **every** term qualify, and the
+    /// server's VO proves the intersection is exact. Same validation
+    /// rules as [`Request::Terms`]; the payload carries an explicit
+    /// [`MODE_CONJUNCTIVE`] byte that decode enforces.
+    ConjunctiveTerms {
         /// Distinct query terms with their query-side frequencies.
         terms: Vec<(TermId, u32)>,
         /// Requested result size.
@@ -626,6 +653,21 @@ impl Request {
                 }
                 kind::REQ_TERMS
             }
+            Request::ConjunctiveTerms {
+                terms,
+                r,
+                want_digests,
+            } => {
+                w.u8(request_flags(*want_digests));
+                w.u8(MODE_CONJUNCTIVE);
+                w.u32(*r);
+                w.len16(terms.len(), "query terms")?;
+                for &(t, f_qt) in terms {
+                    w.u32(t);
+                    w.u32(f_qt);
+                }
+                kind::REQ_CONJ_TERMS
+            }
         };
         frame(kind, w.buf)
     }
@@ -657,6 +699,27 @@ impl Request {
                     terms.push((r.u32()?, r.u32()?));
                 }
                 Request::Terms {
+                    terms,
+                    r: top_r,
+                    want_digests,
+                }
+            }
+            kind::REQ_CONJ_TERMS => {
+                let want_digests = parse_request_flags(r.u8()?)?;
+                let mode = r.u8()?;
+                if mode != MODE_CONJUNCTIVE {
+                    return Err(WireError::Malformed(format!(
+                        "unknown query mode {mode} (this build understands mode {MODE_CONJUNCTIVE})"
+                    )));
+                }
+                let top_r = r.u32()?;
+                let n = r.u16()? as usize;
+                let n = r.checked_count(n, 8, "conjunctive query term")?;
+                let mut terms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    terms.push((r.u32()?, r.u32()?));
+                }
+                Request::ConjunctiveTerms {
                     terms,
                     r: top_r,
                     want_digests,
@@ -1103,6 +1166,16 @@ mod tests {
                 r: 1,
                 want_digests: false,
             },
+            Request::ConjunctiveTerms {
+                terms: vec![(2, 1), (9, 3)],
+                r: 4,
+                want_digests: false,
+            },
+            Request::ConjunctiveTerms {
+                terms: Vec::new(),
+                r: 1,
+                want_digests: true,
+            },
         ];
         for request in requests {
             let bytes = request.encode_frame().unwrap();
@@ -1127,6 +1200,45 @@ mod tests {
         bad[0] |= 0x80; // an unknown flag bit
         let err = Request::decode_payload(kind, &bad).unwrap_err();
         assert!(err.to_string().contains("flags"), "{err}");
+    }
+
+    #[test]
+    fn conjunctive_request_rejects_unknown_mode_byte() {
+        let good = Request::ConjunctiveTerms {
+            terms: vec![(1, 1), (4, 2)],
+            r: 3,
+            want_digests: false,
+        }
+        .encode_frame()
+        .unwrap();
+        let (kind, payload) = split_frame(&good).unwrap();
+        assert_eq!(kind, kind::REQ_CONJ_TERMS);
+        assert_eq!(payload[1], MODE_CONJUNCTIVE);
+        for bad_mode in [0u8, 2, 0x7f, 0xff] {
+            let mut bad = payload.to_vec();
+            bad[1] = bad_mode;
+            let err = Request::decode_payload(kind, &bad).unwrap_err();
+            assert!(err.to_string().contains("mode"), "mode {bad_mode}: {err}");
+        }
+    }
+
+    #[test]
+    fn conjunctive_request_rejects_oversized_term_count() {
+        // A tiny payload claiming 2¹⁶−1 term pairs must be refused
+        // before any allocation sized by the claim.
+        let good = Request::ConjunctiveTerms {
+            terms: vec![(1, 1)],
+            r: 3,
+            want_digests: false,
+        }
+        .encode_frame()
+        .unwrap();
+        let (kind, payload) = split_frame(&good).unwrap();
+        let mut bad = payload.to_vec();
+        // flags(1) + mode(1) + r(4) then the u16 count at offset 6.
+        bad[6..8].copy_from_slice(&u16::MAX.to_le_bytes());
+        let err = Request::decode_payload(kind, &bad).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
     }
 
     #[test]

@@ -701,9 +701,7 @@ pub fn save_snapshot_file(path: &Path, bytes: &[u8]) -> Result<SnapshotInfo, Per
 /// manifest commit), the container must prove itself through its own
 /// per-section digest trailers. Either way every section returned has a
 /// verified trailer, and any corruption is a typed [`PersistError`].
-pub fn load_snapshot_file(
-    path: &Path,
-) -> Result<(Sections, SnapshotInfo), PersistError> {
+pub fn load_snapshot_file(path: &Path) -> Result<(Sections, SnapshotInfo), PersistError> {
     let bytes = std::fs::read(path)?;
     let digest = file_digest(&bytes);
     let manifest = read_manifest(path);

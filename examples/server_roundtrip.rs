@@ -105,6 +105,7 @@ fn main() {
     let dictionary = |text: &str| {
         engine
             .parse_query(text)
+            .query
             .terms
             .iter()
             .map(|qt| (qt.term, qt.f_qt))

@@ -30,8 +30,9 @@ pub use authsearch_index as index;
 /// Convenience prelude mirroring the most common imports.
 pub mod prelude {
     pub use authsearch_core::{
-        AuthConfig, AuthenticatedIndex, Client, Connection, DataOwner, Mechanism, Query,
-        QueryResponse, RetryPolicy, SearchEngine, Server, ServerConfig, VerifierParams,
+        phrase_filter, AuthConfig, AuthenticatedIndex, Client, Connection, DataOwner, Mechanism,
+        ParsedQuery, Query, QueryMode, QueryResponse, RetryPolicy, SearchEngine, Server,
+        ServerConfig, VerifierParams,
     };
     pub use authsearch_corpus::{Corpus, CorpusBuilder, SyntheticConfig};
     pub use authsearch_crypto::{Digest, RsaPrivateKey, RsaPublicKey};

@@ -1,0 +1,201 @@
+//! Authenticated conjunctive queries, specified against brute force:
+//! the verified conjunctive result must equal the intersection of the
+//! per-term *disjunctive* results, ranked by the summed per-term
+//! scores — over random corpora and random term subsets, at pool
+//! widths 1 and 4. A second battery pins the bit-identity bar: the
+//! conjunctive VO for a query is byte-identical whether it was served
+//! sequentially or through `serve_batch_conjunctive` at any pool
+//! width.
+
+use authsearch::core::wire;
+use authsearch::core::{verify_conjunctive, Query};
+use authsearch::prelude::*;
+use proptest::prelude::*;
+
+const TOLERANCE: f64 = 1e-9;
+
+fn test_config(mechanism: Mechanism) -> AuthConfig {
+    AuthConfig {
+        key_bits: authsearch::crypto::keys::TEST_KEY_BITS,
+        ..AuthConfig::new(mechanism)
+    }
+}
+
+fn build_engine(mechanism: Mechanism, docs: usize, seed: u64) -> (SearchEngine, VerifierParams) {
+    let corpus = SyntheticConfig::tiny(docs, seed).generate();
+    let owner = DataOwner::with_cached_key(authsearch::crypto::keys::TEST_KEY_BITS);
+    let publication = owner.publish(&corpus, test_config(mechanism));
+    let params = publication.verifier_params.clone();
+    (SearchEngine::new(publication.auth, corpus), params)
+}
+
+/// Brute-force reference: intersect the per-term disjunctive result
+/// sets (each fetched exhaustively with `r = num_docs`), score each
+/// surviving document by summing its per-term disjunctive scores in
+/// query-term order, rank descending (ties broken by ascending doc
+/// id), and keep the top `r`.
+fn brute_force_intersection(engine: &SearchEngine, query: &Query, r: usize) -> Vec<(u32, f64)> {
+    let num_docs = engine.corpus().num_docs();
+    let per_term: Vec<Vec<(u32, f64)>> = query
+        .terms
+        .iter()
+        .map(|qt| {
+            let single = Query::from_term_pairs(engine.auth().index(), &[(qt.term, qt.f_qt)]);
+            engine
+                .search(&single, num_docs)
+                .result
+                .entries
+                .iter()
+                .map(|e| (e.doc, e.score))
+                .collect()
+        })
+        .collect();
+    let mut scored: Vec<(u32, f64)> = Vec::new();
+    if let Some(first) = per_term.first() {
+        'docs: for &(doc, _) in first {
+            let mut score = 0.0f64;
+            for term_docs in &per_term {
+                match term_docs.iter().find(|(d, _)| *d == doc) {
+                    Some(&(_, s)) => score += s,
+                    None => continue 'docs,
+                }
+            }
+            scored.push((doc, score));
+        }
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(r);
+    scored
+}
+
+/// One equivalence check: serve the conjunctive query (batched, at the
+/// current pool width), verify it, and compare docs + scores against
+/// brute force. Returns the wire-encoded VO for byte comparisons.
+fn check_case(engine: &SearchEngine, params: &VerifierParams, query: &Query, r: usize) -> Vec<u8> {
+    let response = engine
+        .serve_batch_conjunctive(std::slice::from_ref(query), r)
+        .remove(0);
+    let verified =
+        verify_conjunctive(params, query, r, &response).expect("honest conjunctive VO verifies");
+    let expected = brute_force_intersection(engine, query, r);
+    let got: Vec<(u32, f64)> = verified
+        .result
+        .entries
+        .iter()
+        .map(|e| (e.doc, e.score))
+        .collect();
+    assert_eq!(
+        got.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+        expected.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+        "conjunctive docs diverge from brute-force intersection"
+    );
+    for (&(d, gs), &(_, es)) in got.iter().zip(expected.iter()) {
+        assert!(
+            (gs - es).abs() < TOLERANCE,
+            "doc {d}: conjunctive score {gs} vs brute force {es}"
+        );
+    }
+    wire::encode(&response.vo).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The tentpole's specification, randomized: for random corpora and
+    /// random 1–3 term subsets, the verified conjunctive result equals
+    /// the brute-force intersection of per-term disjunctive results —
+    /// at pool widths 1 and 4, with byte-identical VOs between them.
+    #[test]
+    fn verified_conjunctive_equals_brute_force_intersection(
+        corpus_seed in 1u64..1_000,
+        raw_terms in proptest::collection::vec(any::<u32>(), 1..4),
+        mech_pick in 0usize..4,
+        r in 1usize..6,
+    ) {
+        let mechanism = Mechanism::ALL[mech_pick];
+        let (mut engine, params) = build_engine(mechanism, 60, corpus_seed);
+        let num_terms = engine.auth().index().num_terms() as u32;
+        let mut ids: Vec<u32> = raw_terms.iter().map(|&t| t % num_terms).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let query = Query::from_term_ids(engine.auth().index(), &ids);
+
+        engine.set_threads(1);
+        let vo_width1 = check_case(&engine, &params, &query, r);
+        engine.set_threads(4);
+        let vo_width4 = check_case(&engine, &params, &query, r);
+        prop_assert_eq!(
+            vo_width1, vo_width4,
+            "conjunctive VO bytes differ between pool widths 1 and 4"
+        );
+    }
+}
+
+/// Acceptance bar, pinned deterministically: conjunctive VOs are
+/// byte-identical across pool widths 1/2/4/8 and between
+/// `serve_batch_conjunctive` and the sequential `search_conjunctive`
+/// path, for every mechanism.
+#[test]
+fn conjunctive_vo_bytes_identical_across_pool_widths() {
+    for mechanism in Mechanism::ALL {
+        let (mut engine, params) = build_engine(mechanism, 120, 41);
+        let num_terms = engine.auth().index().num_terms();
+        let workloads = authsearch::corpus::workload::synthetic(num_terms, 6, 2, 9);
+        let queries: Vec<Query> = workloads
+            .iter()
+            .map(|terms| Query::from_term_ids(engine.auth().index(), terms))
+            .collect();
+
+        // Sequential references (and the honesty check, once per query).
+        let reference: Vec<Vec<u8>> = queries
+            .iter()
+            .map(|query| {
+                let response = engine.search_conjunctive(query, 5);
+                verify_conjunctive(&params, query, 5, &response).expect("verifies");
+                wire::encode(&response.vo).unwrap()
+            })
+            .collect();
+
+        for width in [1usize, 2, 4, 8] {
+            engine.set_threads(width);
+            let responses = engine.serve_batch_conjunctive(&queries, 5);
+            for (i, response) in responses.iter().enumerate() {
+                let bytes = wire::encode(&response.vo).unwrap();
+                assert_eq!(
+                    bytes,
+                    reference[i],
+                    "{} query {i}: batch VO at width {width} differs from sequential",
+                    mechanism.name()
+                );
+            }
+        }
+    }
+}
+
+/// A conjunctive query containing a term with an empty posting list (or
+/// a query whose terms share no document) yields a verifiably empty
+/// result — the absence proofs carry the whole weight.
+#[test]
+fn disjoint_terms_verify_as_provably_empty() {
+    for mechanism in Mechanism::ALL {
+        let (engine, params) = build_engine(mechanism, 60, 7);
+        let num_terms = engine.auth().index().num_terms();
+        // Scan for a term pair with an empty intersection; synthetic
+        // tiny corpora always contain plenty.
+        let mut found = false;
+        'search: for a in 0..num_terms.min(40) {
+            for b in (a + 1)..num_terms.min(40) {
+                let query = Query::from_term_ids(engine.auth().index(), &[a as u32, b as u32]);
+                if brute_force_intersection(&engine, &query, 60).is_empty() {
+                    let response = engine.search_conjunctive(&query, 5);
+                    let verified = verify_conjunctive(&params, &query, 5, &response)
+                        .expect("empty intersection still verifies");
+                    assert!(verified.result.entries.is_empty());
+                    found = true;
+                    break 'search;
+                }
+            }
+        }
+        assert!(found, "{}: no disjoint term pair found", mechanism.name());
+    }
+}

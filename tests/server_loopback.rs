@@ -264,3 +264,98 @@ fn warm_started_server_serves_verified_responses() {
     assert_eq!(verified.result, response.result);
     handle.shutdown();
 }
+
+/// Conjunctive queries over the real TCP front: every reply must
+/// verify (intersection completeness proved), byte-match the engine's
+/// sequential `search_conjunctive` path, and contain only documents
+/// carrying *every* query term.
+#[test]
+fn conjunctive_queries_verify_over_loopback() {
+    for mechanism in [Mechanism::TraMht, Mechanism::TnraCmht] {
+        let fx = fixture(mechanism);
+        let handle = Server::start(
+            Arc::clone(&fx.engine),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut connection = Connection::connect(handle.addr(), fx.params.clone()).unwrap();
+        for pairs in fx.workloads.iter().take(4) {
+            let query = Query::from_term_pairs(fx.engine.auth().index(), pairs);
+            let reference = fx.engine.search_conjunctive(&query, TOP_R);
+            let (verified, response) = connection
+                .query_conjunctive(pairs, TOP_R)
+                .expect("conjunctive reply verifies");
+            assert_eq!(
+                wire::encode(&response.vo).unwrap(),
+                wire::encode(&reference.vo).unwrap(),
+                "{}: network conjunctive VO differs from sequential serve",
+                mechanism.name()
+            );
+            // Conjunctive semantics: every returned doc carries every term.
+            let doc_table = fx.engine.auth().doc_table();
+            for entry in &verified.result.entries {
+                for &(term, _) in pairs {
+                    assert!(
+                        doc_table.weight(entry.doc, term) > 0.0,
+                        "doc {} missing conjunct {term}",
+                        entry.doc
+                    );
+                }
+            }
+        }
+        drop(connection);
+        handle.shutdown();
+    }
+}
+
+/// A conjunctive frame whose mode byte is corrupted in flight gets the
+/// typed MALFORMED error reply — the connection (and the server)
+/// survive to serve the next, honest request.
+#[test]
+fn corrupted_mode_byte_gets_typed_error_not_a_crash() {
+    use std::io::{Read, Write};
+    let fx = fixture(Mechanism::TnraCmht);
+    let handle = Server::start(
+        Arc::clone(&fx.engine),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Hand-corrupt a valid conjunctive frame: payload[1] is the mode.
+    let good = wire::Request::ConjunctiveTerms {
+        terms: fx.workloads[0].clone(),
+        r: TOP_R as u32,
+        want_digests: false,
+    }
+    .encode_frame()
+    .unwrap();
+    let mut bad = good;
+    bad[wire::FRAME_HEADER_LEN + 1] = 0x7f;
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(&bad).unwrap();
+    let mut header = [0u8; wire::FRAME_HEADER_LEN];
+    stream.read_exact(&mut header).unwrap();
+    let (kind, len) = wire::decode_frame_header(&header).unwrap();
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    match wire::decode_reply_payload(kind, &payload).unwrap() {
+        wire::Reply::Err { code, message } => {
+            assert_eq!(code, wire::errcode::MALFORMED, "{message}");
+            assert!(message.contains("mode"), "{message}");
+        }
+        other => panic!("corrupted mode byte answered with {other:?}"),
+    }
+    drop(stream);
+
+    // The server is still healthy: an honest conjunctive query verifies.
+    let mut connection = Connection::connect(addr, fx.params.clone()).unwrap();
+    connection
+        .query_conjunctive(&fx.workloads[0], TOP_R)
+        .expect("server survives the malformed frame");
+    let stats = handle.shutdown();
+    assert!(stats.requests_err >= 1);
+}

@@ -217,3 +217,36 @@ fn missing_snapshot_is_a_counted_cold_start() {
     assert!(path.exists() && manifest_path(&path).exists());
     fs::remove_dir_all(&dir).ok();
 }
+
+/// The acceptance bar of the conjunctive tentpole, at the snapshot
+/// layer: a booted engine serves conjunctive VOs byte-identical to the
+/// cold-built engine's, across every mechanism, and they verify.
+#[test]
+fn booted_engine_serves_byte_identical_conjunctive_vos() {
+    let dir = temp_dir("conjunctive");
+    let corpus = test_corpus();
+    for mechanism in Mechanism::ALL {
+        let config = test_config(mechanism);
+        let owner = DataOwner::with_cached_key(TEST_KEY_BITS);
+        let publication = owner.publish(&corpus, config);
+        let path = dir.join(format!("{mechanism:?}.snap"));
+        publication.auth.save_snapshot(&path).unwrap();
+        let booted = AuthenticatedIndex::load_snapshot(&path, &config).unwrap();
+
+        for seed in [11u64, 12, 13] {
+            let query = sample_query(&publication.auth, seed);
+            let cold = publication.auth.query_conjunctive(&query, 5, &corpus);
+            let warm = booted.query_conjunctive(&query, 5, &corpus);
+            assert_eq!(
+                cold.vo, warm.vo,
+                "{mechanism:?} seed {seed}: conjunctive VO must be byte-identical"
+            );
+            assert_eq!(cold.result, warm.result, "{mechanism:?} seed {seed}");
+            verify::verify_conjunctive(&publication.verifier_params, &query, 5, &warm)
+                .unwrap_or_else(|e| {
+                    panic!("{mechanism:?}: booted conjunctive response rejected: {e}")
+                });
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}

@@ -47,6 +47,62 @@ proptest! {
     }
 
     #[test]
+    fn conjunctive_requests_round_trip(
+        raw in proptest::collection::vec(any::<u32>(), 0..40),
+        freqs in proptest::collection::vec(1u32..16, 0..40),
+        r in 1u32..10_000,
+        want_digests in any::<bool>(),
+    ) {
+        let mut ids = raw;
+        ids.sort_unstable();
+        ids.dedup();
+        let terms: Vec<(u32, u32)> = ids
+            .iter()
+            .zip(freqs.iter().chain(std::iter::repeat(&1)))
+            .map(|(&t, &f)| (t, f))
+            .collect();
+        let request = Request::ConjunctiveTerms { terms, r, want_digests };
+        let bytes = request.encode_frame().unwrap();
+        let (kind, payload) = split_frame(&bytes).unwrap();
+        prop_assert_eq!(kind, wire::kind::REQ_CONJ_TERMS);
+        prop_assert_eq!(Request::decode_payload(kind, payload).unwrap(), request);
+    }
+
+    #[test]
+    fn mutated_conjunctive_requests_never_panic(
+        mode in any::<u8>(),
+        flags in any::<u8>(),
+        cut in 0usize..32,
+        claimed in any::<u16>(),
+    ) {
+        // Build a valid conjunctive payload, then corrupt the mode byte,
+        // the flags, the claimed term count, and truncate — every
+        // outcome must be Ok or a typed WireError, never a panic, and a
+        // wrong mode byte must always be refused.
+        let good = Request::ConjunctiveTerms {
+            terms: vec![(3, 1), (9, 2), (17, 1)],
+            r: 5,
+            want_digests: false,
+        }
+        .encode_frame()
+        .unwrap();
+        let (kind, payload) = split_frame(&good).unwrap();
+        let mut bad = payload.to_vec();
+        bad[0] = flags;
+        bad[1] = mode;
+        bad[6..8].copy_from_slice(&claimed.to_le_bytes());
+        bad.truncate(bad.len().saturating_sub(cut));
+        let outcome = Request::decode_payload(kind, &bad);
+        if mode != wire::MODE_CONJUNCTIVE && flags <= 1 && outcome.is_ok() {
+            panic!("wrong mode byte {mode} decoded successfully");
+        }
+        // An oversized claimed count over a short payload must error.
+        if claimed as usize > 3 && cut == 0 && mode == wire::MODE_CONJUNCTIVE && flags == 0 {
+            prop_assert!(outcome.is_err(), "claimed {claimed} pairs in a 3-pair payload");
+        }
+    }
+
+    #[test]
     fn error_replies_round_trip(code in any::<u8>(), message in "[a-zA-Z0-9 .,]{0,200}") {
         let bytes = encode_err_reply(code, &message).unwrap();
         let (kind, payload) = split_frame(&bytes).unwrap();
@@ -64,8 +120,9 @@ proptest! {
         if let Ok((kind, len)) = decode_frame_header(&arr) {
             prop_assert!(len <= MAX_FRAME_PAYLOAD);
             prop_assert!(
-                [wire::kind::REQ_TEXT, wire::kind::REQ_TERMS, wire::kind::REPLY_OK,
-                 wire::kind::REPLY_ERR, wire::kind::REPLY_OK_DIGEST].contains(&kind)
+                [wire::kind::REQ_TEXT, wire::kind::REQ_TERMS, wire::kind::REQ_CONJ_TERMS,
+                 wire::kind::REPLY_OK, wire::kind::REPLY_ERR, wire::kind::REPLY_OK_DIGEST]
+                    .contains(&kind)
             );
         }
     }
