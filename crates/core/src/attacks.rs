@@ -200,8 +200,9 @@ impl Attack {
             }
             Attack::UnderstateListLength => {
                 for tv in &mut response.vo.terms {
-                    if tv.ft > tv.prefix.len() as u32 {
-                        tv.ft = tv.prefix.len() as u32;
+                    let prefix_len = u32::try_from(tv.prefix.len()).unwrap_or(u32::MAX);
+                    if tv.ft > prefix_len {
+                        tv.ft = prefix_len;
                         return true;
                     }
                 }

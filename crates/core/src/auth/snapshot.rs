@@ -80,7 +80,14 @@ fn stale(why: impl Into<String>) -> PersistError {
 }
 
 fn mechanism_code(m: Mechanism) -> u8 {
-    Mechanism::ALL.iter().position(|&x| x == m).unwrap() as u8
+    // Must stay in step with `Mechanism::ALL` — `mechanism_from_code`
+    // is the inverse, and the round-trip is asserted in tests.
+    match m {
+        Mechanism::TraMht => 0,
+        Mechanism::TraCmht => 1,
+        Mechanism::TnraMht => 2,
+        Mechanism::TnraCmht => 3,
+    }
 }
 
 fn mechanism_from_code(code: u8) -> Option<Mechanism> {
@@ -132,9 +139,11 @@ fn check_config(payload: &[u8], expected: &AuthConfig) -> Result<(), PersistErro
     Ok(())
 }
 
-fn put_sig(buf: &mut Vec<u8>, sig: &[u8]) {
-    let _ = put_u32(buf, sig.len() as u32);
+fn put_sig(buf: &mut Vec<u8>, sig: &[u8]) -> Result<(), PersistError> {
+    let len = u32::try_from(sig.len()).map_err(|_| corrupt("signature length exceeds u32"))?;
+    let _ = put_u32(buf, len);
     buf.extend_from_slice(sig);
+    Ok(())
 }
 
 fn get_sig<'a>(r: &mut SectionReader<'a>, what: &str) -> Result<&'a [u8], PersistError> {
@@ -145,7 +154,7 @@ fn get_sig<'a>(r: &mut SectionReader<'a>, what: &str) -> Result<&'a [u8], Persis
     r.bytes(len)
 }
 
-fn encode_auth(auth: &AuthenticatedIndex) -> Vec<u8> {
+fn encode_auth(auth: &AuthenticatedIndex) -> Result<Vec<u8>, PersistError> {
     let mut buf = Vec::new();
     let _ = put_u64(&mut buf, auth.term_roots.len() as u64);
     for root in &auth.term_roots {
@@ -153,12 +162,12 @@ fn encode_auth(auth: &AuthenticatedIndex) -> Vec<u8> {
     }
     let _ = put_u64(&mut buf, auth.term_sigs.len() as u64);
     for sig in &auth.term_sigs {
-        put_sig(&mut buf, sig);
+        put_sig(&mut buf, sig)?;
     }
     match &auth.dict_sig {
         Some(sig) => {
             buf.push(1);
-            put_sig(&mut buf, sig);
+            put_sig(&mut buf, sig)?;
         }
         None => buf.push(0),
     }
@@ -168,13 +177,14 @@ fn encode_auth(auth: &AuthenticatedIndex) -> Vec<u8> {
     }
     let _ = put_u64(&mut buf, auth.doc_sigs.len() as u64);
     for sig in &auth.doc_sigs {
-        put_sig(&mut buf, sig);
+        put_sig(&mut buf, sig)?;
     }
-    let _ = put_str(&mut buf, ""); // reserved (future key metadata)
+    let _ = put_str(&mut buf, "").map_err(PersistError::Io); // reserved (future key metadata)
     let key = auth.public_key.to_bytes();
-    let _ = put_u32(&mut buf, key.len() as u32);
+    let key_len = u32::try_from(key.len()).map_err(|_| corrupt("public key length exceeds u32"))?;
+    let _ = put_u32(&mut buf, key_len);
     buf.extend_from_slice(&key);
-    buf
+    Ok(buf)
 }
 
 struct AuthParts {
@@ -193,7 +203,10 @@ fn decode_auth(payload: &[u8]) -> Result<AuthParts, PersistError> {
     let m = r.checked_count(claimed, DIGEST_LEN, "term root")?;
     let mut term_roots = Vec::with_capacity(m.min(persist::PREALLOC_CLAMP));
     for _ in 0..m {
-        term_roots.push(Digest::from_slice(r.bytes(DIGEST_LEN)?).expect("length checked"));
+        term_roots.push(
+            Digest::from_slice(r.bytes(DIGEST_LEN)?)
+                .ok_or_else(|| corrupt("ASAU: malformed term-root digest"))?,
+        );
     }
 
     let claimed = r.u64()?;
@@ -213,7 +226,10 @@ fn decode_auth(payload: &[u8]) -> Result<AuthParts, PersistError> {
     let nd = r.checked_count(claimed, DIGEST_LEN, "doc digest")?;
     let mut doc_content_digests = Vec::with_capacity(nd.min(persist::PREALLOC_CLAMP));
     for _ in 0..nd {
-        doc_content_digests.push(Digest::from_slice(r.bytes(DIGEST_LEN)?).expect("length checked"));
+        doc_content_digests.push(
+            Digest::from_slice(r.bytes(DIGEST_LEN)?)
+                .ok_or_else(|| corrupt("ASAU: malformed doc content digest"))?,
+        );
     }
 
     let claimed = r.u64()?;
@@ -271,7 +287,7 @@ impl AuthenticatedIndex {
         let sections = vec![
             (TAG_CONFIG, encode_config(&self.config)),
             (TAG_INDEX, index_payload),
-            (TAG_AUTH, encode_auth(self)),
+            (TAG_AUTH, encode_auth(self)?),
         ];
         let bytes = persist::encode_snapshot(&sections)?;
         persist::save_snapshot_file(path, &bytes)
@@ -360,34 +376,50 @@ impl AuthenticatedIndex {
         let doc_table = DocTable::from_index(&index);
         let mut serve_cache = cache::ServeCache::new(expected);
         if expected.dict_mht {
-            let leaves: Vec<Digest> = (0..m as TermId)
-                .map(|t| dict_leaf_digest(t, index.ft(t), &parts.term_roots[t as usize]))
+            let leaves: Vec<Digest> = parts
+                .term_roots
+                .iter()
+                .enumerate()
+                .map(|(t, root)| dict_leaf_digest(t as TermId, index.ft(t as TermId), root))
                 .collect();
             let tree = MerkleTree::from_leaf_digests(leaves);
             let msg = dict_message(m as u32, &tree.root());
+            let Some(dict_sig) = parts.dict_sig.as_deref() else {
+                return Err(corrupt("dictionary mode without a dictionary signature"));
+            };
             parts
                 .public_key
-                .verify(&msg, parts.dict_sig.as_deref().expect("checked above"))
+                .verify(&msg, dict_sig)
                 .map_err(|e| corrupt(format!("dictionary signature rejected at boot: {e}")))?;
             if expected.serve_cache {
                 serve_cache.dict_tree = Some(tree);
             }
         } else {
             for t in sample_indices(m, BOOT_SIG_SAMPLES) {
-                let msg = term_message(t as TermId, index.ft(t as TermId), &parts.term_roots[t]);
+                let (root, sig) = parts
+                    .term_roots
+                    .get(t)
+                    .zip(parts.term_sigs.get(t))
+                    .ok_or_else(|| corrupt(format!("sampled term {t} out of range")))?;
+                let msg = term_message(t as TermId, index.ft(t as TermId), root);
                 parts
                     .public_key
-                    .verify(&msg, &parts.term_sigs[t])
+                    .verify(&msg, sig)
                     .map_err(|e| corrupt(format!("term {t} signature rejected at boot: {e}")))?;
             }
         }
         if expected.mechanism.is_tra() {
             for d in sample_indices(n, BOOT_SIG_SAMPLES) {
+                let (digest, sig) = parts
+                    .doc_content_digests
+                    .get(d)
+                    .zip(parts.doc_sigs.get(d))
+                    .ok_or_else(|| corrupt(format!("sampled doc {d} out of range")))?;
                 let root = doc_root(doc_table.doc_terms(d as DocId));
-                let msg = doc_message(d as DocId, &parts.doc_content_digests[d], &root);
+                let msg = doc_message(d as DocId, digest, &root);
                 parts
                     .public_key
-                    .verify(&msg, &parts.doc_sigs[d])
+                    .verify(&msg, sig)
                     .map_err(|e| corrupt(format!("doc {d} signature rejected at boot: {e}")))?;
             }
         }
@@ -510,6 +542,21 @@ mod tests {
             ..AuthConfig::new(Mechanism::TnraCmht)
         };
         AuthenticatedIndex::build(toy_index(), &key, config, &toy_contents())
+    }
+
+    #[test]
+    fn mechanism_code_round_trips_for_every_mechanism() {
+        // `mechanism_code` is a hand-written match while
+        // `mechanism_from_code` indexes `Mechanism::ALL`; if the two ever
+        // drift, a snapshot saved under one mechanism would boot as
+        // another. Assert the full round-trip in both directions.
+        for (i, &m) in Mechanism::ALL.iter().enumerate() {
+            let code = mechanism_code(m);
+            assert_eq!(code as usize, i, "{m:?} must encode as its ALL index");
+            assert_eq!(mechanism_from_code(code), Some(m), "{m:?}");
+        }
+        assert_eq!(mechanism_from_code(Mechanism::ALL.len() as u8), None);
+        assert_eq!(mechanism_from_code(u8::MAX), None);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn list_digest(term: TermId, list: &[ImpactEntry]) -> Digest {
     let mut bytes = Vec::with_capacity(24 + list.len() * 8);
     bytes.extend_from_slice(b"authsearch:fulllist:v1|");
     bytes.extend_from_slice(&term.to_le_bytes());
+    // lint:allow(truncating-cast): list length is bounded by the collection size cap (2^28) at construction, and this u32 is a stable digest preimage — widening it would change every published digest
     bytes.extend_from_slice(&(list.len() as u32).to_le_bytes());
     for e in list {
         bytes.extend_from_slice(&e.encode());

@@ -600,11 +600,16 @@ impl Connection {
                         "server echoed terms {echo:?} for a query posing {terms:?}"
                     )));
                 }
-                let verified = verdicts
-                    [vix.expect("well-echoed replies were queued for verification")]
-                .take()
-                .expect("each verdict is consumed exactly once")?;
-                Ok((verified, response))
+                // Every well-echoed reply was queued above, so its slot
+                // holds exactly one unconsumed verdict; anything else is
+                // a protocol-level accounting failure, not a panic.
+                let verdict = vix
+                    .and_then(|ix| verdicts.get_mut(ix))
+                    .and_then(Option::take)
+                    .ok_or_else(|| {
+                        ClientNetError::Protocol("verdict missing for a well-echoed reply".into())
+                    })?;
+                Ok((verdict?, response))
             })
             .collect();
         Ok(out)

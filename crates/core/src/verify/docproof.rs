@@ -28,7 +28,7 @@ pub struct ResolvedFreqs {
 impl ResolvedFreqs {
     /// Certified `w_{d, t_i}`; `None` when the VO proves nothing about it.
     pub fn weight_of(&self, d: DocId, i: usize) -> Option<f32> {
-        self.map.get(&d).and_then(|v| v[i])
+        self.map.get(&d).and_then(|v| v.get(i).copied().flatten())
     }
 
     /// Number of documents with proofs.
@@ -95,7 +95,7 @@ pub(super) fn resolve_doc_proofs(
         response.vo.docs.iter().map(|dv| dv.signature.as_slice()),
     )
     .map_err(|culprit| VerifyError::DocSignature {
-        doc: response.vo.docs[culprit].doc,
+        doc: response.vo.docs.get(culprit).map_or(0, |dv| dv.doc),
     })?;
     Ok(ResolvedFreqs { map })
 }
@@ -116,7 +116,7 @@ fn resolve_one(
     if dv
         .revealed
         .windows(2)
-        .any(|w| w[0].0 >= w[1].0 || w[0].1 >= w[1].1)
+        .any(|pair| matches!(pair, [a, b] if a.0 >= b.0 || a.1 >= b.1))
     {
         return Err(VerifyError::MalformedProof(format!(
             "document {}: revealed leaves not strictly ordered",
@@ -173,10 +173,10 @@ fn resolve_one(
         let t = qt.term;
         let found = dv.revealed.binary_search_by_key(&t, |&(_, rt, _)| rt);
         let w = match found {
-            Ok(i) => Some(dv.revealed[i].2),
+            Ok(i) => dv.revealed.get(i).map(|r| r.2),
             Err(i) => {
                 // Candidate bounding pair: revealed[i-1] and revealed[i].
-                let lower = i.checked_sub(1).map(|j| dv.revealed[j]);
+                let lower = i.checked_sub(1).and_then(|j| dv.revealed.get(j).copied());
                 let upper = dv.revealed.get(i).copied();
                 let absent = match (lower, upper) {
                     // Adjacent positions with terms bracketing t.

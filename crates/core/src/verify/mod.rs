@@ -298,8 +298,10 @@ pub(crate) fn verify_conjunctive_with_memo(
     let wq: Vec<f64> = query.terms.iter().map(|qt| qt.wq).collect();
 
     let expected = if params.mechanism.is_tra() {
-        let atv = &vo.terms[anchor];
-        if atv.prefix.len() != fts[anchor] {
+        let atv = vo.terms.get(anchor).ok_or_else(|| {
+            VerifyError::MalformedProof(format!("anchor {anchor} has no VO term"))
+        })?;
+        if atv.prefix.len() != atv.ft as usize {
             return Err(VerifyError::ConjunctIncomplete { term: atv.term });
         }
         let PrefixData::DocIds(candidates) = &atv.prefix else {
@@ -316,7 +318,7 @@ pub(crate) fn verify_conjunctive_with_memo(
                 if freqs.contains(doc) {
                     VerifyError::FrequencyUnproven {
                         doc,
-                        term: query.terms[i].term,
+                        term: query.terms.get(i).map_or(0, |qt| qt.term),
                     }
                 } else {
                     VerifyError::MissingDocProof { doc }
@@ -334,11 +336,14 @@ pub(crate) fn verify_conjunctive_with_memo(
                     tv.term
                 )));
             };
-            if entries.len() != fts[i] {
+            if entries.len() != tv.ft as usize {
                 return Err(VerifyError::ConjunctIncomplete { term: tv.term });
             }
             // Same defense-in-depth screen as the disjunctive replay.
-            if entries.windows(2).any(|w| w[0].weight < w[1].weight) {
+            if entries
+                .windows(2)
+                .any(|pair| matches!(pair, [a, b] if a.weight < b.weight))
+            {
                 return Err(VerifyError::PrefixNotOrdered { term: tv.term });
             }
             if i == anchor {
@@ -349,12 +354,12 @@ pub(crate) fn verify_conjunctive_with_memo(
         crate::conjunctive::rank_intersection(
             &candidates,
             &wq,
-            |d, i| Some(maps[i].get(&d).copied().unwrap_or(0.0)),
+            |d, i| Some(maps.get(i).and_then(|m| m.get(&d)).copied().unwrap_or(0.0)),
             r,
         )
         .map_err(|(doc, i)| VerifyError::FrequencyUnproven {
             doc,
-            term: query.terms[i].term,
+            term: query.terms.get(i).map_or(0, |qt| qt.term),
         })?
     };
 
@@ -487,24 +492,18 @@ fn verify_term_signatures(
         return Ok(());
     }
     let mut messages = Vec::with_capacity(vo.terms.len());
+    let mut sigs: Vec<&[u8]> = Vec::with_capacity(vo.terms.len());
     for (tv, root) in vo.terms.iter().zip(term_roots) {
-        if tv.signature.is_none() {
+        let Some(sig) = tv.signature.as_deref() else {
             return Err(VerifyError::MalformedProof("missing list signature".into()));
-        }
+        };
         messages.push(term_message(tv.term, tv.ft, root));
+        sigs.push(sig);
     }
-    batch_verify_with_memo(
-        params,
-        memo,
-        &messages,
-        vo.terms.iter().map(|tv| {
-            tv.signature
-                .as_deref()
-                .expect("list signatures checked present above")
-        }),
-    )
-    .map_err(|culprit| VerifyError::TermSignature {
-        term: vo.terms[culprit].term,
+    batch_verify_with_memo(params, memo, &messages, sigs.iter().copied()).map_err(|culprit| {
+        VerifyError::TermSignature {
+            term: vo.terms.get(culprit).map_or(0, |tv| tv.term),
+        }
     })
 }
 
@@ -528,11 +527,14 @@ pub(crate) fn batch_verify_with_memo<'a>(
             fresh.push((i, key));
         }
     }
-    let items: Vec<(&[u8], &[u8])> = fresh.iter().map(|&(i, _)| pairs[i]).collect();
+    let items: Vec<(&[u8], &[u8])> = fresh
+        .iter()
+        .map(|(_, (m, s))| (m.as_slice(), s.as_slice()))
+        .collect();
     params
         .public_key
         .verify_batch(&items)
-        .map_err(|e| fresh[e.culprit].0)?;
+        .map_err(|e| fresh.get(e.culprit).map_or(0, |f| f.0))?;
     for (_, key) in fresh {
         memo.insert(key);
     }
@@ -584,7 +586,10 @@ impl TnraVoLists {
             };
             // Defense in depth: the owner's lists are frequency-ordered;
             // an out-of-order prefix can only be a corrupt artifact.
-            if entries.windows(2).any(|w| w[0].weight < w[1].weight) {
+            if entries
+                .windows(2)
+                .any(|pair| matches!(pair, [a, b] if a.weight < b.weight))
+            {
                 return Err(VerifyError::PrefixNotOrdered { term: tv.term });
             }
             lens.push(tv.ft as usize);
@@ -596,17 +601,21 @@ impl TnraVoLists {
 
 impl ListAccess for TnraVoLists {
     fn list_len(&self, i: usize) -> usize {
-        self.lens[i]
+        self.lens.get(i).copied().unwrap_or(0)
     }
 
     fn entry(&self, i: usize, pos: usize) -> Result<Option<ImpactEntry>, AccessError> {
-        if pos >= self.lens[i] {
+        if pos >= self.list_len(i) {
             return Ok(None);
         }
-        self.prefixes[i].get(pos).copied().map(Some).ok_or_else(|| {
+        let prefix = self
+            .prefixes
+            .get(i)
+            .ok_or_else(|| AccessError::new(format!("replay touched unknown query list {i}")))?;
+        prefix.get(pos).copied().map(Some).ok_or_else(|| {
             AccessError::new(format!(
                 "replay needs entry {pos} of query list {i}, prefix has {}",
-                self.prefixes[i].len()
+                prefix.len()
             ))
         })
     }
@@ -650,17 +659,21 @@ impl<'a> TraVoLists<'a> {
 
 impl ListAccess for TraVoLists<'_> {
     fn list_len(&self, i: usize) -> usize {
-        self.lens[i]
+        self.lens.get(i).copied().unwrap_or(0)
     }
 
     fn entry(&self, i: usize, pos: usize) -> Result<Option<ImpactEntry>, AccessError> {
-        if pos >= self.lens[i] {
+        if pos >= self.list_len(i) {
             return Ok(None);
         }
-        let Some(&doc) = self.prefixes[i].get(pos) else {
+        let prefix = self
+            .prefixes
+            .get(i)
+            .ok_or_else(|| AccessError::new(format!("replay touched unknown query list {i}")))?;
+        let Some(&doc) = prefix.get(pos) else {
             return Err(AccessError::new(format!(
                 "replay needs entry {pos} of query list {i}, prefix has {}",
-                self.prefixes[i].len()
+                prefix.len()
             )));
         };
         let weight = self.freqs.weight_of(doc, i).ok_or_else(|| {

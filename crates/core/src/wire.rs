@@ -230,29 +230,29 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(err("truncated"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or_else(|| err("truncated"))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| err("truncated"))?;
+        self.pos = end;
         Ok(out)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| err("truncated"))
+    }
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
     fn u16(&mut self) -> Result<u16, WireError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        let mut arr = [0u8; 8];
-        arr.copy_from_slice(b);
-        Ok(u64::from_le_bytes(arr))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn digest(&mut self) -> Result<Digest, WireError> {
         let b = self.take(DIGEST_LEN)?;
@@ -264,6 +264,7 @@ impl<'a> Reader<'a> {
     }
     fn digests16(&mut self) -> Result<Vec<Digest>, WireError> {
         let n = self.u16()? as usize;
+        let n = self.checked_count(n, DIGEST_LEN, "digest list")?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.digest()?);
@@ -276,7 +277,7 @@ impl<'a> Reader<'a> {
     /// `Vec::with_capacity`, so attacker-chosen counts can never size
     /// an allocation beyond the payload they paid to send.
     fn checked_count(&self, n: usize, per: usize, what: &str) -> Result<usize, WireError> {
-        let remaining = self.buf.len() - self.pos;
+        let remaining = self.buf.len().saturating_sub(self.pos);
         if n > remaining / per.max(1) {
             return Err(WireError::Malformed(format!(
                 "{what} count {n} exceeds what the remaining {remaining} bytes can hold"
@@ -300,6 +301,8 @@ pub fn decode(bytes: &[u8]) -> Result<VerificationObject, WireError> {
         _ => return Err(err("unknown mechanism")),
     };
     let num_terms = r.u16()? as usize;
+    // Minimum encoding per term: term id (4) + ft (4) + prefix tag (1).
+    let num_terms = r.checked_count(num_terms, 9, "VO term")?;
     let mut terms = Vec::with_capacity(num_terms);
     for _ in 0..num_terms {
         let term = r.u32()?;
@@ -502,12 +505,14 @@ pub fn encode_frame_header(
             max: MAX_FRAME_PAYLOAD,
         });
     }
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    header[..4].copy_from_slice(&FRAME_MAGIC);
-    header[4] = WIRE_VERSION;
-    header[5] = kind;
-    header[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
-    Ok(header)
+    let len32 = u32::try_from(payload_len).map_err(|_| WireError::TooLong {
+        field: "frame payload",
+        len: payload_len,
+        max: MAX_FRAME_PAYLOAD,
+    })?;
+    let [m0, m1, m2, m3] = FRAME_MAGIC;
+    let [l0, l1, l2, l3] = len32.to_le_bytes();
+    Ok([m0, m1, m2, m3, WIRE_VERSION, kind, l0, l1, l2, l3])
 }
 
 /// Decode a frame header's transport fields — magic, version, payload
@@ -521,22 +526,22 @@ pub fn encode_frame_header(
 /// [`decode_frame_header`] when an unknown kind should be rejected
 /// outright.
 pub fn decode_frame_header_any(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), WireError> {
-    if header[..4] != FRAME_MAGIC {
+    let &[m0, m1, m2, m3, version, kind, l0, l1, l2, l3] = header;
+    if [m0, m1, m2, m3] != FRAME_MAGIC {
         return Err(err("bad frame magic"));
     }
-    if header[4] != WIRE_VERSION {
+    if version != WIRE_VERSION {
         return Err(WireError::Malformed(format!(
-            "unsupported protocol version {} (this build speaks {WIRE_VERSION})",
-            header[4]
+            "unsupported protocol version {version} (this build speaks {WIRE_VERSION})"
         )));
     }
-    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(WireError::Malformed(format!(
             "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
         )));
     }
-    Ok((header[5], len))
+    Ok((kind, len))
 }
 
 /// Decode and validate a frame header, returning `(kind, payload_len)`.
@@ -694,6 +699,7 @@ impl Request {
                 let want_digests = parse_request_flags(r.u8()?)?;
                 let top_r = r.u32()?;
                 let n = r.u16()? as usize;
+                let n = r.checked_count(n, 8, "query term")?;
                 let mut terms = Vec::with_capacity(n);
                 for _ in 0..n {
                     terms.push((r.u32()?, r.u32()?));
@@ -858,7 +864,10 @@ pub fn encode_err_reply(code: u8, message: &str) -> Result<Vec<u8>, WireError> {
     while !message.is_char_boundary(end) {
         end -= 1;
     }
-    w.bytes16(&message.as_bytes()[..end], "error message")?;
+    w.bytes16(
+        message.as_bytes().get(..end).unwrap_or_default(),
+        "error message",
+    )?;
     frame(kind::REPLY_ERR, w.buf)
 }
 
@@ -871,6 +880,7 @@ pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError
     let reply = match kind {
         kind::REPLY_OK | kind::REPLY_OK_DIGEST => {
             let nt = r.u16()? as usize;
+            let nt = r.checked_count(nt, 8, "reply term")?;
             let mut terms = Vec::with_capacity(nt);
             for _ in 0..nt {
                 terms.push((r.u32()?, r.u32()?));
@@ -912,6 +922,7 @@ pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError
                 blocks: r.u64()?,
             };
             let nr = r.u16()? as usize;
+            let nr = r.checked_count(nr, 4, "entries-read list")?;
             let mut entries_read = Vec::with_capacity(nr);
             for _ in 0..nr {
                 entries_read.push(r.u32()? as usize);
@@ -961,13 +972,12 @@ fn frame(kind: u8, payload: Vec<u8>) -> Result<Vec<u8>, WireError> {
 /// that already hold whole frames (tests, fuzzing); the streaming
 /// server and client read the header and payload separately.
 pub fn split_frame(bytes: &[u8]) -> Result<(u8, &[u8]), WireError> {
-    if bytes.len() < FRAME_HEADER_LEN {
-        return Err(err("truncated frame header"));
-    }
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    header.copy_from_slice(&bytes[..FRAME_HEADER_LEN]);
+    let header: [u8; FRAME_HEADER_LEN] = bytes
+        .get(..FRAME_HEADER_LEN)
+        .and_then(|h| h.try_into().ok())
+        .ok_or_else(|| err("truncated frame header"))?;
     let (kind, len) = decode_frame_header(&header)?;
-    let payload = &bytes[FRAME_HEADER_LEN..];
+    let payload = bytes.get(FRAME_HEADER_LEN..).unwrap_or_default();
     if payload.len() != len {
         return Err(err("frame length mismatch"));
     }
@@ -1029,6 +1039,31 @@ mod tests {
                 mechanism.name()
             );
         }
+    }
+
+    #[test]
+    fn forged_counts_cannot_size_allocations() {
+        // A 9-byte frame advertising 65,535 VO terms: `checked_count`
+        // must reject the count against the bytes actually present,
+        // before any `Vec::with_capacity` sees it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(0); // mechanism TRA-MHT
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes()); // forged num_terms
+        bytes.extend_from_slice(&[0, 0]); // far too little payload
+        let err = decode(&bytes).expect_err("forged count must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("65535") && msg.contains("count"),
+            "error should name the forged count: {msg}"
+        );
+
+        // Same property on a well-formed VO whose count field is bumped
+        // after encoding: every inflated count dies in validation.
+        let vo = sample_vo(Mechanism::TraMht, false);
+        let mut bytes = encode(&vo).unwrap();
+        bytes[5..7].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl SyntheticConfig {
         for _ in 0..self.num_docs {
             let len = sample_lognormal(&mut rng, mu, self.doc_len_sigma)
                 .round()
+                // lint:allow(truncating-cast): float→int `as` saturates (never wraps), and the lognormal is parameterized by config-sized document lengths
                 .max(self.min_doc_len as f64) as u32;
             counts.clear();
             for _ in 0..len {

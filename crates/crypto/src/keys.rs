@@ -10,7 +10,7 @@ use crate::rsa::RsaPrivateKey;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Modulus size used throughout the paper (Table 1: |sign| = 1024 bits).
 pub const PAPER_KEY_BITS: usize = 1024;
@@ -28,7 +28,9 @@ static KEY_CACHE: OnceLock<Mutex<HashMap<usize, RsaPrivateKey>>> = OnceLock::new
 /// with [`RsaPrivateKey::generate`] and an OS RNG).
 pub fn cached_keypair(bits: usize) -> RsaPrivateKey {
     let cache = KEY_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("key cache poisoned");
+    // Poison recovery: a panicking generator thread leaves at worst a
+    // fully-written entry or none; either state is safe to reuse.
+    let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
     guard
         .entry(bits)
         .or_insert_with(|| {
@@ -64,5 +66,28 @@ mod tests {
         let key = cached_keypair(TEST_KEY_BITS);
         let sig = key.sign(b"cached key works").unwrap();
         key.public_key().verify(b"cached key works", &sig).unwrap();
+    }
+
+    #[test]
+    fn cache_survives_a_poisoned_lock() {
+        // Regression: the cache lock used `.lock().unwrap()`, so one
+        // panicking thread holding the guard turned every later key
+        // request into a second panic. Poison the mutex deliberately
+        // and check the cache still serves.
+        let before = cached_keypair(TEST_KEY_BITS);
+        let cache = KEY_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        std::thread::spawn(|| {
+            let cache = KEY_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+            let _guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison the key cache on purpose");
+        })
+        .join()
+        .unwrap_err();
+        assert!(
+            cache.is_poisoned(),
+            "the panicking thread must poison the lock"
+        );
+        let after = cached_keypair(TEST_KEY_BITS);
+        assert_eq!(before.public_key(), after.public_key());
     }
 }

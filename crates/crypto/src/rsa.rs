@@ -379,8 +379,10 @@ impl RsaPublicKey {
         let n = self.n.to_bytes_be();
         let e = self.e.to_bytes_be();
         let mut out = Vec::with_capacity(8 + n.len() + e.len());
+        // lint:allow(truncating-cast): modulus and exponent byte lengths are bounded by the largest supported key size (a few KiB), far below u32
         out.extend_from_slice(&(n.len() as u32).to_be_bytes());
         out.extend_from_slice(&n);
+        // lint:allow(truncating-cast): same bound as the modulus length above
         out.extend_from_slice(&(e.len() as u32).to_be_bytes());
         out.extend_from_slice(&e);
         out

@@ -119,7 +119,9 @@ pub fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
 
 /// Write one length-prefixed UTF-8 string.
 pub fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
-    put_u32(w, s.len() as u32)?;
+    let len = u32::try_from(s.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string length exceeds u32"))?;
+    put_u32(w, len)?;
     w.write_all(s.as_bytes())
 }
 
@@ -168,7 +170,9 @@ pub fn write_index<W: Write>(w: &mut W, index: &InvertedIndex) -> Result<(), Per
     put_u64(w, index.num_terms() as u64)?;
     for t in 0..index.num_terms() as u32 {
         let list = index.list(t);
-        put_u32(w, list.len() as u32)?;
+        let list_len =
+            u32::try_from(list.len()).map_err(|_| corrupt("posting list length exceeds u32"))?;
+        put_u32(w, list_len)?;
         for e in list.entries() {
             w.write_all(&e.encode())?;
         }
@@ -201,7 +205,8 @@ pub fn read_index<R: Read>(r: &mut R) -> Result<InvertedIndex, PersistError> {
     let mut lists = Vec::with_capacity(capped(m));
     let mut entry_buf = [0u8; 8];
     for _ in 0..m {
-        let len = get_u32(r)? as usize;
+        let len32 = get_u32(r)?;
+        let len = len32 as usize;
         if len > num_docs {
             return Err(corrupt("list longer than collection"));
         }
@@ -212,13 +217,13 @@ pub fn read_index<R: Read>(r: &mut R) -> Result<InvertedIndex, PersistError> {
         }
         // Untrusted input: validate the canonical ordering invariant
         // before wrapping (from_sorted only debug-asserts it).
-        let canonical = entries.windows(2).all(|w| {
-            w[0].weight > w[1].weight || (w[0].weight == w[1].weight && w[0].doc < w[1].doc)
+        let canonical = entries.windows(2).all(|pair| {
+            matches!(pair, [a, b] if a.weight > b.weight || (a.weight == b.weight && a.doc < b.doc))
         });
         if !canonical {
             return Err(corrupt("list not frequency-ordered"));
         }
-        ft.push(len as u32);
+        ft.push(len32);
         lists.push(InvertedList::from_sorted(entries));
     }
     Ok(InvertedIndex::from_parts(
@@ -257,7 +262,9 @@ pub fn write_corpus<W: Write>(w: &mut W, corpus: &Corpus) -> Result<(), PersistE
     put_u64(w, corpus.num_docs() as u64)?;
     for doc in corpus.docs() {
         put_u32(w, doc.token_len)?;
-        put_u32(w, doc.counts.len() as u32)?;
+        let counts_len = u32::try_from(doc.counts.len())
+            .map_err(|_| corrupt("doc term-count list length exceeds u32"))?;
+        put_u32(w, counts_len)?;
         for &(t, c) in &doc.counts {
             put_u32(w, t)?;
             put_u32(w, c)?;
@@ -267,7 +274,10 @@ pub fn write_corpus<W: Write>(w: &mut W, corpus: &Corpus) -> Result<(), PersistE
     w.write_all(&[u8::from(has_texts)])?;
     if has_texts {
         for id in 0..corpus.num_docs() as u32 {
-            put_str(w, corpus.text(id).expect("texts present"))?;
+            match corpus.text(id) {
+                Some(text) => put_str(w, text)?,
+                None => return Err(corrupt("corpus advertises texts but one is missing")),
+            }
         }
     }
     Ok(())
@@ -291,7 +301,10 @@ pub fn read_corpus<R: Read>(r: &mut R) -> Result<Corpus, PersistError> {
     for _ in 0..m {
         dictionary.push(get_str(r)?);
     }
-    if dictionary.windows(2).any(|w| w[0] >= w[1]) {
+    if dictionary
+        .windows(2)
+        .any(|pair| matches!(pair, [a, b] if a >= b))
+    {
         return Err(corrupt("dictionary not sorted"));
     }
     let n = get_u64(r)? as usize;
@@ -314,7 +327,10 @@ pub fn read_corpus<R: Read>(r: &mut R) -> Result<Corpus, PersistError> {
             }
             counts.push((t, c));
         }
-        if counts.windows(2).any(|w| w[0].0 >= w[1].0) {
+        if counts
+            .windows(2)
+            .any(|pair| matches!(pair, [a, b] if a.0 >= b.0))
+        {
             return Err(corrupt("doc counts not sorted by term id"));
         }
         docs.push(TokenizedDoc {
@@ -325,7 +341,8 @@ pub fn read_corpus<R: Read>(r: &mut R) -> Result<Corpus, PersistError> {
     }
     let mut flag = [0u8; 1];
     r.read_exact(&mut flag)?;
-    let texts = if flag[0] == 1 {
+    let [flag_byte] = flag;
+    let texts = if flag_byte == 1 {
         let mut texts = Vec::with_capacity(capped(n));
         for _ in 0..n {
             texts.push(get_str(r)?);
@@ -405,12 +422,13 @@ pub fn write_snapshot<W: Write>(
     w: &mut W,
     sections: &[(SectionTag, Vec<u8>)],
 ) -> Result<(), PersistError> {
-    if sections.len() as u32 > MAX_SECTIONS {
-        return Err(corrupt("too many sections"));
-    }
+    let num_sections = u32::try_from(sections.len())
+        .ok()
+        .filter(|&n| n <= MAX_SECTIONS)
+        .ok_or_else(|| corrupt("too many sections"))?;
     w.write_all(SNAPSHOT_MAGIC)?;
     put_u32(w, SNAPSHOT_VERSION)?;
-    put_u32(w, sections.len() as u32)?;
+    put_u32(w, num_sections)?;
     for (tag, payload) in sections {
         if payload.len() as u64 > MAX_SECTION_PAYLOAD {
             return Err(corrupt(format!("section {} too large", tag_name(tag))));
@@ -519,27 +537,40 @@ impl<'a> SectionReader<'a> {
 
     /// Consume `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        if n > self.remaining() {
-            return Err(self.fail("truncated"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.fail("truncated"))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.fail("truncated"))?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Consume exactly `N` bytes as an array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        let section = self.section;
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| corrupt(format!("section {section}: truncated")))
     }
 
     /// Consume one `u8`.
     pub fn u8(&mut self) -> Result<u8, PersistError> {
-        Ok(self.bytes(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     /// Consume one little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Consume one little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Validate a claimed element count against the bytes that could
@@ -626,13 +657,15 @@ fn decode_manifest(bytes: &[u8]) -> Option<SnapshotInfo> {
     if trailer != Digest::hash_parts(&[b"authsearch:manifest:v2|", body]).0 {
         return None;
     }
-    if &body[..4] != MANIFEST_MAGIC || body[4..8] != SNAPSHOT_VERSION.to_le_bytes() {
+    if body.get(..4)? != MANIFEST_MAGIC.as_slice()
+        || body.get(4..8)? != SNAPSHOT_VERSION.to_le_bytes().as_slice()
+    {
         return None;
     }
     Some(SnapshotInfo {
-        generation: u64::from_le_bytes(body[8..16].try_into().unwrap()),
-        bytes: u64::from_le_bytes(body[16..24].try_into().unwrap()),
-        digest: Digest::from_slice(&body[24..24 + DIGEST_LEN])?,
+        generation: u64::from_le_bytes(body.get(8..16)?.try_into().ok()?),
+        bytes: u64::from_le_bytes(body.get(16..24)?.try_into().ok()?),
+        digest: Digest::from_slice(body.get(24..24 + DIGEST_LEN)?)?,
     })
 }
 

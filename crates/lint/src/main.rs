@@ -1,0 +1,185 @@
+//! authlint CLI.
+//!
+//! ```text
+//! cargo run -p authlint -- [--deny] [--json] [--root DIR]
+//! cargo run -p authlint -- --rules
+//! cargo run -p authlint -- --check-suppressions
+//! ```
+//!
+//! `--deny` exits nonzero when any unsuppressed finding remains — the
+//! CI gate. `--json` emits machine-readable findings (one object per
+//! finding in a top-level array) for artifact upload.
+//! `--check-suppressions` audits every `lint:allow` in the tree and
+//! fails on any without a known rule name and a non-empty reason.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use authlint::{
+    analyze_workspace, collect_files, count_by_rule, list_suppressions, Config, Finding, RULES,
+};
+
+struct Args {
+    deny: bool,
+    json: bool,
+    rules: bool,
+    check_suppressions: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        json: false,
+        rules: false,
+        check_suppressions: false,
+        root: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--rules" => args.rules = true,
+            "--check-suppressions" => args.check_suppressions = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                args.root = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("authlint — workspace invariant checker");
+    println!();
+    println!("USAGE: authlint [--deny] [--json] [--root DIR] [--rules] [--check-suppressions]");
+    println!();
+    println!("  --deny                exit nonzero if any unsuppressed finding remains (CI gate)");
+    println!("  --json                machine-readable findings on stdout");
+    println!("  --root DIR            workspace root to scan (default: .)");
+    println!("  --rules               list the rules and what they guard");
+    println!("  --check-suppressions  audit every lint:allow for a known rule + reason");
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit_json(findings: &[Finding]) {
+    println!("[");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}",
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(f.rule),
+            json_escape(&f.message),
+            comma
+        );
+    }
+    println!("]");
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.rules {
+        println!("authlint rules:");
+        for (name, summary) in RULES {
+            println!("  {name:<20} {summary}");
+        }
+        println!();
+        println!("suppress with: // lint:allow(rule): <reason>   (reason mandatory)");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if args.check_suppressions {
+        let files = collect_files(&args.root).map_err(|e| format!("scan failed: {e}"))?;
+        let mut bad = Vec::new();
+        let mut total = 0usize;
+        for path in files {
+            let rel = path
+                .strip_prefix(&args.root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&path).map_err(|e| format!("read {rel}: {e}"))?;
+            let (listed, findings) =
+                list_suppressions(&rel, &source).map_err(|e| format!("lex {rel}: {e}"))?;
+            for l in &listed {
+                println!("{l}");
+            }
+            total += listed.len();
+            bad.extend(findings);
+        }
+        for f in &bad {
+            eprintln!("{f}");
+        }
+        println!("{} suppression(s) audited, {} malformed", total, bad.len());
+        return Ok(if bad.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let cfg = Config::default();
+    let report = analyze_workspace(&args.root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+
+    if args.json {
+        emit_json(&report.findings);
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        let by_rule = count_by_rule(&report.findings);
+        let summary: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        eprintln!(
+            "authlint: {} file(s) scanned, {} suppression(s), {} finding(s){}",
+            report.files_scanned,
+            report.suppressions,
+            report.findings.len(),
+            if summary.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", summary.join(", "))
+            }
+        );
+    }
+
+    if args.deny && !report.findings.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("authlint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

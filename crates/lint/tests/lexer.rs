@@ -1,0 +1,152 @@
+//! Lexer correctness: the rule engine is only as sound as the lexer's
+//! ability to tell code from comments, strings, chars, and lifetimes.
+
+use authlint::lexer::{lex, TokenKind};
+
+fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+    lex(source)
+        .expect("fixture must lex")
+        .tokens
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_comment_markers() {
+    let toks = kinds(r####"let s = r#"has "quotes" and // not a comment"#;"####);
+    let strs: Vec<&(TokenKind, String)> =
+        toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("not a comment"));
+    // Nothing after the raw string was mis-lexed as a comment.
+    let lexed = lex(r####"let s = r#"// fake"#; foo.unwrap()"####).unwrap();
+    assert!(lexed.comments.is_empty());
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+}
+
+#[test]
+fn raw_strings_with_double_hashes() {
+    let lexed = lex(r#####"let s = r##"inner "# still inside"##;"#####).unwrap();
+    let strs: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("still inside"));
+}
+
+#[test]
+fn byte_strings_and_byte_literals() {
+    let toks = kinds(r##"let a = b"bytes"; let b = b'x'; let c = br#"raw bytes"#;"##);
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(),
+        2,
+        "b\"…\" and br#\"…\"# are string literals"
+    );
+    assert!(toks
+        .iter()
+        .any(|(k, s)| *k == TokenKind::Char && s == "b'x'"));
+}
+
+#[test]
+fn nested_block_comments() {
+    let lexed = lex("/* outer /* inner */ still outer */ fn f() {}").unwrap();
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("still outer"));
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    // An unterminated nesting is an error, not a silent truncation.
+    assert!(lex("/* outer /* inner */ not closed").is_err());
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "<'a> and &'a are lifetimes");
+    assert_eq!(chars.len(), 1, "'a' is a char literal");
+    assert_eq!(chars[0].1, "'a'");
+    // 'static and '_ lex as lifetimes too.
+    let toks = kinds("&'static str; fn g(_: &'_ u8) {}");
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn escaped_char_literals() {
+    for src in ["'\\''", "'\\n'", "'\\\\'", "'\\u{1F600}'"] {
+        let toks = kinds(&format!("let c = {src};"));
+        assert!(
+            toks.iter().any(|(k, s)| *k == TokenKind::Char && s == src),
+            "{src} should lex as one char literal, got {toks:?}"
+        );
+    }
+}
+
+#[test]
+fn range_dots_are_not_part_of_numbers() {
+    let toks = kinds("for i in 0..n { v.push(1.5); }");
+    assert!(toks
+        .iter()
+        .any(|(k, s)| *k == TokenKind::Number && s == "0"));
+    assert!(toks
+        .iter()
+        .any(|(k, s)| *k == TokenKind::Number && s == "1.5"));
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, s)| *k == TokenKind::Punct && s == ".")
+            .count(),
+        3,
+        "two range dots plus the method dot"
+    );
+}
+
+#[test]
+fn raw_identifiers() {
+    let toks = kinds("let r#type = 1; r#match.unwrap();");
+    assert!(toks.iter().any(|(_, s)| s == "r#type"));
+    assert!(toks.iter().any(|(_, s)| s == "r#match"));
+}
+
+#[test]
+fn string_escapes_do_not_end_the_string() {
+    let lexed = lex(r#"let s = "quote \" backslash \\ done"; x.unwrap()"#).unwrap();
+    let strs: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.ends_with("done\""));
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+}
+
+#[test]
+fn comments_record_standalone_vs_trailing() {
+    let lexed = lex("// standalone\nlet x = 1; // trailing\n").unwrap();
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].standalone);
+    assert!(!lexed.comments[1].standalone);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert_eq!(lexed.comments[1].line, 2);
+}
+
+#[test]
+fn token_positions_are_one_based_and_exact() {
+    let lexed = lex("let x = y;\n  foo.unwrap();\n").unwrap();
+    let unwrap = lexed
+        .tokens
+        .iter()
+        .find(|t| t.is_ident("unwrap"))
+        .expect("unwrap token");
+    assert_eq!((unwrap.line, unwrap.col), (2, 7));
+}

@@ -1,0 +1,186 @@
+//! Rule-engine behavior: each rule fires on seeded violations with
+//! exact file:line:col blame, stays quiet on the idiomatic fixes, and
+//! honors (only) well-formed suppressions.
+
+use authlint::{analyze_source, Config, Finding};
+
+const UNTRUSTED: &str = "crates/core/src/wire.rs";
+const TRUSTED: &str = "crates/core/src/other.rs";
+
+fn run(path: &str, source: &str) -> Vec<Finding> {
+    analyze_source(path, source, &Config::default())
+        .expect("fixture must lex")
+        .findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn panic_path_fires_only_in_untrusted_modules() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(rules_of(&run(UNTRUSTED, src)), ["panic-path"]);
+    assert!(run(TRUSTED, src).is_empty());
+}
+
+#[test]
+fn panic_path_catches_macros_and_indexing() {
+    let src =
+        "fn f(v: &[u8], i: usize) -> u8 {\n    if i > v.len() { panic!(\"oob\") }\n    v[i]\n}\n";
+    let found = run(UNTRUSTED, src);
+    assert_eq!(rules_of(&found), ["panic-path", "panic-path"]);
+    assert_eq!((found[0].line, found[0].col), (2, 22), "panic! blame");
+    assert_eq!(
+        (found[1].line, found[1].col),
+        (3, 6),
+        "indexing blames the bracket"
+    );
+}
+
+#[test]
+fn panic_path_ignores_non_index_brackets() {
+    // Attributes, array types, array literals, vec!, and patterns all
+    // use brackets without indexing.
+    let src = "#[derive(Debug)]\nstruct S([u8; 4]);\nfn f() -> Vec<u8> { let _a = [0u8; 2]; vec![1, 2] }\n";
+    assert!(run(UNTRUSTED, src).is_empty());
+}
+
+#[test]
+fn test_gated_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(run(UNTRUSTED, src).is_empty());
+    // #[cfg(not(test))] ships — NOT exempt.
+    let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+    assert_eq!(rules_of(&run(UNTRUSTED, src)), ["panic-path"]);
+}
+
+#[test]
+fn truncating_cast_applies_everywhere_with_length_sources() {
+    let src = "fn f(v: &[u8]) -> u16 { v.len() as u16 }\n";
+    assert_eq!(rules_of(&run(TRUSTED, src)), ["truncating-cast"]);
+    // Widening or same-width to u64/usize is fine.
+    assert!(run(TRUSTED, "fn f(v: &[u8]) -> u64 { v.len() as u64 }\n").is_empty());
+    // Non-length identifiers are not second-guessed.
+    assert!(run(TRUSTED, "fn f(mechanism: u64) -> u8 { mechanism as u8 }\n").is_empty());
+    // Field chains count: self.total_count as u16.
+    let src = "impl S { fn f(&self) -> u16 { self.entry_count as u16 } }\n";
+    assert_eq!(rules_of(&run(TRUSTED, src)), ["truncating-cast"]);
+}
+
+#[test]
+fn lock_unwrap_fires_everywhere_and_recovery_idiom_passes() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap() }\n";
+    assert_eq!(rules_of(&run(TRUSTED, src)), ["lock-unwrap"]);
+    let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().expect(\"poisoned\") }\n";
+    assert_eq!(rules_of(&run(TRUSTED, src)), ["lock-unwrap"]);
+    let src =
+        "fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner) }\n";
+    assert!(run(TRUSTED, src).is_empty());
+}
+
+#[test]
+fn unclamped_prealloc_in_decode_modules() {
+    let bad = "fn d(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n";
+    assert_eq!(rules_of(&run(UNTRUSTED, bad)), ["unclamped-prealloc"]);
+    // Outside decode modules the rule does not apply.
+    assert!(run(TRUSTED, bad).is_empty());
+    // Routed through the helpers: fine.
+    for ok in [
+        "fn d(r: &R, raw: usize) -> Vec<u8> { let n = r.checked_count(raw, 4, \"x\")?; Vec::with_capacity(n) }\n",
+        "fn d(n: usize) -> Vec<u8> { Vec::with_capacity(n.min(PREALLOC_CLAMP)) }\n",
+        "fn d(n: usize) -> Vec<u8> { Vec::with_capacity(capped(n)) }\n",
+        "fn d(buf: &[u8]) -> Vec<u8> { Vec::with_capacity(buf.len()) }\n",
+        "fn d() -> Vec<u8> { Vec::with_capacity(16) }\n",
+        "fn d() -> Vec<u8> { Vec::with_capacity(MAX_SECTIONS) }\n",
+    ] {
+        assert!(run(UNTRUSTED, ok).is_empty(), "should pass: {ok}");
+    }
+}
+
+#[test]
+fn unclamped_prealloc_traces_local_bindings() {
+    // A single-identifier argument is traced to its `let` binding.
+    let ok = "fn d(r: &R) -> Vec<u8> {\n    let n = r.checked_count(r.u32()? as usize, 4, \"x\")?;\n    Vec::with_capacity(n)\n}\n";
+    assert!(run(UNTRUSTED, ok).is_empty());
+    let bad =
+        "fn d(r: &R) -> Vec<u8> {\n    let n = r.u32()? as usize;\n    Vec::with_capacity(n)\n}\n";
+    assert_eq!(rules_of(&run(UNTRUSTED, bad)), ["unclamped-prealloc"]);
+}
+
+#[test]
+fn suppressions_silence_with_reason_only() {
+    // Trailing allow with a reason: silenced.
+    let src = "fn f(x: Option<u8>) { x.unwrap(); } // lint:allow(panic-path): input is a compile-time constant\n";
+    assert!(run(UNTRUSTED, src).is_empty());
+    // Standalone allow above the line: silenced.
+    let src = "// lint:allow(panic-path): provably present\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+    assert!(run(UNTRUSTED, src).is_empty());
+    // Missing reason: finding stays AND the allow is reported.
+    let src = "fn f(x: Option<u8>) { x.unwrap(); } // lint:allow(panic-path)\n";
+    let found = run(UNTRUSTED, src);
+    let mut rules = rules_of(&found);
+    rules.sort();
+    assert_eq!(rules, ["bad-suppression", "panic-path"]);
+    // Unknown rule name: rejected.
+    let src = "fn f(x: Option<u8>) { x.unwrap(); } // lint:allow(no-such-rule): because\n";
+    let found = run(UNTRUSTED, src);
+    let mut rules = rules_of(&found);
+    rules.sort();
+    assert_eq!(rules, ["bad-suppression", "panic-path"]);
+    // An allow matching nothing is itself a finding.
+    let src = "// lint:allow(panic-path): stale\nfn f() -> u8 { 1 }\n";
+    assert_eq!(rules_of(&run(UNTRUSTED, src)), ["bad-suppression"]);
+}
+
+#[test]
+fn blame_output_is_exact_file_line_col_rule() {
+    // The fixture the acceptance criterion cares about: seeded
+    // violations must be blamed at their exact source position, and the
+    // rendered form must carry file, line, col, and rule name.
+    let src = "\
+fn decode(v: &[u8], n: usize) -> u16 {
+    let x = v[0];
+    let y = v.len() as u16;
+    y
+}
+";
+    let found = run(UNTRUSTED, src);
+    let rendered: Vec<String> = found.iter().map(|f| f.to_string()).collect();
+    assert_eq!(
+        rendered,
+        [
+            "crates/core/src/wire.rs:2:14: [panic-path] slice indexing in untrusted-input module — use .get(…) and return a typed error",
+            "crates/core/src/wire.rs:3:21: [truncating-cast] `len as u16` narrows a length/count-typed value — use u16::try_from and surface a typed error",
+        ]
+    );
+}
+
+#[test]
+fn every_rule_seeds_nonzero_in_untrusted_module() {
+    // One seeded violation per rule, each blamed under its own name —
+    // the end-to-end guarantee that the CI gate can never pass with a
+    // reintroduced bug of any of the four classes.
+    let cases = [
+        ("fn f(x: Option<u8>) { x.unwrap(); }\n", "panic-path"),
+        (
+            "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n",
+            "truncating-cast",
+        ),
+        (
+            "fn f(m: &std::sync::Mutex<u8>) { m.lock().unwrap(); }\n",
+            "lock-unwrap",
+        ),
+        (
+            "fn f(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n",
+            "unclamped-prealloc",
+        ),
+    ];
+    for (src, rule) in cases {
+        let found = run(UNTRUSTED, src);
+        assert!(
+            found.iter().any(|f| f.rule == rule),
+            "{rule} should fire on: {src}"
+        );
+    }
+}

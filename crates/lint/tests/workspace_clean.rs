@@ -1,0 +1,51 @@
+//! The ratchet: the real workspace must stay authlint-clean.
+//!
+//! Because this runs under plain `cargo test`, reintroducing a panic
+//! path, truncating cast, lock-unwrap, or unclamped preallocation into
+//! the codebase fails the tier-1 suite even before CI runs the
+//! dedicated `authlint --deny` gate.
+
+use authlint::{analyze_workspace, Config};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let report = analyze_workspace(workspace_root(), &Config::default())
+        .expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "authlint findings in the workspace:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_in_the_workspace_carries_a_reason() {
+    // `bad-suppression` findings (reason-less, unknown-rule, or unused
+    // allows) are findings like any other, so the zero-findings test
+    // above subsumes this — but assert the count explicitly so a future
+    // refactor that stops reporting them is caught.
+    let report = analyze_workspace(workspace_root(), &Config::default())
+        .expect("workspace scan must succeed");
+    assert!(
+        report.findings.iter().all(|f| f.rule != "bad-suppression"),
+        "malformed lint:allow in the workspace"
+    );
+    assert!(
+        report.suppressions >= 1,
+        "expected the workspace's documented lint:allow suppressions to be visible"
+    );
+}
