@@ -304,6 +304,11 @@ pub struct Connection {
     /// subsequent operation fails fast instead of misreading stale
     /// bytes as answers to new queries.
     desynced: bool,
+    /// Dial timeout used by [`Connection::connect_timeout`] and
+    /// remembered for [`Connection::reconnect`]; `None` dials with the
+    /// OS default (which can block for minutes against a black-holed
+    /// peer).
+    dial_timeout: Option<Duration>,
 }
 
 impl Connection {
@@ -334,14 +339,72 @@ impl Connection {
             addr,
             nodelay,
             desynced: false,
+            dial_timeout: None,
         })
+    }
+
+    /// [`Connection::connect`] with a bound on the TCP handshake
+    /// itself. `TcpStream::connect` can block for the OS's connect
+    /// timeout (minutes against a silently dropping peer); this helper
+    /// dials each resolved address with a nonblocking connect polled up
+    /// to `timeout` — the right client-side posture against the
+    /// event-driven server core, whose accept queue (not a per-thread
+    /// rendezvous) absorbs dial bursts. The timeout is remembered and
+    /// reused by [`Connection::reconnect`].
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        params: VerifierParams,
+        timeout: Duration,
+    ) -> io::Result<Connection> {
+        Connection::connect_timeout_with_nodelay(addr, params, timeout, true)
+    }
+
+    /// [`Connection::connect_timeout`] with `TCP_NODELAY` explicit (see
+    /// [`Connection::connect_with_nodelay`] for the trade-off).
+    pub fn connect_timeout_with_nodelay<A: ToSocketAddrs>(
+        addr: A,
+        params: VerifierParams,
+        timeout: Duration,
+        nodelay: bool,
+    ) -> io::Result<Connection> {
+        let mut last_err: Option<io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    if nodelay {
+                        stream.set_nodelay(true)?;
+                    }
+                    let addr = stream.peer_addr()?;
+                    return Ok(Connection {
+                        stream,
+                        client: Client::new(params),
+                        addr,
+                        nodelay,
+                        desynced: false,
+                        dial_timeout: Some(timeout),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to no candidates",
+            )
+        }))
     }
 
     /// Drop the current socket and dial the same server again, clearing
     /// any desynchronization — the transport is fresh; the verification
-    /// parameters (and their trust root) are unchanged.
+    /// parameters (and their trust root) are unchanged. A connection
+    /// opened with [`Connection::connect_timeout`] redials under the
+    /// same bound.
     pub fn reconnect(&mut self) -> io::Result<()> {
-        let stream = TcpStream::connect(self.addr)?;
+        let stream = match self.dial_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout)?,
+            None => TcpStream::connect(self.addr)?,
+        };
         if self.nodelay {
             stream.set_nodelay(true)?;
         }
@@ -887,6 +950,53 @@ mod tests {
         let (verified, response) = connection.query_terms(&pairs, 5).expect("verified");
         assert_eq!(verified.result, response.result);
         handle.shutdown();
+    }
+
+    #[test]
+    fn connect_timeout_dials_queries_and_redials_under_the_bound() {
+        let (engine, client, terms) = setup(Mechanism::TraCmht);
+        let params = client.params().clone();
+        let handle = crate::server::Server::start(
+            std::sync::Arc::new(engine),
+            "127.0.0.1:0",
+            crate::server::ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let mut connection =
+            Connection::connect_timeout(handle.addr(), params, Duration::from_secs(5))
+                .expect("bounded dial");
+        let mut pairs: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+        pairs.sort_unstable();
+        let (verified, response) = connection.query_terms(&pairs, 5).expect("verified");
+        assert_eq!(verified.result, response.result);
+        // Redial reuses the remembered bound and yields a working frame
+        // stream again.
+        connection.reconnect().expect("bounded redial");
+        let (verified, response) = connection.query_terms(&pairs, 5).expect("after redial");
+        assert_eq!(verified.result, response.result);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connect_timeout_to_a_dead_port_fails_rather_than_hanging() {
+        // Bind a port, then drop the listener: the port is known-dead,
+        // so the bounded dial must fail promptly (refused), not park.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            listener.local_addr().expect("probe addr").port()
+        };
+        let (_, client, _) = setup(Mechanism::TraCmht);
+        let started = std::time::Instant::now();
+        let result = Connection::connect_timeout(
+            ("127.0.0.1", port),
+            client.params().clone(),
+            Duration::from_secs(2),
+        );
+        assert!(result.is_err(), "dial to a dead port must not succeed");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "bounded dial must not hang"
+        );
     }
 
     #[test]

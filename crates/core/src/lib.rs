@@ -74,6 +74,8 @@ pub mod metrics;
 pub mod owner;
 pub mod pool;
 pub mod pscan;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod tnra;
 pub mod toy;
@@ -91,9 +93,12 @@ pub use auth::{
 pub use cache::LruCache;
 pub use client::{phrase_filter, Client, ClientNetError, Connection, RetryPolicy};
 pub use engine::{ParsedQuery, SearchEngine, TokenResolution};
-pub use metrics::{measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot};
+pub use metrics::{
+    measure, QueryMetrics, ServerMetrics, ServerMetricsSnapshot, TransportStats,
+    TransportStatsSnapshot,
+};
 pub use owner::{DataOwner, Publication};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerCore, ServerHandle};
 pub use types::{DocTable, ProcessingOutcome, Query, QueryMode, QueryResult, ResultEntry};
 pub use verify::{verify, verify_conjunctive, VerifiedResult, VerifierParams, VerifyError};
 pub use vo::{Mechanism, VerificationObject, VoSize};

@@ -97,6 +97,54 @@ impl ServerMetrics {
     }
 }
 
+/// Transport-level syscall counters, kept **separate** from
+/// [`ServerMetrics`] so that snapshot-equality comparisons between the
+/// threaded and reactor server cores stay meaningful: the two cores
+/// produce byte-identical `ServerMetrics`, but necessarily different
+/// syscall mixes (the whole point of the reactor is fewer of them).
+///
+/// Read with [`TransportStats::snapshot`]; divide by `requests_ok` for
+/// the syscalls-per-query figure reported in `BENCH_PR9.json`.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// `accept(2)` attempts (including the final `EAGAIN` probe that
+    /// ends an accept burst).
+    pub accepts: AtomicU64,
+    /// `read(2)`/`recv(2)` calls issued on connection sockets.
+    pub reads: AtomicU64,
+    /// `write(2)`/`writev(2)` calls issued on connection sockets.
+    pub writes: AtomicU64,
+    /// Readiness waits: `epoll_wait(2)` returns on the reactor core,
+    /// blocking-read poll ticks (`WouldBlock` wakeups) on the threaded
+    /// core.
+    pub polls: AtomicU64,
+}
+
+/// A point-in-time copy of [`TransportStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStatsSnapshot {
+    /// `accept(2)` attempts.
+    pub accepts: u64,
+    /// Socket read calls.
+    pub reads: u64,
+    /// Socket write calls.
+    pub writes: u64,
+    /// Readiness waits / poll ticks.
+    pub polls: u64,
+}
+
+impl TransportStats {
+    /// Read every counter at once (relaxed loads; counters are advisory).
+    pub fn snapshot(&self) -> TransportStatsSnapshot {
+        TransportStatsSnapshot {
+            accepts: self.accepts.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Measurements for one verified query.
 #[derive(Debug, Clone)]
 pub struct QueryMetrics {

@@ -1,0 +1,658 @@
+//! Minimal readiness reactor over raw Linux `epoll` — a hand-rolled
+//! `mio` subset, std-only.
+//!
+//! No async runtime or I/O crate exists in this build environment, so
+//! the event-driven server core ([`crate::server`]) carries its own
+//! readiness layer: [`Poll`] wraps an `epoll` instance created and
+//! driven through direct C-ABI declarations (the symbols are in the
+//! libc that `std` already links — no new dependency), [`Token`] and
+//! [`Interest`] mirror their `mio` namesakes, [`Waker`] provides the
+//! cross-thread wakeup fd that lets pool workers and `shutdown()`
+//! interrupt a blocked [`Poll::poll`], and [`TimerWheel`] turns idle
+//! and frame deadlines into O(1)-per-tick bookkeeping instead of
+//! per-connection poll intervals.
+//!
+//! **Platform surface:** `epoll` is Linux-only, and so is this module
+//! (`#[cfg(target_os = "linux")]` at the `lib.rs` declaration). On
+//! other platforms the server falls back to the threaded
+//! connection-per-thread core, which is pure std and runs everywhere —
+//! see [`crate::server::ServerCore`] for the selection story.
+//!
+//! Registration is **level-triggered**: a socket with unread bytes (or
+//! writable space) is reported on every [`Poll::poll`] until the
+//! condition clears. The connection state machine therefore never
+//! needs to drain-to-`WouldBlock` for correctness, only for
+//! efficiency, which keeps its partial-read/partial-write logic easy
+//! to verify — the property the 1-byte-at-a-time fuzz tests in
+//! `server/conn.rs` pin down.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// One `struct epoll_event`, ABI-compatible with the kernel's. On
+/// x86-64 the kernel declares it packed (a 12-byte struct); other
+/// architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+// The epoll syscall wrappers from the libc that std links. Declared by
+// hand because no `libc` crate exists in this image; signatures match
+// epoll_create1(2), epoll_ctl(2), epoll_wait(2), close(2).
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Caller-chosen identifier attached to a registration and echoed back
+/// in every [`Event`] for that fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// Which readiness conditions a registration subscribes to. An empty
+/// interest keeps the fd registered (errors and hangups are always
+/// reported by epoll) but delivers no read/write readiness — the state
+/// the server parks a connection in while its query runs on the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    bits: u32,
+}
+
+impl Interest {
+    /// No readiness subscription (errors/hangups still delivered).
+    pub const NONE: Interest = Interest { bits: 0 };
+    /// Readable readiness (includes peer half-close via `EPOLLRDHUP`).
+    pub const READABLE: Interest = Interest {
+        bits: EPOLLIN | EPOLLRDHUP,
+    };
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest { bits: EPOLLOUT };
+
+    /// Whether this interest includes readable readiness.
+    pub fn is_readable(self) -> bool {
+        self.bits & EPOLLIN != 0
+    }
+
+    /// Whether this interest includes writable readiness.
+    pub fn is_writable(self) -> bool {
+        self.bits & EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    /// Union of two interests.
+    fn bitor(self, other: Interest) -> Interest {
+        Interest {
+            bits: self.bits | other.bits,
+        }
+    }
+}
+
+/// One readiness notification from [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the ready fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Bytes (or EOF) are waiting to be read. Peer half-close
+    /// (`EPOLLRDHUP`) and full hangup both count — a read will return
+    /// promptly either way.
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0
+    }
+
+    /// The fd can accept more bytes without blocking.
+    pub fn is_writable(&self) -> bool {
+        self.bits & EPOLLOUT != 0
+    }
+
+    /// The fd is in an error state (e.g. connection reset); the owner
+    /// should close it.
+    pub fn is_error(&self) -> bool {
+        self.bits & EPOLLERR != 0
+    }
+
+    /// The peer hung up entirely.
+    pub fn is_hangup(&self) -> bool {
+        self.bits & EPOLLHUP != 0
+    }
+}
+
+/// Reusable buffer of readiness events for [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// An event buffer receiving at most `capacity` events per poll,
+    /// clamped to `[1, 4096]` — a bigger batch per `epoll_wait` return
+    /// buys nothing, and the clamp keeps the preallocation bounded.
+    // lint:allow(unclamped-prealloc): this is the definition, not a call — the body clamps the operator-chosen capacity to [1, 4096] on the next line
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.clamp(1, 4096);
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the most recent [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf.iter().take(self.len).map(|ev| {
+            // Copy out of the (potentially packed) struct before use.
+            let bits = ev.events;
+            let data = ev.data;
+            Event {
+                token: Token(data),
+                bits,
+            }
+        })
+    }
+
+    /// Whether the most recent poll delivered no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An `epoll` instance: register fds with a [`Token`] and an
+/// [`Interest`], then [`Poll::poll`] for readiness.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poll> {
+        // Safety: epoll_create1 takes a flags word and returns an fd or
+        // -1; no pointers cross the boundary.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, bits: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: bits,
+            data: token.0,
+        };
+        // Safety: `ev` outlives the call; the kernel copies it before
+        // returning. For EPOLL_CTL_DEL the kernel ignores the pointer
+        // (passing a valid one keeps pre-2.6.9 semantics happy anyway).
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start watching `fd` (level-triggered) under `token`.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest.bits, token)
+    }
+
+    /// Change an existing registration's interest (and/or token).
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest.bits, token)
+    }
+
+    /// Stop watching `fd`. Closing an fd deregisters it implicitly, but
+    /// an explicit deregister keeps the registration set in sync when a
+    /// socket must outlive its registration (e.g. handing it off).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Token(0))
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or a [`Waker`] fires. Returns the
+    /// number of events written into `events`. `EINTR` retries
+    /// internally with the timeout re-derived, so callers never see
+    /// spurious zero-event wakeups from signals.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let timeout_ms: c_int = match deadline {
+                None => -1,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    // Round up so we never spin on a sub-millisecond
+                    // remainder; clamp far-future deadlines to a day.
+                    let ms = left
+                        .as_millis()
+                        .saturating_add(u128::from(left.as_nanos() % 1_000_000 != 0));
+                    c_int::try_from(ms.min(86_400_000)).unwrap_or(c_int::MAX)
+                }
+            };
+            let max = c_int::try_from(events.buf.len()).unwrap_or(c_int::MAX);
+            // Safety: the buffer holds `events.buf.len()` properly
+            // initialized EpollEvent slots and `max` never exceeds it.
+            let rc = unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), max, timeout_ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    events.len = 0;
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                events.len = 0;
+                return Err(err);
+            }
+            let n = usize::try_from(rc).unwrap_or(0);
+            events.len = n.min(events.buf.len());
+            return Ok(events.len);
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // Safety: we own the fd and drop it exactly once.
+        unsafe {
+            let _ = close(self.epfd);
+        }
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poll::poll`].
+///
+/// Implemented over a nonblocking `UnixStream` pair instead of an
+/// `eventfd` so the only raw syscalls in this module are the epoll
+/// family: the read half is registered with the poll (readable
+/// interest) and [`Waker::wake`] writes one byte into the write half
+/// from any thread. Wakes coalesce — a full pipe means a wake is
+/// already pending, which is exactly the semantic wanted.
+pub struct Waker {
+    /// Write half; `wake()` is `&self` and the socket write is atomic
+    /// for one byte, so clones of the Arc'd waker can fire concurrently.
+    tx: UnixStream,
+    /// Read half, registered with the poll; `drain()` empties it.
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Build a waker from a fresh nonblocking socketpair.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd to register with the poll under the waker's token.
+    pub fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Make the owning poll's next (or current) `poll` call return.
+    /// Never blocks: a full pipe already guarantees a pending wake.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Consume pending wake bytes so level-triggered readiness clears.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut sink) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+/// A timer entry's identity: which connection, and which *arming* of
+/// that connection's deadline. The wheel never deletes — a connection
+/// that re-arms (new request, reply written) bumps its epoch and the
+/// stale entry is ignored when its slot comes around. Expiry is
+/// therefore a **candidate**, not a verdict: the owner re-checks the
+/// connection's real deadline and re-inserts when it moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// Owner id (the reactor uses connection ids and sentinels).
+    pub id: u64,
+    /// The arming generation; stale generations are ignored at expiry.
+    pub epoch: u64,
+}
+
+struct TimerSlotEntry {
+    entry: TimerEntry,
+    deadline_tick: u64,
+}
+
+/// Hashed timer wheel: deadlines bucketed into `tick`-wide slots. All
+/// operations are O(1) amortized per entry per revolution; with the
+/// server's 10 ms tick and 512 slots a 30-second idle deadline costs
+/// one re-bucket roughly every 5 seconds of its life. Coarseness is
+/// bounded by one tick (a deadline fires at most one tick late), which
+/// is far inside the tolerance of idle/write deadlines measured in
+/// hundreds of milliseconds to tens of seconds.
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerSlotEntry>>,
+    tick: Duration,
+    start: Instant,
+    /// Next tick index to sweep.
+    cursor: u64,
+    /// Live entries across all slots (stale epochs included — the owner
+    /// filters those; this only gates "is any timeout outstanding").
+    len: usize,
+    /// Smallest `deadline_tick` that may be present, for
+    /// [`TimerWheel::next_timeout`]. Re-derived on every sweep.
+    hint: Option<u64>,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide. 512 × 10 ms covers
+    /// a ~5 s revolution; longer deadlines survive extra revolutions in
+    /// place (each entry stores its absolute deadline tick).
+    pub fn new(slots: usize, tick: Duration) -> TimerWheel {
+        let slots = slots.max(2);
+        let tick = if tick.is_zero() {
+            Duration::from_millis(10)
+        } else {
+            tick
+        };
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            start: Instant::now(),
+            cursor: 0,
+            len: 0,
+            hint: None,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        let t = elapsed.as_nanos() / self.tick.as_nanos().max(1);
+        u64::try_from(t).unwrap_or(u64::MAX)
+    }
+
+    /// Arm `entry` to become an expiry candidate at `deadline` (rounded
+    /// up to the next tick boundary, so it never fires early).
+    pub fn insert(&mut self, deadline: Instant, entry: TimerEntry) {
+        let deadline_tick = self.tick_of(deadline).saturating_add(1);
+        let nslots = self.slots.len();
+        let idx = usize::try_from(deadline_tick % u64::try_from(nslots).unwrap_or(1)).unwrap_or(0);
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.push(TimerSlotEntry {
+                entry,
+                deadline_tick,
+            });
+            self.len += 1;
+            self.hint = Some(self.hint.map_or(deadline_tick, |h| h.min(deadline_tick)));
+        }
+    }
+
+    /// Sweep every tick between the last sweep and `now`, appending the
+    /// expired candidates to `expired`. Entries past their tick are
+    /// removed; the owner decides whether each one is a real timeout
+    /// (and re-inserts if the connection's deadline has moved).
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<TimerEntry>) {
+        let now_tick = self.tick_of(now);
+        if now_tick < self.cursor {
+            return;
+        }
+        let nslots = u64::try_from(self.slots.len()).unwrap_or(1);
+        let span = now_tick - self.cursor;
+        if span >= nslots {
+            // A full revolution (or more) passed: one pass over every
+            // slot sees every possible candidate.
+            for slot in self.slots.iter_mut() {
+                slot.retain(|e| {
+                    if e.deadline_tick <= now_tick {
+                        expired.push(e.entry);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        } else {
+            let mut t = self.cursor;
+            while t <= now_tick {
+                let idx = usize::try_from(t % nslots).unwrap_or(0);
+                if let Some(slot) = self.slots.get_mut(idx) {
+                    slot.retain(|e| {
+                        if e.deadline_tick <= now_tick {
+                            expired.push(e.entry);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                t += 1;
+            }
+        }
+        self.cursor = now_tick + 1;
+        self.len -= expired.len().min(self.len);
+        // Re-derive the earliest outstanding deadline for next_timeout.
+        self.hint = self
+            .slots
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.deadline_tick))
+            .min();
+    }
+
+    /// How long [`Poll::poll`] may sleep before the next deadline could
+    /// fire; `None` when no timers are armed.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let target_tick = self.hint?;
+        let nanos = self.tick.as_nanos().saturating_mul(u128::from(target_tick));
+        let offset = Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX));
+        let target = self.start.checked_add(offset)?;
+        Some(target.saturating_duration_since(now))
+    }
+
+    /// Are any entries armed (stale epochs included)?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn poll_reports_readable_unix_stream() {
+        let poll = Poll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        {
+            use std::os::fd::AsRawFd;
+            poll.register(b.as_raw_fd(), Token(7), Interest::READABLE)
+                .unwrap();
+        }
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet: a short poll times out empty.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        (&a).write_all(b"x").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        assert!(!ev.is_writable());
+        let mut byte = [0u8; 1];
+        (&b).read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn reregister_changes_interest() {
+        let poll = Poll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        use std::os::fd::AsRawFd;
+        (&a).write_all(b"y").unwrap();
+        poll.register(b.as_raw_fd(), Token(1), Interest::NONE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        // Interest NONE: pending bytes do not wake the poll.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "empty interest must not deliver readable");
+        poll.reregister(b.as_raw_fd(), Token(1), Interest::READABLE)
+            .unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        // Level-triggered: still reported until drained.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 1, "level-triggered readiness persists until read");
+        poll.deregister(b.as_raw_fd()).unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd delivers nothing");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_coalesces() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poll.register(waker.fd(), Token(0), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            // Many wakes from another thread coalesce into >= 1 event.
+            for _ in 0..1000 {
+                w.wake();
+            }
+        });
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().token(), Token(0));
+        t.join().unwrap();
+        waker.drain();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker is quiet");
+    }
+
+    #[test]
+    fn timer_wheel_orders_and_expires() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(5));
+        let t0 = Instant::now();
+        wheel.insert(
+            t0 + Duration::from_millis(10),
+            TimerEntry { id: 1, epoch: 0 },
+        );
+        wheel.insert(
+            t0 + Duration::from_millis(500),
+            TimerEntry { id: 2, epoch: 0 },
+        );
+        assert!(!wheel.is_empty());
+        let mut expired = Vec::new();
+        wheel.advance(t0, &mut expired);
+        assert!(expired.is_empty(), "nothing expires at insert time");
+        // Far enough for entry 1, not 2 — and 500ms > 8*5ms, so entry 2
+        // must survive multiple revolutions in place.
+        wheel.advance(t0 + Duration::from_millis(80), &mut expired);
+        assert_eq!(expired, vec![TimerEntry { id: 1, epoch: 0 }]);
+        expired.clear();
+        wheel.advance(t0 + Duration::from_millis(400), &mut expired);
+        assert!(
+            expired.is_empty(),
+            "multi-revolution entry fires only at its tick"
+        );
+        wheel.advance(t0 + Duration::from_millis(600), &mut expired);
+        assert_eq!(expired, vec![TimerEntry { id: 2, epoch: 0 }]);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_timeout(Instant::now()), None);
+    }
+
+    #[test]
+    fn timer_wheel_next_timeout_tracks_earliest() {
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10));
+        let t0 = Instant::now();
+        assert_eq!(wheel.next_timeout(t0), None);
+        wheel.insert(
+            t0 + Duration::from_millis(300),
+            TimerEntry { id: 9, epoch: 3 },
+        );
+        let wait = wheel.next_timeout(t0).unwrap();
+        assert!(
+            wait >= Duration::from_millis(290) && wait <= Duration::from_millis(330),
+            "{wait:?}"
+        );
+        wheel.insert(
+            t0 + Duration::from_millis(50),
+            TimerEntry { id: 4, epoch: 0 },
+        );
+        let wait = wheel.next_timeout(t0).unwrap();
+        assert!(wait <= Duration::from_millis(80), "{wait:?}");
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(120), &mut expired);
+        assert_eq!(expired, vec![TimerEntry { id: 4, epoch: 0 }]);
+        let wait = wheel.next_timeout(t0 + Duration::from_millis(120)).unwrap();
+        assert!(wait <= Duration::from_millis(210), "{wait:?}");
+    }
+
+    #[test]
+    fn poll_timeout_rounds_up_not_down() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(1);
+        let start = Instant::now();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_micros(1500)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // 1.5ms rounds up to 2ms, never down to 1ms-and-spin.
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+}

@@ -11,10 +11,28 @@
 //!
 //! ## Architecture
 //!
-//! * **Thread-per-connection acceptor**: a background acceptor thread
-//!   takes connections off the listener and hands each its own OS
-//!   thread, which owns the socket and does all framing I/O
-//!   ([`crate::wire`]: versioned length-prefixed frames).
+//! Two interchangeable transport cores sit behind one public API and
+//! one [`ServerMetrics`] contract ([`ServerCore`] selects; counters and
+//! reply frames are byte-identical across the two, enforced by the
+//! parity suite in `tests/server_reactor.rs`):
+//!
+//! * **Reactor core** (default on Linux, [`ServerCore::Reactor`]): a
+//!   single event-loop thread drives every connection through a
+//!   readiness reactor over raw `epoll` ([`crate::reactor`]). Each
+//!   connection is an explicit state machine (`ReadingHeader →
+//!   ReadingPayload → Dispatched → Writing`, the private `conn` module) over the
+//!   [`crate::wire`] frame codec; replies leave through vectored
+//!   writes from reused per-connection buffers (no staging copy, no
+//!   per-reply allocation at steady state); idle and write deadlines
+//!   are timer-wheel entries, so 10k+ parked connections cost zero
+//!   syscalls until a byte arrives.
+//! * **Threaded core** ([`ServerCore::Threaded`], the fallback on
+//!   non-Linux platforms): a background acceptor hands each connection
+//!   its own OS thread, which owns the socket and does blocking framing
+//!   I/O with a read-timeout poll tick.
+//!
+//! Shared by both cores:
+//!
 //! * **Persistent pool dispatch**: query execution is
 //!   [`submit`](crate::pool::ThreadPool::submit)-ted onto the engine's
 //!   persistent work-stealing pool
@@ -32,27 +50,80 @@
 //!   [`crate::wire::kind::REPLY_ERR`] frame (or at worst close that one
 //!   connection) — attacker-controlled input never panics the process
 //!   and never touches other connections.
-//! * **Graceful shutdown**: [`ServerHandle::shutdown`] stops the
-//!   acceptor, unblocks and joins every connection thread, and returns
-//!   the final [`ServerMetricsSnapshot`].
+//! * **Typed overload**: connections over
+//!   [`ServerConfig::max_connections`] are shed with a
+//!   [`crate::wire::errcode::BUSY`] frame; peers idling (or trickling)
+//!   past [`ServerConfig::idle_deadline`] are evicted with a
+//!   [`crate::wire::errcode::TIMEOUT`] frame — never a silent RST.
+//! * **Graceful shutdown**: [`ServerHandle::shutdown`] stops accepting,
+//!   drains in-flight replies, and returns the final
+//!   [`ServerMetricsSnapshot`].
+
+pub(crate) mod conn;
+#[cfg(target_os = "linux")]
+mod reactor_core;
+mod threaded;
 
 use crate::auth::{boot_authenticated_index, AuthConfig, BootReport, BootSource};
-use crate::cache::lock_recover;
 use crate::engine::SearchEngine;
-use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::metrics::{
+    ServerMetrics, ServerMetricsSnapshot, TransportStats, TransportStatsSnapshot,
+};
 use crate::pool::ThreadPool;
 use crate::types::{Query, QueryMode};
 use crate::wire::{self, Request, WireError};
 use crate::WarmStats;
 use authsearch_corpus::Corpus;
 use authsearch_corpus::TermId;
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Which transport core serves connections; see the [module
+/// docs](self) for the architecture of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// Single-threaded `epoll` event loop with per-connection state
+    /// machines ([`crate::reactor`]). Linux-only; selecting it on
+    /// another platform falls back to [`ServerCore::Threaded`] at
+    /// startup.
+    Reactor,
+    /// One blocking OS thread per connection (the pre-reactor core;
+    /// portable everywhere std is).
+    Threaded,
+}
+
+impl Default for ServerCore {
+    /// Reads `AUTHSEARCH_CORE` (`"reactor"` / `"threaded"`; a typo
+    /// warns once and is ignored), then platform default: the reactor
+    /// on Linux, the threaded core elsewhere.
+    fn default() -> ServerCore {
+        let platform = if cfg!(target_os = "linux") {
+            ServerCore::Reactor
+        } else {
+            ServerCore::Threaded
+        };
+        match std::env::var("AUTHSEARCH_CORE") {
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "reactor" => ServerCore::Reactor,
+                "threaded" => ServerCore::Threaded,
+                _ => {
+                    warn_once(
+                        "AUTHSEARCH_CORE",
+                        &format!(
+                            "warning: AUTHSEARCH_CORE={raw:?} is not \"reactor\" or \
+                             \"threaded\"; ignoring the override"
+                        ),
+                    );
+                    platform
+                }
+            },
+            Err(_) => platform,
+        }
+    }
+}
 
 /// Operational knobs of a [`Server`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +138,12 @@ pub struct ServerConfig {
     /// [`crate::wire::errcode::BAD_QUERY`] reply instead of letting a
     /// remote peer size engine-side allocations.
     pub max_r: usize,
-    /// Socket read poll interval: how long a connection thread blocks in
-    /// `read` before re-checking the shutdown flag. Bounds shutdown
-    /// latency for idle connections.
+    /// **Threaded core:** socket read poll interval — how long a
+    /// connection thread blocks in `read` before re-checking the
+    /// shutdown flag (bounds shutdown latency for idle connections).
+    /// **Reactor core:** the timer-wheel tick width — deadlines fire at
+    /// most this much late; the loop itself sleeps event-driven, not on
+    /// this interval.
     pub poll_interval: Duration,
     /// Admission cap: the most connections served simultaneously
     /// (`0` = unlimited, the pre-PR-5 behavior). A connection accepted
@@ -84,10 +158,11 @@ pub struct ServerConfig {
     /// long — parked between requests, or dribbling a partial frame
     /// (the slow-loris shape) — is answered with a
     /// [`crate::wire::errcode::TIMEOUT`] frame and closed, releasing
-    /// its thread. The clock restarts at every received byte **and**
+    /// its resources. The clock restarts at every received byte **and**
     /// every written reply, so time the *server* spends computing an
-    /// answer is never charged to the peer. `Duration::ZERO` disables
-    /// the deadline (consistent with
+    /// answer is never charged to the peer; a total per-frame budget
+    /// (`MIN_FRAME_BYTES_PER_SEC`) additionally bounds dribblers.
+    /// `Duration::ZERO` disables the deadline (consistent with
     /// [`ServerConfig::max_connections`]'s `0` = unlimited). The
     /// default reads `AUTHSEARCH_IDLE_MS` (unset = 30 seconds).
     pub idle_deadline: Duration,
@@ -95,7 +170,7 @@ pub struct ServerConfig {
     /// for the frame, not a per-`write(2)` stall timeout: a peer
     /// trickling its reads just fast enough to keep individual writes
     /// "making progress" is the slow-loris attack moved to the write
-    /// side, and it must not park the thread (or hang the graceful
+    /// side, and it must not park the connection (or hang the graceful
     /// shutdown, which waits for in-flight replies to drain) any longer
     /// than a fully stalled one. A peer that exceeds it is dropped and
     /// counted as timed out (nothing can be *sent* through a clogged
@@ -115,6 +190,10 @@ pub struct ServerConfig {
     /// [`ServerMetricsSnapshot::boot_fresh_builds`] — and the rebuilt
     /// artifact is written back so the next boot takes the fast path.
     pub snapshot_path: Option<std::path::PathBuf>,
+    /// Which transport core serves connections. The default reads
+    /// `AUTHSEARCH_CORE`, then picks the platform default (reactor on
+    /// Linux, threaded elsewhere) — see [`ServerCore`].
+    pub core: ServerCore,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +209,7 @@ impl Default for ServerConfig {
             write_timeout: DEFAULT_WRITE_TIMEOUT,
             nodelay: true,
             snapshot_path: None,
+            core: ServerCore::default(),
         }
     }
 }
@@ -142,14 +222,9 @@ pub const DEFAULT_IDLE_DEADLINE: Duration = Duration::from_secs(30);
 /// non-draining peer from hanging graceful shutdown).
 pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Write `bytes` completely within a **total** budget of `bound`. The
-/// socket's own write timeout caps any single stalled `write(2)`; the
-/// elapsed check caps the sum, so a trickle-reading peer cannot stretch
-/// one reply indefinitely by letting each call make token progress
-/// (worst case ≈ `bound` plus one socket write timeout).
 /// The write budget actually enforced: the configured value, or the
 /// default when configured zero (never unbounded).
-fn effective_write_timeout(config: &ServerConfig) -> Duration {
+pub(crate) fn effective_write_timeout(config: &ServerConfig) -> Duration {
     if config.write_timeout.is_zero() {
         DEFAULT_WRITE_TIMEOUT
     } else {
@@ -157,549 +232,166 @@ fn effective_write_timeout(config: &ServerConfig) -> Duration {
     }
 }
 
-fn write_all_bounded(mut stream: &TcpStream, bytes: &[u8], bound: Duration) -> io::Result<()> {
-    let start = std::time::Instant::now();
-    let mut written = 0;
-    while written < bytes.len() {
-        if start.elapsed() >= bound {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "peer not draining its replies",
-            ));
-        }
-        match stream.write(&bytes[written..]) {
-            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0")),
-            Ok(n) => written += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+/// Warn exactly once per process per `key` (a second malformed variable
+/// must not be masked by the first one's warning).
+fn warn_once(key: &str, message: &str) {
+    static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    if !warned.iter().any(|n| n == key) {
+        warned.push(key.to_string());
+        eprintln!("{message}");
     }
-    Ok(())
 }
 
 /// Read a `usize` environment override through the shared
-/// [`crate::auth::parse_usize_env`] grammar, warning (once per process
-/// *per variable* — a second malformed variable must not be masked by
-/// the first one's warning) and ignoring the value when it does not
-/// parse — a typo in a deployment manifest should surface in the logs,
-/// not silently change admission behavior.
+/// [`crate::auth::parse_usize_env`] grammar, warning and ignoring the
+/// value when it does not parse — a typo in a deployment manifest
+/// should surface in the logs, not silently change admission behavior.
 fn env_usize(name: &str) -> Option<usize> {
     let raw = std::env::var(name).ok()?;
     match crate::auth::parse_usize_env(name, &raw) {
         Ok(v) => Some(v),
         Err(why) => {
-            static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
-            let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
-            if !warned.iter().any(|n| n == name) {
-                warned.push(name.to_string());
-                eprintln!("warning: {why}; ignoring the override");
-            }
+            warn_once(name, &format!("warning: {why}; ignoring the override"));
             None
         }
     }
 }
 
-/// Handle to a running server; dropping it shuts the server down.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    state: Arc<ServerState>,
-    warmed: WarmStats,
-}
+/// Largest request payload the server will buffer. Well above the
+/// largest encodable request (u16-capped term pairs ≈ 512 KiB) and far
+/// below the wire format's [`wire::MAX_FRAME_PAYLOAD`], which exists
+/// for *replies*.
+pub const MAX_REQUEST_PAYLOAD: usize = 1 << 20;
 
-/// One live connection's registry slot: the monitoring socket clone
-/// (for unblocking reads at shutdown) and the handler thread (for
-/// joining; `None` briefly, between registration and spawn).
-type ConnEntry = (TcpStream, Option<JoinHandle<()>>);
+/// Minimum average inbound byte rate a mid-frame peer must sustain.
+/// Together with the per-gap idle deadline this bounds how long one
+/// frame can be stretched: a dribbler sending one byte per
+/// almost-deadline stays under the gap check but blows the total
+/// budget ([`frame_budget`]). Both cores enforce it — the threaded
+/// core re-checks at every poll tick, the reactor core arms a
+/// timer-wheel entry for the earlier of gap deadline and frame budget,
+/// so **total** header/payload time is bounded regardless of how the
+/// bytes trickle in.
+pub(crate) const MIN_FRAME_BYTES_PER_SEC: u64 = 1024;
 
-/// State shared by the acceptor and every connection thread.
-struct ServerState {
-    engine: Arc<SearchEngine>,
-    pool: Arc<ThreadPool>,
-    config: ServerConfig,
-    metrics: ServerMetrics,
-    shutdown: Arc<AtomicBool>,
-    /// Live connections by id. Each handler removes its own entry as
-    /// it exits, so an idle server holds no fds or join handles for
-    /// past connections — the map's size tracks *live* connections
-    /// only.
-    connections: Mutex<std::collections::HashMap<u64, ConnEntry>>,
-    /// Shed handshakes currently in flight (each owns a short-lived
-    /// thread writing the BUSY frame); bounded by
-    /// [`MAX_SHED_HANDSHAKES`] so a connect flood cannot turn the
-    /// refusal path itself into a thread bomb.
-    shedding: std::sync::atomic::AtomicU64,
-}
-
-/// The server front: binds, warms, and accepts.
-pub struct Server;
-
-impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), warm
-    /// the caches per `config`, and start accepting in the background.
-    /// Returns immediately; queries are served until
-    /// [`ServerHandle::shutdown`] (or drop).
-    pub fn start<A: ToSocketAddrs>(
-        engine: Arc<SearchEngine>,
-        addr: A,
-        config: ServerConfig,
-    ) -> io::Result<ServerHandle> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        // Warm start: populate the sharded LRUs with the hot head of the
-        // dictionary before the first connection lands.
-        let warm_top_k = config
-            .warm_top_k
-            .unwrap_or(engine.auth().config().term_cache_capacity);
-        let warmed = engine.auth().warm_cache(warm_top_k);
-        let pool = engine.auth().serve_pool();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let state = Arc::new(ServerState {
-            engine,
-            pool,
-            config,
-            metrics: ServerMetrics::default(),
-            shutdown: Arc::clone(&shutdown),
-            connections: Mutex::new(std::collections::HashMap::new()),
-            shedding: std::sync::atomic::AtomicU64::new(0),
-        });
-        let acceptor = {
-            let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name("authsearch-acceptor".into())
-                .spawn(move || accept_loop(listener, state))?
-        };
-        Ok(ServerHandle {
-            addr,
-            shutdown,
-            acceptor: Some(acceptor),
-            state,
-            warmed,
-        })
-    }
-
-    /// Boot the engine's artifact through the snapshot decision tree
-    /// ([`crate::auth::boot_authenticated_index`]) and start serving it.
-    ///
-    /// With [`ServerConfig::snapshot_path`] set and a valid snapshot on
-    /// disk, the server is up in near-O(1) — load, verify the owner's
-    /// signatures, serve — and `fallback` never runs. When the snapshot
-    /// is unconfigured, missing, stale, or corrupt, `fallback` rebuilds
-    /// the artifact (and the result is saved back, best effort). Either
-    /// way the outcome is visible twice: in the returned
-    /// [`BootReport`], and in the
-    /// [`boot_snapshot_loads`](ServerMetricsSnapshot::boot_snapshot_loads) /
-    /// [`boot_fresh_builds`](ServerMetricsSnapshot::boot_fresh_builds)
-    /// counters.
-    pub fn start_booted<A, F>(
-        corpus: Corpus,
-        expected: &AuthConfig,
-        fallback: F,
-        addr: A,
-        config: ServerConfig,
-    ) -> io::Result<(ServerHandle, BootReport)>
-    where
-        A: ToSocketAddrs,
-        F: FnOnce() -> crate::AuthenticatedIndex,
-    {
-        let (auth, report) =
-            boot_authenticated_index(config.snapshot_path.as_deref(), expected, fallback);
-        let engine = Arc::new(SearchEngine::new(auth, corpus));
-        let handle = Server::start(engine, addr, config)?;
-        let counter = match report.source {
-            BootSource::Snapshot => &handle.state.metrics.boot_snapshot_loads,
-            BootSource::FreshBuild => &handle.state.metrics.boot_fresh_builds,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        Ok((handle, report))
-    }
-}
-
-impl ServerHandle {
-    /// The bound address (the ephemeral port when started on `:0`).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// What startup warming materialized.
-    pub fn warmed(&self) -> WarmStats {
-        self.warmed
-    }
-
-    /// Live counters.
-    pub fn metrics(&self) -> ServerMetricsSnapshot {
-        self.state.metrics.snapshot()
-    }
-
-    /// Stop accepting, unblock and join every connection thread, join
-    /// the acceptor, and return the final counters. In-flight requests
-    /// finish; idle connections are closed.
-    pub fn shutdown(mut self) -> ServerMetricsSnapshot {
-        self.shutdown_impl();
-        self.state.metrics.snapshot()
-    }
-
-    fn shutdown_impl(&mut self) {
-        if self.acceptor.is_none() {
-            return;
-        }
-        self.shutdown.store(true, Ordering::Release);
-        // Fast-path wakeup for the acceptor; purely an optimization —
-        // the nonblocking accept loop re-checks the flag every poll
-        // interval regardless, so a failed connect (fd exhaustion)
-        // cannot hang shutdown.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Graceful drain: close only the **read** side first. Blocked
-        // readers wake with EOF (and the poll ticks observe the flag),
-        // but a handler that already consumed a request keeps a working
-        // write side, so its in-flight reply is delivered before the
-        // join below — shutting down never swallows an answer the
-        // server already owed.
-        let connections = std::mem::take(&mut *lock_recover(&self.state.connections));
-        for (stream, _) in connections.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        for (_, (stream, handle)) in connections {
-            if let Some(handle) = handle {
-                let _ = handle.join();
-            }
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        self.shutdown_impl();
-    }
-}
-
-/// Accept until shutdown; one OS thread per connection. The listener
-/// runs **nonblocking** with a poll interval, so shutdown can never
-/// hang on a blocked `accept` — the throwaway self-connect in
-/// [`ServerHandle::shutdown`] is only a fast path, not a correctness
-/// requirement (it can fail under fd exhaustion, exactly when an
-/// operator is most likely to be shutting the server down).
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
-    let _ = listener.set_nonblocking(true);
-    let mut next_id = 0u64;
-    loop {
-        if state.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
-            Err(_) => {
-                // WouldBlock is the idle tick; any other error (e.g.
-                // EMFILE under fd exhaustion) also waits out the poll
-                // interval — retrying immediately would spin a full
-                // core exactly when the host is resource-starved.
-                std::thread::sleep(state.config.poll_interval);
-                continue;
-            }
-        };
-        if state.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // The listener's nonblocking flag is inherited by accepted
-        // sockets on some platforms; connection I/O must block (with a
-        // read timeout) instead.
-        let _ = stream.set_nonblocking(false);
-        // Admission: at the cap, shed this connection with a typed BUSY
-        // reply instead of parking another thread on it. The registry
-        // holds live connections only (handlers self-prune on exit), so
-        // its size *is* the live count.
-        let live = lock_recover(&state.connections).len();
-        if state.config.max_connections > 0 && live >= state.config.max_connections {
-            shed_connection(stream, &state);
-            continue;
-        }
-        state.metrics.connections.fetch_add(1, Ordering::Relaxed);
-        let monitor = match stream.try_clone() {
-            Ok(clone) => clone,
-            Err(_) => continue,
-        };
-        let id = next_id;
-        next_id += 1;
-        // Register before spawning: the handler removes its own entry
-        // when it exits, and removal of a not-yet-registered entry
-        // would leak the monitor fd.
-        {
-            let mut connections = lock_recover(&state.connections);
-            connections.insert(id, (monitor, None));
-            state
-                .metrics
-                .active_highwater
-                .fetch_max(connections.len() as u64, Ordering::Relaxed);
-        }
-        let spawned = {
-            let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name(format!("authsearch-conn-{id}"))
-                .spawn(move || handle_connection(stream, state, id))
-        };
-        let mut connections = lock_recover(&state.connections);
-        match spawned {
-            // The handler may already have finished and removed its
-            // entry — only fill the slot if it is still present.
-            Ok(handle) => {
-                if let Some(entry) = connections.get_mut(&id) {
-                    entry.1 = Some(handle);
-                }
-            }
-            Err(_) => {
-                connections.remove(&id);
-            }
-        }
-    }
+/// Total time allowed to fill one `len`-byte buffer: one full idle gap
+/// (the wait for the first byte) plus the minimum-rate allowance for
+/// the bytes themselves. For the 10-byte header this is ≈ the idle
+/// deadline + 1 s; for a cap-sized request ≈ deadline + 17 min — long
+/// enough for any honest link, finite for every dribbler.
+pub(crate) fn frame_budget(idle_deadline: Duration, len: usize) -> Duration {
+    idle_deadline + Duration::from_secs(len as u64 / MIN_FRAME_BYTES_PER_SEC + 1)
 }
 
 /// Most shed handshakes allowed in flight at once. Refusing a
-/// connection politely takes a (short-lived) thread — writing the BUSY
-/// frame, then draining briefly so closing with unread request bytes
-/// does not turn into an RST that destroys the refusal in the peer's
-/// receive buffer. Past this bound the server is under a connect flood
-/// and sheds silently (drop), keeping the acceptor itself unblockable.
-const MAX_SHED_HANDSHAKES: u64 = 64;
+/// connection politely costs resources — on the threaded core a
+/// short-lived thread, on the reactor a registered fd — writing the
+/// BUSY frame, then draining briefly so closing with unread request
+/// bytes does not turn into an RST that destroys the refusal in the
+/// peer's receive buffer. Past this bound the server is under a
+/// connect flood and sheds silently (drop), keeping the acceptor
+/// itself unblockable.
+pub(crate) const MAX_SHED_HANDSHAKES: u64 = 64;
 
-/// Refuse one over-cap connection: typed BUSY reply, FIN (not RST),
-/// bounded drain, close. Runs on a detached short-lived thread so the
-/// acceptor never blocks on a slow refused peer.
-fn shed_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    state
-        .metrics
-        .connections_shed
-        .fetch_add(1, Ordering::Relaxed);
-    let inflight = state.shedding.fetch_add(1, Ordering::AcqRel);
-    if inflight >= MAX_SHED_HANDSHAKES {
-        // Connect flood: the polite path is saturated; dropping is the
-        // only shed that cannot be weaponized against the acceptor.
-        state.shedding.fetch_sub(1, Ordering::AcqRel);
-        return;
-    }
-    let outer = Arc::clone(state);
-    let state = Arc::clone(state);
-    let spawned = std::thread::Builder::new()
-        .name("authsearch-shed".into())
-        .spawn(move || {
-            let max = state.config.max_connections;
-            let message = format!("server at capacity ({max} connections); retry with backoff");
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-            if let Ok(bytes) = wire::encode_err_reply(wire::errcode::BUSY, &message) {
-                if (&stream).write_all(&bytes).is_ok() {
-                    state
-                        .metrics
-                        .bytes_out
-                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                }
-            }
-            // FIN first, then consume whatever request bytes are already
-            // in our receive buffer: closing with unread data provokes
-            // an RST on many stacks, which can wipe the BUSY frame out
-            // of the peer's receive buffer before it is read. The drain
-            // is bounded — a peer that keeps talking gets cut off.
-            let _ = stream.shutdown(Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-            let mut sink = [0u8; 1024];
-            for _ in 0..64 {
-                match (&stream).read(&mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {}
-                }
-            }
-            state.shedding.fetch_sub(1, Ordering::AcqRel);
-        });
-    if spawned.is_err() {
-        outer.shedding.fetch_sub(1, Ordering::AcqRel);
-    }
+/// The BUSY refusal text; one definition so both cores shed with
+/// byte-identical frames.
+pub(crate) fn busy_message(max_connections: usize) -> String {
+    format!("server at capacity ({max_connections} connections); retry with backoff")
 }
 
-/// Serve one connection, then close the underlying socket explicitly —
-/// the acceptor holds a monitoring clone of it (for shutdown
-/// unblocking), so dropping our handle alone would leave the peer
-/// waiting on a connection that is already dead.
-fn handle_connection(stream: TcpStream, state: Arc<ServerState>, id: u64) {
-    connection_loop(&stream, &state);
-    let _ = stream.shutdown(Shutdown::Both);
-    // Self-prune: drop the monitor clone (and our registry slot) so an
-    // idle server holds no resources for finished connections.
-    lock_recover(&state.connections).remove(&id);
+/// The TIMEOUT eviction text; one definition so both cores evict with
+/// byte-identical frames.
+pub(crate) fn idle_eviction_message(deadline: Duration) -> String {
+    format!("connection idle past the {deadline:?} deadline; reconnect to continue")
 }
 
-/// Why a [`read_full`] call stopped short of filling its buffer.
-enum ReadAbort {
-    /// EOF before the first byte: the peer closed cleanly between frames.
-    CleanEof,
-    /// No byte arrived within the idle deadline — the slow-loris shape
-    /// (or a parked connection); the caller owes the peer a typed
-    /// TIMEOUT reply before closing.
-    IdleExpired,
-    /// Server shutdown, mid-frame EOF, or a socket error; just close.
-    Fatal,
+/// The over-cap request refusal text; one definition for both cores.
+pub(crate) fn oversize_message(len: usize) -> String {
+    format!("request payload of {len} bytes exceeds the {MAX_REQUEST_PAYLOAD}-byte request cap")
 }
 
-/// Read frames and answer them until the peer hangs up, the bytes stop
-/// making sense, the idle deadline expires, or the server shuts down.
-/// Never panics on input.
-fn connection_loop(stream: &TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(state.config.poll_interval));
-    // The write bound is non-optional: a blocked `write` cannot be
-    // interrupted, so without it one non-draining peer would hang the
-    // graceful shutdown (which waits for in-flight replies). Zero falls
-    // back to the default instead of meaning "unbounded".
-    let write_timeout = effective_write_timeout(&state.config);
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let _ = stream.set_nodelay(state.config.nodelay);
-    // The idle clock restarts at every received byte, so a legitimately
-    // slow sender is never evicted mid-frame for link speed — but
-    // per-gap resets alone would let a peer *dribble* one byte per
-    // almost-deadline and stretch a frame indefinitely, so read_full
-    // additionally enforces a total per-buffer budget (frame_budget: a
-    // minimum average byte rate). It also restarts at every written
-    // reply (below), so server compute time is never charged to the
-    // peer's idle budget.
-    let mut last_byte = std::time::Instant::now();
-    loop {
-        // Frame header (tolerating read-timeout ticks between frames).
-        let mut header = [0u8; wire::FRAME_HEADER_LEN];
-        match read_full(stream, &mut header, state, &mut last_byte) {
-            Ok(()) => {}
-            Err(ReadAbort::CleanEof | ReadAbort::Fatal) => return,
-            Err(ReadAbort::IdleExpired) => return evict_idle(stream, state),
-        }
-        // Lenient header parse: magic, version, and payload length must
-        // check out (without them the frame boundary is unknowable and
-        // the connection must drop), but an *unknown kind* still has a
-        // trustworthy length — its payload is consumed below and
-        // `answer` turns it into a coded error reply, keeping the
-        // connection alive for forward compatibility.
-        let (kind, len) = match wire::decode_frame_header_any(&header) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                // Un-synchronizable: reply if possible, then drop the
-                // connection (we can no longer find frame boundaries).
-                let _ = send_error_frame(stream, state, wire::errcode::MALFORMED, &e.to_string());
-                return;
-            }
-        };
-        // Server-side request cap, far below the wire format's 64 MiB
-        // frame cap (which replies legitimately need): the largest
-        // encodable request is ~512 KiB of term pairs, so a bigger
-        // declaration is either garbage or an attempt to size our
-        // buffer — and consuming it would hand the dribble clock a
-        // 64 Mi-byte frame to stretch. Refuse and drop.
-        if len > MAX_REQUEST_PAYLOAD {
-            let _ = send_error_frame(
-                stream,
-                state,
-                wire::errcode::MALFORMED,
-                &format!(
-                    "request payload of {len} bytes exceeds the \
-                     {MAX_REQUEST_PAYLOAD}-byte request cap"
-                ),
-            );
-            return;
-        }
-        let mut payload = vec![0u8; len];
-        match read_full(stream, &mut payload, state, &mut last_byte) {
-            Ok(()) => {}
-            // Mid-frame EOF: the peer died inside a frame; just close.
-            Err(ReadAbort::CleanEof | ReadAbort::Fatal) => return,
-            Err(ReadAbort::IdleExpired) => return evict_idle(stream, state),
-        }
-        state
-            .metrics
-            .bytes_in
-            .fetch_add((wire::FRAME_HEADER_LEN + len) as u64, Ordering::Relaxed);
-        let bytes = match answer(kind, &payload, state) {
-            Ok(bytes) => bytes,
-            Err((code, message)) => {
-                if send_error_frame(stream, state, code, &message).is_err() {
-                    return;
-                }
-                // Serving the (failed) request consumed wall-clock the
-                // peer has no control over; don't charge it as idleness.
-                last_byte = std::time::Instant::now();
-                continue;
-            }
-        };
-        state
-            .metrics
-            .bytes_out
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        state.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
-        match write_all_bounded(stream, &bytes, write_timeout) {
-            Ok(()) => {}
-            Err(e) => {
-                if e.kind() == io::ErrorKind::TimedOut || e.kind() == io::ErrorKind::WouldBlock {
-                    // A non-draining peer is the write-side slow loris;
-                    // count the eviction (no frame can tell it so — the
-                    // pipe is the problem).
-                    state
-                        .metrics
-                        .connections_timed_out
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-        }
-        // Restart the idle clock only after the reply has fully
-        // drained: engine compute time AND our own (bounded) write time
-        // are the server's wall-clock, not the peer's silence — its
-        // next-request budget starts now.
-        last_byte = std::time::Instant::now();
-    }
+/// The INTERNAL error text for a panicked query worker.
+pub(crate) const WORKER_FAILED: &str = "query worker failed; connection remains usable";
+
+/// State shared by both transport cores: the engine, its persistent
+/// pool, the configuration, and every observable counter.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<SearchEngine>,
+    pub(crate) pool: Arc<ThreadPool>,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) transport: TransportStats,
+    pub(crate) shutdown: Arc<AtomicBool>,
 }
 
-/// Decode, validate, and execute one request on the persistent pool,
-/// returning the encoded OK reply or an error `(code, message)`.
-fn answer(kind: u8, payload: &[u8], state: &Arc<ServerState>) -> Result<Vec<u8>, (u8, String)> {
+/// A validated, decoded query ready for the pool: everything a worker
+/// needs to execute and encode the reply, nothing it needs the socket
+/// for.
+pub(crate) struct QueryJob {
+    pub(crate) pairs: Vec<(TermId, u32)>,
+    pub(crate) query: Query,
+    pub(crate) r: usize,
+    pub(crate) digest_mode: bool,
+    pub(crate) mode: QueryMode,
+}
+
+/// Decode and validate one request into a [`QueryJob`], or the coded
+/// error reply it deserves. Both cores call this on the connection's
+/// I/O side before spending any engine time.
+pub(crate) fn prepare_job(
+    kind: u8,
+    payload: &[u8],
+    engine: &SearchEngine,
+    max_r: usize,
+) -> Result<QueryJob, (u8, String)> {
     let request = Request::decode_payload(kind, payload)
         .map_err(|e| (wire::errcode::MALFORMED, e.to_string()))?;
-    // Validate before spending engine time.
-    let (pairs, query, r, want_digests, mode) =
-        prepare(&state.engine, request, state.config.max_r)?;
+    let (pairs, query, r, want_digests, mode) = prepare(engine, request, max_r)?;
     // Digest mode is honored only for TNRA deployments: TRA
     // verification hashes the delivered result contents against the
     // signed document-MHT roots, so stripping them would turn every
     // honest TRA reply into a rejection. TNRA verification never reads
     // them, so the verdict is unchanged (the falls-back-to-full-echo
     // contract the client handles).
-    let digest_mode = want_digests && !state.engine.auth().config().mechanism.is_tra();
-    // Dispatch onto the persistent pool: connection threads do I/O,
-    // pool workers do crypto. The channel observes completion; a
-    // panicking worker drops the sender, which surfaces as a coded
-    // internal error on this connection only.
-    let (tx, rx) = mpsc::channel();
-    let engine = Arc::clone(&state.engine);
-    state.pool.submit(move || {
-        let response = match mode {
-            QueryMode::Disjunctive => engine.search(&query, r),
-            QueryMode::Conjunctive => engine.search_conjunctive(&query, r),
-        };
-        let bytes = if digest_mode {
-            wire::encode_ok_digest_reply(&pairs, &response)
-        } else {
-            wire::encode_ok_reply(&pairs, &response)
-        };
-        let _ = tx.send(bytes);
-    });
-    match rx.recv() {
-        Ok(Ok(bytes)) => Ok(bytes),
-        Ok(Err(WireError::TooLong { field, len, max })) => Err((
+    let digest_mode = want_digests && !engine.auth().config().mechanism.is_tra();
+    Ok(QueryJob {
+        pairs,
+        query,
+        r,
+        digest_mode,
+        mode,
+    })
+}
+
+/// Execute a [`QueryJob`] and encode the reply **payload** into `buf`
+/// (cleared first), returning the reply frame kind. Runs on a pool
+/// worker in both cores.
+pub(crate) fn execute_job(
+    engine: &SearchEngine,
+    job: &QueryJob,
+    buf: &mut Vec<u8>,
+) -> Result<u8, WireError> {
+    let response = match job.mode {
+        QueryMode::Disjunctive => engine.search(&job.query, job.r),
+        QueryMode::Conjunctive => engine.search_conjunctive(&job.query, job.r),
+    };
+    if job.digest_mode {
+        wire::encode_ok_digest_reply_payload(&job.pairs, &response, buf)
+    } else {
+        wire::encode_ok_reply_payload(&job.pairs, &response, buf)
+    }
+}
+
+/// Map an encoding failure to the coded error reply the client sees;
+/// one definition so both cores reply byte-identically.
+pub(crate) fn unrepresentable(e: WireError) -> (u8, String) {
+    match e {
+        WireError::TooLong { field, len, max } => (
             wire::errcode::UNREPRESENTABLE,
             format!("response not representable: {field} holds {len} entries, wire carries {max}"),
-        )),
-        Ok(Err(e)) => Err((wire::errcode::UNREPRESENTABLE, e.to_string())),
-        Err(_) => Err((
-            wire::errcode::INTERNAL,
-            "query worker failed; connection remains usable".to_string(),
-        )),
+        ),
+        other => (wire::errcode::UNREPRESENTABLE, other.to_string()),
     }
 }
 
@@ -785,117 +477,168 @@ fn prepare(
     Ok((pairs, query, r, want_digests, mode))
 }
 
-fn send_error_frame(
-    mut stream: &TcpStream,
-    state: &Arc<ServerState>,
-    code: u8,
-    message: &str,
-) -> io::Result<()> {
-    state.metrics.requests_err.fetch_add(1, Ordering::Relaxed);
-    let bytes = wire::encode_err_reply(code, message)
-        .expect("error replies are always representable (message truncated to u16)");
-    state
-        .metrics
-        .bytes_out
-        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-    stream.write_all(&bytes)
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    warmed: WarmStats,
+    shared: Arc<Shared>,
+    inner: CoreHandle,
 }
 
-/// Largest request payload the server will buffer. Well above the
-/// largest encodable request (u16-capped term pairs ≈ 512 KiB) and far
-/// below the wire format's [`wire::MAX_FRAME_PAYLOAD`], which exists
-/// for *replies*.
-pub const MAX_REQUEST_PAYLOAD: usize = 1 << 20;
-
-/// Minimum average inbound byte rate a mid-frame peer must sustain.
-/// Together with the per-gap idle deadline this bounds how long one
-/// frame can be stretched: a dribbler sending one byte per
-/// almost-deadline stays under the gap check but blows the total
-/// budget ([`frame_budget`]).
-const MIN_FRAME_BYTES_PER_SEC: u64 = 1024;
-
-/// Total time allowed to fill one `len`-byte buffer: one full idle gap
-/// (the wait for the first byte) plus the minimum-rate allowance for
-/// the bytes themselves. For the 10-byte header this is ≈ the idle
-/// deadline + 1 s; for a cap-sized request ≈ deadline + 17 min — long
-/// enough for any honest link, finite for every dribbler.
-fn frame_budget(idle_deadline: Duration, len: usize) -> Duration {
-    idle_deadline + Duration::from_secs(len as u64 / MIN_FRAME_BYTES_PER_SEC + 1)
+/// The per-core shutdown machinery behind a [`ServerHandle`].
+enum CoreHandle {
+    Threaded(threaded::ThreadedHandle),
+    #[cfg(target_os = "linux")]
+    Reactor(reactor_core::ReactorHandle),
 }
 
-/// Fill `buf` completely, tolerating read-timeout ticks. At every tick
-/// the shutdown flag, the per-gap idle deadline, and the total
-/// [`frame_budget`] are re-checked — a peer that has sent nothing for
-/// [`ServerConfig::idle_deadline`], or is dribbling below the minimum
-/// frame rate, is reported as [`ReadAbort::IdleExpired`] so the caller
-/// can answer it with a typed TIMEOUT frame instead of holding the
-/// thread forever (the slow-loris fix, both the silent and the
-/// trickling variant). `last_byte` restarts at every received byte.
-fn read_full(
-    mut stream: &TcpStream,
-    buf: &mut [u8],
-    state: &Arc<ServerState>,
-    last_byte: &mut std::time::Instant,
-) -> Result<(), ReadAbort> {
-    let started = std::time::Instant::now();
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(if filled == 0 {
-                    ReadAbort::CleanEof
-                } else {
-                    ReadAbort::Fatal // peer closed mid-frame
-                });
+/// The server front: binds, warms, and accepts.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), warm
+    /// the caches per `config`, and start accepting in the background
+    /// on the configured [`ServerCore`]. Returns immediately; queries
+    /// are served until [`ServerHandle::shutdown`] (or drop).
+    pub fn start<A: ToSocketAddrs>(
+        engine: Arc<SearchEngine>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Warm start: populate the sharded LRUs with the hot head of the
+        // dictionary before the first connection lands.
+        let warm_top_k = config
+            .warm_top_k
+            .unwrap_or(engine.auth().config().term_cache_capacity);
+        let warmed = engine.auth().warm_cache(warm_top_k);
+        let pool = engine.auth().serve_pool();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let core = config.core;
+        let shared = Arc::new(Shared {
+            engine,
+            pool,
+            config,
+            metrics: ServerMetrics::default(),
+            transport: TransportStats::default(),
+            shutdown,
+        });
+        let inner = match core {
+            #[cfg(target_os = "linux")]
+            ServerCore::Reactor => {
+                CoreHandle::Reactor(reactor_core::start(listener, Arc::clone(&shared))?)
             }
-            Ok(n) => {
-                filled += n;
-                *last_byte = std::time::Instant::now();
+            #[cfg(not(target_os = "linux"))]
+            ServerCore::Reactor => {
+                // No epoll on this platform; the threaded core is the
+                // documented fallback.
+                CoreHandle::Threaded(threaded::start(listener, Arc::clone(&shared))?)
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return Err(ReadAbort::Fatal);
-                }
-                // A zero deadline disables eviction (0 = unlimited,
-                // like `max_connections`), not "evict instantly".
-                let deadline = state.config.idle_deadline;
-                if !deadline.is_zero()
-                    && (last_byte.elapsed() >= deadline
-                        || started.elapsed() >= frame_budget(deadline, buf.len()))
-                {
-                    return Err(ReadAbort::IdleExpired);
-                }
+            ServerCore::Threaded => {
+                CoreHandle::Threaded(threaded::start(listener, Arc::clone(&shared))?)
             }
-            Err(_) => return Err(ReadAbort::Fatal),
+        };
+        Ok(ServerHandle {
+            addr,
+            warmed,
+            shared,
+            inner,
+        })
+    }
+
+    /// Boot the engine's artifact through the snapshot decision tree
+    /// ([`crate::auth::boot_authenticated_index`]) and start serving it.
+    ///
+    /// With [`ServerConfig::snapshot_path`] set and a valid snapshot on
+    /// disk, the server is up in near-O(1) — load, verify the owner's
+    /// signatures, serve — and `fallback` never runs. When the snapshot
+    /// is unconfigured, missing, stale, or corrupt, `fallback` rebuilds
+    /// the artifact (and the result is saved back, best effort). Either
+    /// way the outcome is visible twice: in the returned
+    /// [`BootReport`], and in the
+    /// [`boot_snapshot_loads`](ServerMetricsSnapshot::boot_snapshot_loads) /
+    /// [`boot_fresh_builds`](ServerMetricsSnapshot::boot_fresh_builds)
+    /// counters.
+    pub fn start_booted<A, F>(
+        corpus: Corpus,
+        expected: &AuthConfig,
+        fallback: F,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<(ServerHandle, BootReport)>
+    where
+        A: ToSocketAddrs,
+        F: FnOnce() -> crate::AuthenticatedIndex,
+    {
+        let (auth, report) =
+            boot_authenticated_index(config.snapshot_path.as_deref(), expected, fallback);
+        let engine = Arc::new(SearchEngine::new(auth, corpus));
+        let handle = Server::start(engine, addr, config)?;
+        let counter = match report.source {
+            BootSource::Snapshot => &handle.shared.metrics.boot_snapshot_loads,
+            BootSource::FreshBuild => &handle.shared.metrics.boot_fresh_builds,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok((handle, report))
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (the ephemeral port when started on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What startup warming materialized.
+    pub fn warmed(&self) -> WarmStats {
+        self.warmed
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Transport-level diagnostics: syscalls issued by the serving core
+    /// (reads, writes, accepts, poll wakeups). Deliberately **not**
+    /// part of [`ServerMetricsSnapshot`] — the two cores are
+    /// byte-identical on the metrics contract but necessarily differ
+    /// here (that difference is the perf story `bench_pr9` measures).
+    pub fn transport_stats(&self) -> TransportStatsSnapshot {
+        self.shared.transport.snapshot()
+    }
+
+    /// Which core is serving this handle (after any platform fallback).
+    pub fn core(&self) -> ServerCore {
+        match self.inner {
+            CoreHandle::Threaded(_) => ServerCore::Threaded,
+            #[cfg(target_os = "linux")]
+            CoreHandle::Reactor(_) => ServerCore::Reactor,
         }
     }
-    Ok(())
+
+    /// Stop accepting, drain in-flight replies, release every
+    /// connection, and return the final counters. In-flight requests
+    /// finish; idle connections are closed.
+    pub fn shutdown(mut self) -> ServerMetricsSnapshot {
+        self.shutdown_impl();
+        self.shared.metrics.snapshot()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        match &mut self.inner {
+            CoreHandle::Threaded(h) => h.shutdown(self.addr),
+            #[cfg(target_os = "linux")]
+            CoreHandle::Reactor(h) => h.shutdown(),
+        }
+    }
 }
 
-/// Evict a peer that outlived the idle deadline: typed TIMEOUT reply
-/// (best effort — the write side has its own timeout), then the caller
-/// closes the socket. Shed with an answer, never a silent RST. Counted
-/// as a timed-out *connection*, not a request error — no request was
-/// ever completed.
-fn evict_idle(mut stream: &TcpStream, state: &Arc<ServerState>) {
-    state
-        .metrics
-        .connections_timed_out
-        .fetch_add(1, Ordering::Relaxed);
-    let deadline = state.config.idle_deadline;
-    let bytes = wire::encode_err_reply(
-        wire::errcode::TIMEOUT,
-        &format!("connection idle past the {deadline:?} deadline; reconnect to continue"),
-    )
-    .expect("error replies are always representable");
-    if stream.write_all(&bytes).is_ok() {
-        state
-            .metrics
-            .bytes_out
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
     }
 }
 
@@ -907,6 +650,8 @@ mod tests {
     use crate::vo::Mechanism;
     use authsearch_corpus::CorpusBuilder;
     use authsearch_crypto::keys::TEST_KEY_BITS;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn test_engine(mechanism: Mechanism) -> (Arc<SearchEngine>, crate::verify::VerifierParams) {
         let corpus = CorpusBuilder::new()
@@ -1371,9 +1116,9 @@ mod tests {
             want_digests: false,
         };
         stream.write_all(&request.encode_frame().unwrap()).unwrap();
-        // Give the connection thread time to consume the frame, then
-        // shut down while the reply may still be in flight: the drain
-        // contract says a request the server accepted is answered.
+        // Give the server time to consume the frame, then shut down
+        // while the reply may still be in flight: the drain contract
+        // says a request the server accepted is answered.
         std::thread::sleep(Duration::from_millis(150));
         let stats = handle.shutdown();
         assert_eq!(stats.requests_ok, 1, "the in-flight request completed");
@@ -1458,5 +1203,41 @@ mod tests {
             Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
         assert_eq!(auto.warmed().terms, m);
         auto.shutdown();
+    }
+
+    #[test]
+    fn both_cores_are_selectable_and_reported() {
+        let (engine, _) = test_engine(Mechanism::TnraCmht);
+        for core in [ServerCore::Threaded, ServerCore::Reactor] {
+            let handle = Server::start(
+                Arc::clone(&engine),
+                "127.0.0.1:0",
+                ServerConfig {
+                    core,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            if cfg!(target_os = "linux") {
+                assert_eq!(handle.core(), core);
+            } else {
+                assert_eq!(handle.core(), ServerCore::Threaded);
+            }
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            match roundtrip(
+                &mut stream,
+                &Request::Text {
+                    text: "night keeper".into(),
+                    r: 2,
+                    want_digests: false,
+                },
+            ) {
+                wire::Reply::Ok { .. } => {}
+                other => panic!("{core:?} core must serve: {other:?}"),
+            }
+            drop(stream);
+            let stats = handle.shutdown();
+            assert_eq!(stats.requests_ok, 1);
+        }
     }
 }

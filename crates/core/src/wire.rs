@@ -820,7 +820,28 @@ pub fn encode_ok_reply(
     terms: &[(TermId, u32)],
     response: &QueryResponse,
 ) -> Result<Vec<u8>, WireError> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut payload = Vec::new();
+    let kind = encode_ok_reply_payload(terms, response, &mut payload)?;
+    frame(kind, payload)
+}
+
+/// Serialize a successful reply **payload only** into a caller-owned
+/// buffer (cleared first), returning the frame kind to put in the
+/// header. This is the zero-copy path the reactor core uses: the
+/// 10-byte header lives on the caller's stack and goes out through a
+/// vectored write alongside this buffer, so a reply costs no staging
+/// copy and — once the connection's buffer has grown to its working
+/// size — no allocation. [`encode_ok_reply`] is this plus
+/// framing.
+pub fn encode_ok_reply_payload(
+    terms: &[(TermId, u32)],
+    response: &QueryResponse,
+    payload: &mut Vec<u8>,
+) -> Result<u8, WireError> {
+    payload.clear();
+    let mut w = Writer {
+        buf: std::mem::take(payload),
+    };
     write_ok_head(&mut w, terms, response)?;
     // Result-document contents.
     w.len32(response.contents.len(), "result contents")?;
@@ -830,7 +851,8 @@ pub fn encode_ok_reply(
         w.buf.extend_from_slice(bytes);
     }
     write_ok_tail(&mut w, response)?;
-    frame(kind::REPLY_OK, w.buf)
+    *payload = w.buf;
+    Ok(kind::REPLY_OK)
 }
 
 /// Serialize a digest-mode reply ([`Reply::OkDigest`]): identical to
@@ -841,7 +863,22 @@ pub fn encode_ok_digest_reply(
     terms: &[(TermId, u32)],
     response: &QueryResponse,
 ) -> Result<Vec<u8>, WireError> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut payload = Vec::new();
+    let kind = encode_ok_digest_reply_payload(terms, response, &mut payload)?;
+    frame(kind, payload)
+}
+
+/// Payload-only variant of [`encode_ok_digest_reply`]; see
+/// [`encode_ok_reply_payload`] for the reuse contract.
+pub fn encode_ok_digest_reply_payload(
+    terms: &[(TermId, u32)],
+    response: &QueryResponse,
+    payload: &mut Vec<u8>,
+) -> Result<u8, WireError> {
+    payload.clear();
+    let mut w = Writer {
+        buf: std::mem::take(payload),
+    };
     write_ok_head(&mut w, terms, response)?;
     let digests = response.content_digests();
     w.len32(digests.len(), "content digests")?;
@@ -850,16 +887,32 @@ pub fn encode_ok_digest_reply(
         w.digest(digest);
     }
     write_ok_tail(&mut w, response)?;
-    frame(kind::REPLY_OK_DIGEST, w.buf)
+    *payload = w.buf;
+    Ok(kind::REPLY_OK_DIGEST)
 }
 
 /// Serialize an error reply to a complete frame.
 pub fn encode_err_reply(code: u8, message: &str) -> Result<Vec<u8>, WireError> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut payload = Vec::new();
+    let kind = encode_err_reply_payload(code, message, &mut payload)?;
+    frame(kind, payload)
+}
+
+/// Payload-only variant of [`encode_err_reply`]; see
+/// [`encode_ok_reply_payload`] for the reuse contract. Like the framed
+/// form it truncates rather than fails — an error reply must always be
+/// representable — and truncates on a char boundary, so the peer's
+/// UTF-8 validation accepts what we send.
+pub fn encode_err_reply_payload(
+    code: u8,
+    message: &str,
+    payload: &mut Vec<u8>,
+) -> Result<u8, WireError> {
+    payload.clear();
+    let mut w = Writer {
+        buf: std::mem::take(payload),
+    };
     w.u8(code);
-    // Truncate rather than fail — an error reply must always be
-    // representable — and truncate on a char boundary, so the peer's
-    // UTF-8 validation accepts what we send.
     let mut end = message.len().min(u16::MAX as usize);
     while !message.is_char_boundary(end) {
         end -= 1;
@@ -868,7 +921,8 @@ pub fn encode_err_reply(code: u8, message: &str) -> Result<Vec<u8>, WireError> {
         message.as_bytes().get(..end).unwrap_or_default(),
         "error message",
     )?;
-    frame(kind::REPLY_ERR, w.buf)
+    *payload = w.buf;
+    Ok(kind::REPLY_ERR)
 }
 
 /// Deserialize a reply payload of the given frame kind.

@@ -119,11 +119,15 @@ impl Montgomery {
         self.unpad(&t[..self.k])
     }
 
-    /// Montgomery squaring (one-shot wrapper over the CIOS kernel; the
-    /// exponentiation loop below calls the kernel directly on reused
-    /// buffers instead).
+    /// Montgomery squaring (one-shot wrapper over the fused squaring
+    /// kernel; the exponentiation loop below calls the kernel directly
+    /// on reused buffers instead).
     pub fn sqr(&self, a_m: &BigUint) -> BigUint {
-        self.mul(a_m, a_m)
+        debug_assert!(a_m < &self.n);
+        let a_pad = self.pad(a_m);
+        let mut t = vec![0u64; self.k + 2];
+        self.cios_sqr(&a_pad, &mut t);
+        self.unpad(&t[..self.k])
     }
 
     /// Zero-pad a reduced value to exactly `k` limbs.
@@ -149,50 +153,39 @@ impl Montgomery {
     /// accumulator, fold one limb with `m = t_0 · (-n⁻¹) mod 2^64`, and
     /// shift right one limb in place — no quotient estimation, no
     /// `2k`-limb intermediate.
+    ///
+    /// The paper's two key widths get dedicated monomorphized kernels
+    /// ([`cios_fixed`]): `k = 8` covers 512-bit moduli (test keys and
+    /// 1024-bit CRT halves) and `k = 16` covers 1024-bit moduli (the
+    /// paper's verify path). Both run the *same* round helpers as the
+    /// generic path — specialization changes the machine code, never
+    /// the limb arithmetic — so outputs are bit-identical by
+    /// construction (and enforced by tests).
     fn cios(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
         let k = self.k;
         debug_assert!(a.len() == k && b.len() == k && t.len() == k + 2);
         let n = &self.n.limbs;
-        t.fill(0);
-        for &ai in a {
-            // Multiply step: t += a_i · b.
-            if ai != 0 {
-                let mut carry: u64 = 0;
-                for (tj, &bj) in t[..k].iter_mut().zip(b) {
-                    let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry as u128;
-                    *tj = cur as u64;
-                    carry = (cur >> 64) as u64;
-                }
-                let cur = t[k] as u128 + carry as u128;
-                t[k] = cur as u64;
-                t[k + 1] += (cur >> 64) as u64;
-            }
-            // Reduce step: t = (t + m·n) / 2^64, in place.
-            let m = t[0].wrapping_mul(self.n0_inv);
-            let cur = t[0] as u128 + (m as u128) * (n[0] as u128);
-            debug_assert_eq!(cur as u64, 0);
-            let mut carry = (cur >> 64) as u64;
-            for j in 1..k {
-                let cur = t[j] as u128 + (m as u128) * (n[j] as u128) + carry as u128;
-                t[j - 1] = cur as u64;
-                carry = (cur >> 64) as u64;
-            }
-            let cur = t[k] as u128 + carry as u128;
-            t[k - 1] = cur as u64;
-            t[k] = t[k + 1] + ((cur >> 64) as u64);
-            t[k + 1] = 0;
+        match k {
+            8 => cios_fixed::<8, 10>(n, self.n0_inv, a, b, t),
+            16 => cios_fixed::<16, 18>(n, self.n0_inv, a, b, t),
+            _ => cios_kernel(n, self.n0_inv, a, b, t, k),
         }
-        // Conditional subtract: the accumulator holds a value < 2n.
-        if t[k] != 0 || !slice_lt(&t[..k], n) {
-            let mut borrow = 0u64;
-            for (tj, &nj) in t[..k].iter_mut().zip(n) {
-                let (d1, b1) = tj.overflowing_sub(nj);
-                let (d2, b2) = d1.overflowing_sub(borrow);
-                *tj = d2;
-                borrow = (b1 | b2) as u64;
-            }
-            debug_assert_eq!(t[k], borrow, "subtraction must consume the top limb");
-            t[k] = 0;
+    }
+
+    /// Fused square-and-reduce: `t[..k] = REDC(a²)`, same contract as
+    /// [`Self::cios`] with one operand. The squaring kernel computes
+    /// only the upper-triangle products and doubles them in-flight, so
+    /// each round's multiply step shrinks from `k` limb products to
+    /// `k - i` — roughly half the multiplies of `cios(a, a, t)` over
+    /// the whole reduction, with the REDC folding unchanged.
+    fn cios_sqr(&self, a: &[u64], t: &mut [u64]) {
+        let k = self.k;
+        debug_assert!(a.len() == k && t.len() == k + 2);
+        let n = &self.n.limbs;
+        match k {
+            8 => cios_sqr_fixed::<8, 10>(n, self.n0_inv, a, t),
+            16 => cios_sqr_fixed::<16, 18>(n, self.n0_inv, a, t),
+            _ => cios_sqr_kernel(n, self.n0_inv, a, t, k),
         }
     }
 
@@ -270,12 +263,14 @@ impl Montgomery {
         self.unpad(&acc[..k])
     }
 
-    /// `acc = REDC(acc²)`, ping-ponging between `acc` and `scratch`
-    /// (the kernel only reads `acc` and only writes `scratch`, so the
-    /// swap costs two pointer exchanges, not a copy).
+    /// `acc = REDC(acc²)` through the fused squaring kernel,
+    /// ping-ponging between `acc` and `scratch` (the kernel only reads
+    /// `acc` and only writes `scratch`, so the swap costs two pointer
+    /// exchanges, not a copy). This is the square step of the window
+    /// exponentiation — the bulk of every sign/verify.
     fn sqr_in_place(&self, acc: &mut Vec<u64>, scratch: &mut Vec<u64>) {
         let k = self.k;
-        self.cios(&acc[..k], &acc[..k], scratch);
+        self.cios_sqr(&acc[..k], scratch);
         std::mem::swap(acc, scratch);
     }
 
@@ -284,6 +279,209 @@ impl Montgomery {
         let k = self.k;
         self.cios(&acc[..k], b, scratch);
         std::mem::swap(acc, scratch);
+    }
+}
+
+/// Multiply step of one CIOS round: `t += a_i · b` (local offset 0;
+/// the accumulator has already been shifted once per completed round,
+/// so this lands row `i` at absolute offset `i`).
+#[inline(always)]
+fn mul_round(ai: u64, b: &[u64], t: &mut [u64], k: usize) {
+    if ai == 0 {
+        return;
+    }
+    let mut carry: u64 = 0;
+    for (tj, &bj) in t[..k].iter_mut().zip(b) {
+        let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry as u128;
+        *tj = cur as u64;
+        carry = (cur >> 64) as u64;
+    }
+    let cur = t[k] as u128 + carry as u128;
+    t[k] = cur as u64;
+    t[k + 1] += (cur >> 64) as u64;
+}
+
+/// Multiply step of one *squaring* round: the diagonal `a_i²` at local
+/// position `i` plus the doubled upper triangle `2·a_i·a_j` at `j` for
+/// `j > i`. The lower triangle never gets computed — round
+/// `min(p, q)` already added each cross product, doubled — which is
+/// what makes the local write positions stationary across rounds and
+/// keeps `t[0]` complete for the REDC fold below.
+///
+/// Doubling a 128-bit product can carry past 2¹²⁸, so the product is
+/// split into `(hi, lo)` halves, shifted as
+/// `2p = e·2¹²⁸ + hi2·2⁶⁴ + lo2` with `e = hi >> 63`, and accumulated
+/// through a two-limb `u128` carry chain (`carry < 2⁶⁶`, so the chain
+/// sums stay well inside `u128`).
+#[inline(always)]
+fn sqr_round(i: usize, a: &[u64], t: &mut [u64], k: usize) {
+    let ai = a[i];
+    if ai == 0 {
+        return;
+    }
+    let p = (ai as u128) * (ai as u128);
+    let sum = t[i] as u128 + (p as u64) as u128;
+    t[i] = sum as u64;
+    let mut carry: u128 = (sum >> 64) + (p >> 64);
+    for j in i + 1..k {
+        let p = (ai as u128) * (a[j] as u128);
+        let lo = p as u64;
+        let hi = (p >> 64) as u64;
+        let lo2 = lo << 1;
+        let hi2 = (hi << 1) | (lo >> 63);
+        let e = hi >> 63;
+        let sum = t[j] as u128 + lo2 as u128 + carry;
+        t[j] = sum as u64;
+        carry = (sum >> 64) + hi2 as u128 + ((e as u128) << 64);
+    }
+    let sum = t[k] as u128 + carry;
+    t[k] = sum as u64;
+    t[k + 1] += (sum >> 64) as u64;
+}
+
+/// Reduce step of one CIOS round: `t = (t + m·n) / 2⁶⁴` in place, with
+/// `m = t_0 · (-n⁻¹) mod 2⁶⁴` chosen so the low limb folds to zero.
+#[inline(always)]
+fn redc_round(n: &[u64], n0_inv: u64, t: &mut [u64], k: usize) {
+    let m = t[0].wrapping_mul(n0_inv);
+    let cur = t[0] as u128 + (m as u128) * (n[0] as u128);
+    debug_assert_eq!(cur as u64, 0);
+    let mut carry = (cur >> 64) as u64;
+    for j in 1..k {
+        let cur = t[j] as u128 + (m as u128) * (n[j] as u128) + carry as u128;
+        t[j - 1] = cur as u64;
+        carry = (cur >> 64) as u64;
+    }
+    let cur = t[k] as u128 + carry as u128;
+    t[k - 1] = cur as u64;
+    t[k] = t[k + 1] + ((cur >> 64) as u64);
+    t[k + 1] = 0;
+}
+
+/// Final conditional subtract: the accumulator holds a value < 2n.
+#[inline(always)]
+fn redc_finish(n: &[u64], t: &mut [u64], k: usize) {
+    if t[k] != 0 || !slice_lt(&t[..k], n) {
+        let mut borrow = 0u64;
+        for (tj, &nj) in t[..k].iter_mut().zip(n) {
+            let (d1, b1) = tj.overflowing_sub(nj);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *tj = d2;
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(t[k], borrow, "subtraction must consume the top limb");
+        t[k] = 0;
+    }
+}
+
+/// The generic (runtime-`k`) multiply kernel: `t[..k] = REDC(a · b)`.
+#[inline(always)]
+fn cios_kernel(n: &[u64], n0_inv: u64, a: &[u64], b: &[u64], t: &mut [u64], k: usize) {
+    t.fill(0);
+    for &ai in &a[..k] {
+        mul_round(ai, b, t, k);
+        redc_round(n, n0_inv, t, k);
+    }
+    redc_finish(n, t, k);
+}
+
+/// The generic (runtime-`k`) fused squaring kernel:
+/// `t[..k] = REDC(a²)` via the upper triangle + doubling.
+#[inline(always)]
+fn cios_sqr_kernel(n: &[u64], n0_inv: u64, a: &[u64], t: &mut [u64], k: usize) {
+    t.fill(0);
+    for i in 0..k {
+        sqr_round(i, a, t, k);
+        redc_round(n, n0_inv, t, k);
+    }
+    redc_finish(n, t, k);
+}
+
+/// Fixed-width multiply kernel: copies the operands into `K`-limb
+/// stack arrays and runs [`cios_kernel`] monomorphized with `k = K`
+/// (`K2 = K + 2` scratch limbs), so every inner loop has a
+/// compile-time trip count and array-backed bounds. The copies are a
+/// few cache lines against a kernel of `~2K²` limb multiplies.
+fn cios_fixed<const K: usize, const K2: usize>(
+    n: &[u64],
+    n0_inv: u64,
+    a: &[u64],
+    b: &[u64],
+    t_out: &mut [u64],
+) {
+    debug_assert!(K2 == K + 2 && n.len() == K && t_out.len() == K2);
+    let mut n_s = [0u64; K];
+    let mut a_s = [0u64; K];
+    let mut b_s = [0u64; K];
+    n_s.copy_from_slice(&n[..K]);
+    a_s.copy_from_slice(&a[..K]);
+    b_s.copy_from_slice(&b[..K]);
+    let mut t = [0u64; K2];
+    cios_kernel(&n_s, n0_inv, &a_s, &b_s, &mut t, K);
+    t_out.copy_from_slice(&t);
+}
+
+/// Fixed-width fused squaring kernel; see [`cios_fixed`].
+fn cios_sqr_fixed<const K: usize, const K2: usize>(
+    n: &[u64],
+    n0_inv: u64,
+    a: &[u64],
+    t_out: &mut [u64],
+) {
+    debug_assert!(K2 == K + 2 && n.len() == K && t_out.len() == K2);
+    let mut n_s = [0u64; K];
+    let mut a_s = [0u64; K];
+    n_s.copy_from_slice(&n[..K]);
+    a_s.copy_from_slice(&a[..K]);
+    let mut t = [0u64; K2];
+    cios_sqr_kernel(&n_s, n0_inv, &a_s, &mut t, K);
+    t_out.copy_from_slice(&t);
+}
+
+/// Bench-only access to the raw REDC kernels — lets `bench_pr9` time
+/// the generic CIOS path against the fixed-width and fused-squaring
+/// kernels *at the same widths*, which the normal dispatch never does.
+/// Hidden from docs; no stability promise.
+#[doc(hidden)]
+pub mod bench_kernels {
+    use super::*;
+
+    /// Which kernel [`redc_reps`] drives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BenchKernel {
+        /// Generic multiply kernel, dispatch bypassed (the PR-1 path).
+        MulGeneric,
+        /// Dispatched multiply (fixed-width at k = 8/16).
+        MulDispatch,
+        /// Squaring as a generic self-multiply (the PR-1 square step).
+        SqrViaGenericMul,
+        /// Fused squaring kernel, generic width.
+        SqrGenericFused,
+        /// Dispatched squaring (fixed-width fused at k = 8/16).
+        SqrDispatch,
+    }
+
+    /// Run `reps` chained REDC passes (each output feeds the next
+    /// input, like the square ladder of a real exponentiation) over
+    /// reused buffers, and return a result limb so the chain cannot be
+    /// optimized away.
+    pub fn redc_reps(ctx: &Montgomery, seed: &BigUint, reps: usize, kernel: BenchKernel) -> u64 {
+        let k = ctx.k;
+        let a = ctx.pad(&ctx.to_montgomery(seed));
+        let mut acc = a.clone();
+        let mut t = vec![0u64; k + 2];
+        let n = &ctx.n.limbs;
+        for _ in 0..reps {
+            match kernel {
+                BenchKernel::MulGeneric => cios_kernel(n, ctx.n0_inv, &acc, &a, &mut t, k),
+                BenchKernel::MulDispatch => ctx.cios(&acc, &a, &mut t),
+                BenchKernel::SqrViaGenericMul => cios_kernel(n, ctx.n0_inv, &acc, &acc, &mut t, k),
+                BenchKernel::SqrGenericFused => cios_sqr_kernel(n, ctx.n0_inv, &acc, &mut t, k),
+                BenchKernel::SqrDispatch => ctx.cios_sqr(&acc, &mut t),
+            }
+            acc[..k].copy_from_slice(&t[..k]);
+        }
+        acc[0]
     }
 }
 
@@ -434,6 +632,124 @@ mod tests {
             ctx.pow(&big_base, &n(12345)),
             big_base.mod_pow_schoolbook(&n(12345), &m)
         );
+    }
+
+    /// Deterministic limb stream for kernel cross-checks (xorshift64*).
+    fn limb_stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    /// An odd `k`-limb modulus with a set top limb, plus reduced
+    /// operands shaped to stress the kernels.
+    fn kernel_fixture(k: usize, seed: u64) -> (Montgomery, Vec<Vec<u64>>) {
+        let mut next = limb_stream(seed);
+        let mut m_limbs: Vec<u64> = (0..k).map(|_| next()).collect();
+        m_limbs[0] |= 1;
+        m_limbs[k - 1] |= 1 << 63;
+        let m = BigUint { limbs: m_limbs };
+        let ctx = Montgomery::new(&m).unwrap();
+        let mut operands: Vec<Vec<u64>> = vec![
+            vec![0u64; k],
+            {
+                let mut one = vec![0u64; k];
+                one[0] = 1;
+                one
+            },
+            {
+                // All-ones below the modulus: maximal carry pressure.
+                let mut v = BigUint {
+                    limbs: vec![u64::MAX; k],
+                }
+                .rem(&m)
+                .limbs;
+                v.resize(k, 0);
+                v
+            },
+        ];
+        for _ in 0..8 {
+            let mut v = BigUint {
+                limbs: (0..k).map(|_| next()).collect(),
+            }
+            .rem(&m)
+            .limbs;
+            v.resize(k, 0);
+            operands.push(v);
+        }
+        (ctx, operands)
+    }
+
+    #[test]
+    fn fused_squaring_is_bit_identical_to_the_multiply_kernel() {
+        // Every limb of REDC(a²) must match REDC(a·a) exactly — at the
+        // fixed widths (8, 16) and on the generic path (5, 23).
+        for k in [5usize, 8, 16, 23] {
+            let (ctx, operands) = kernel_fixture(k, 0x9e37_79b9_7f4a_7c15 ^ k as u64);
+            for (i, a) in operands.iter().enumerate() {
+                let mut via_mul = vec![0u64; k + 2];
+                let mut via_sqr = vec![0u64; k + 2];
+                ctx.cios(a, a, &mut via_mul);
+                ctx.cios_sqr(a, &mut via_sqr);
+                assert_eq!(via_mul, via_sqr, "k={k} operand #{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_width_kernels_are_bit_identical_to_the_generic_path() {
+        // Bypass the dispatch and compare the monomorphized entry
+        // points against the runtime-k kernels limb for limb.
+        for k in [8usize, 16] {
+            let (ctx, operands) = kernel_fixture(k, 0xdead_beef_cafe_f00d ^ k as u64);
+            let n = &ctx.n.limbs;
+            for (i, a) in operands.iter().enumerate() {
+                for (j, b) in operands.iter().enumerate() {
+                    let mut generic = vec![0u64; k + 2];
+                    let mut fixed = vec![0u64; k + 2];
+                    cios_kernel(n, ctx.n0_inv, a, b, &mut generic, k);
+                    match k {
+                        8 => cios_fixed::<8, 10>(n, ctx.n0_inv, a, b, &mut fixed),
+                        _ => cios_fixed::<16, 18>(n, ctx.n0_inv, a, b, &mut fixed),
+                    }
+                    assert_eq!(generic[..k], fixed[..k], "k={k} mul #{i}x#{j}");
+                }
+                let mut generic = vec![0u64; k + 2];
+                let mut fixed = vec![0u64; k + 2];
+                cios_sqr_kernel(n, ctx.n0_inv, a, &mut generic, k);
+                match k {
+                    8 => cios_sqr_fixed::<8, 10>(n, ctx.n0_inv, a, &mut fixed),
+                    _ => cios_sqr_fixed::<16, 18>(n, ctx.n0_inv, a, &mut fixed),
+                }
+                assert_eq!(generic[..k], fixed[..k], "k={k} sqr #{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_at_the_fixed_widths_matches_schoolbook() {
+        // 512-bit (k=8) and 1024-bit (k=16) moduli — the paper's two
+        // key sizes — run entirely through the fixed-width kernels.
+        for bytes in [64usize, 128] {
+            let mut m = BigUint::from_bytes_be(&vec![0xc9; bytes]);
+            m.limbs[0] |= 1;
+            let ctx = Montgomery::new(&m).unwrap();
+            let base = BigUint::from_bytes_be(&vec![0x6b; bytes - 3]);
+            for e in [
+                BigUint::from_u64(65537),
+                BigUint::from_bytes_be(&[0x97; 24]),
+            ] {
+                assert_eq!(
+                    ctx.pow(&base, &e),
+                    base.mod_pow_schoolbook(&e, &m),
+                    "bytes={bytes} e={e:?}"
+                );
+            }
+        }
     }
 
     #[test]

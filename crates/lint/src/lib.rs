@@ -111,6 +111,9 @@ impl Default for Config {
                 "crates/core/src/verify/".into(),
                 "crates/core/src/auth/snapshot.rs".into(),
                 "crates/core/src/client.rs".into(),
+                "crates/core/src/reactor.rs".into(),
+                "crates/core/src/server/conn.rs".into(),
+                "crates/core/src/server/reactor_core.rs".into(),
             ],
         }
     }

@@ -32,7 +32,7 @@ pub mod prelude {
     pub use authsearch_core::{
         phrase_filter, AuthConfig, AuthenticatedIndex, Client, Connection, DataOwner, Mechanism,
         ParsedQuery, Query, QueryMode, QueryResponse, RetryPolicy, SearchEngine, Server,
-        ServerConfig, VerifierParams,
+        ServerConfig, ServerCore, VerifierParams,
     };
     pub use authsearch_corpus::{Corpus, CorpusBuilder, SyntheticConfig};
     pub use authsearch_crypto::{Digest, RsaPrivateKey, RsaPublicKey};
