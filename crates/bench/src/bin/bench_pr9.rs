@@ -53,15 +53,24 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to `System` with the caller's own
+// layout/pointer arguments unchanged, so `System`'s contract is the
+// one the caller already promised; the counters are atomics and add
+// no unsafety of their own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System.alloc` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: forwards the caller's pointer and layout to
+    // `System.dealloc` untouched.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: forwards the caller's pointer, layout, and size to
+    // `System.realloc` untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);

@@ -488,6 +488,7 @@ impl Connection {
             // A failed reconnect leaves the dead socket in place; the
             // next attempt fails fast with a retriable I/O error and
             // dials again, so the policy's budget still bounds the loop.
+            // lint:allow(swallowed-result): a failed dial is retried by the bounded policy loop (see comment above)
             let _ = self.reconnect();
         }
     }

@@ -515,7 +515,11 @@ impl Drop for ThreadPool {
         self.core.shutdown.store(true, Ordering::Release);
         self.core.notify_all();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            // Worker bodies catch task panics and stash them in the
+            // scope state, so a join error here is a pool bug, not a
+            // task bug — surface it under test instead of swallowing.
+            let joined = handle.join();
+            debug_assert!(joined.is_ok(), "pool worker panicked outside a task");
         }
     }
 }

@@ -194,7 +194,7 @@ pub struct Poll {
 impl Poll {
     /// Create a new epoll instance (`EPOLL_CLOEXEC`).
     pub fn new() -> io::Result<Poll> {
-        // Safety: epoll_create1 takes a flags word and returns an fd or
+        // SAFETY: epoll_create1 takes a flags word and returns an fd or
         // -1; no pointers cross the boundary.
         let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if epfd < 0 {
@@ -208,7 +208,7 @@ impl Poll {
             events: bits,
             data: token.0,
         };
-        // Safety: `ev` outlives the call; the kernel copies it before
+        // SAFETY: `ev` outlives the call; the kernel copies it before
         // returning. For EPOLL_CTL_DEL the kernel ignores the pointer
         // (passing a valid one keeps pre-2.6.9 semantics happy anyway).
         let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
@@ -256,7 +256,7 @@ impl Poll {
                 }
             };
             let max = c_int::try_from(events.buf.len()).unwrap_or(c_int::MAX);
-            // Safety: the buffer holds `events.buf.len()` properly
+            // SAFETY: the buffer holds `events.buf.len()` properly
             // initialized EpollEvent slots and `max` never exceeds it.
             let rc = unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), max, timeout_ms) };
             if rc < 0 {
@@ -280,10 +280,16 @@ impl Poll {
 
 impl Drop for Poll {
     fn drop(&mut self) {
-        // Safety: we own the fd and drop it exactly once.
-        unsafe {
-            let _ = close(self.epfd);
-        }
+        // SAFETY: we own the fd and drop it exactly once; no other
+        // wrapper closes it, so the descriptor cannot be reused by a
+        // concurrent open between here and the syscall.
+        let rc = unsafe { close(self.epfd) };
+        debug_assert!(
+            rc == 0,
+            "close(epfd {}) failed: {}",
+            self.epfd,
+            io::Error::last_os_error()
+        );
     }
 }
 

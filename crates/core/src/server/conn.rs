@@ -637,7 +637,13 @@ impl<S: ConnStream> Conn<S> {
             }
             AfterWrite::Close => Step::Close,
             AfterWrite::ShedDrain => {
-                let _ = self.stream.shutdown_write();
+                if self.stream.shutdown_write().is_err() {
+                    // No FIN means the peer will never see EOF and the
+                    // polite drain can only end at the deadline; a dead
+                    // socket must not occupy a shed slot that long.
+                    self.state = State::Closed;
+                    return Step::Close;
+                }
                 self.last_byte = Instant::now();
                 self.drain_reads = 0;
                 self.state = State::ShedDraining;
@@ -722,6 +728,7 @@ mod tests {
         write_quota: VecDeque<usize>,
         unlimited_writes: bool,
         fin_sent: bool,
+        fail_shutdown: bool,
     }
 
     impl ScriptedStream {
@@ -733,6 +740,7 @@ mod tests {
                 write_quota: VecDeque::new(),
                 unlimited_writes: true,
                 fin_sent: false,
+                fail_shutdown: false,
             }
         }
 
@@ -793,6 +801,9 @@ mod tests {
         }
 
         fn shutdown_write(&mut self) -> io::Result<()> {
+            if self.fail_shutdown {
+                return Err(io::Error::from(io::ErrorKind::BrokenPipe));
+            }
             self.fin_sent = true;
             Ok(())
         }
@@ -1144,6 +1155,25 @@ mod tests {
             Step::Close
         );
         assert_eq!(metrics.snapshot().connections_timed_out, 1);
+    }
+
+    #[test]
+    fn shed_connection_whose_fin_fails_closes_instead_of_draining() {
+        // Regression: this error used to be swallowed, leaving a dead
+        // peer parked in ShedDraining until the drain deadline.
+        let metrics = ServerMetrics::default();
+        let transport = TransportStats::default();
+        let env = env(&metrics, &transport);
+        let mut stream = ScriptedStream::new();
+        stream.fail_shutdown = true;
+        let mut conn = Conn::new_shed(stream, &super::super::busy_message(2), Instant::now());
+        assert_eq!(
+            conn.on_writable(&env),
+            Step::Close,
+            "a peer we cannot half-close must not occupy a drain slot"
+        );
+        assert!(!conn.stream.fin_sent);
+        assert!(!conn.is_shedding(), "terminal, not draining");
     }
 
     #[test]

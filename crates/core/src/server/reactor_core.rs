@@ -104,7 +104,9 @@ impl ReactorHandle {
     pub(super) fn shutdown(&mut self) {
         if let Some(thread) = self.thread.take() {
             self.inner.waker.wake();
-            let _ = thread.join();
+            // lint:allow(blocking-in-reactor): shutdown runs on the caller's thread after the loop exits, never inside it
+            let joined = thread.join();
+            debug_assert!(joined.is_ok(), "reactor thread panicked");
         }
     }
 }
@@ -234,6 +236,7 @@ impl EventLoop {
                     // A broken poll fd cannot be recovered from inside
                     // the loop; sleep one interval to avoid spinning
                     // and re-check the shutdown flag.
+                    // lint:allow(blocking-in-reactor): deliberate back-off on an unrecoverable poll fd; nothing else can make progress
                     std::thread::sleep(self.shared.config.poll_interval);
                     continue;
                 }
@@ -354,12 +357,19 @@ impl EventLoop {
         if !self.listener_paused {
             return;
         }
-        self.listener_paused = false;
         if let Some(listener) = self.listener.as_ref() {
-            let _ = self
+            if self
                 .poll
-                .reregister(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE);
+                .reregister(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
+                .is_err()
+            {
+                // Stay paused: a failed re-arm would otherwise leave
+                // the listener permanently deaf. The next close_conn
+                // retries through this same path.
+                return;
+            }
         }
+        self.listener_paused = false;
         self.accept_ready();
     }
 
@@ -382,6 +392,7 @@ impl EventLoop {
                 // is the only shed that cannot be weaponized.
                 return;
             }
+            // lint:allow(swallowed-result): TCP_NODELAY is a latency knob; a shed handshake works without it
             let _ = stream.set_nodelay(true);
             let fd = stream.as_raw_fd();
             let conn = Conn::new_shed(stream, &busy_message(max), Instant::now());
@@ -390,6 +401,7 @@ impl EventLoop {
             return;
         }
         shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(swallowed-result): TCP_NODELAY is a latency knob; the connection is correct without it
         let _ = stream.set_nodelay(shared.config.nodelay);
         let fd = stream.as_raw_fd();
         let conn = Conn::new(stream, Instant::now());
@@ -610,6 +622,7 @@ impl EventLoop {
     /// it); wheel entries go stale and liveness counters roll back.
     fn close_conn(&mut self, id: u64) {
         if let Some(slot) = self.conns.remove(&id) {
+            // lint:allow(swallowed-result): dropping the socket closes the fd, which deregisters it implicitly
             let _ = self.poll.deregister(slot.fd);
             if slot.shed {
                 self.shed_live = self.shed_live.saturating_sub(1);

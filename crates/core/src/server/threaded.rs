@@ -53,6 +53,10 @@ pub(super) struct ThreadedHandle {
 /// Spawn the acceptor; the caller has already bound the listener and
 /// set the shutdown flag infrastructure up in `shared`.
 pub(super) fn start(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ThreadedHandle> {
+    // Nonblocking accept is what lets shutdown interrupt the loop; if
+    // the flag cannot be set, fail startup loudly rather than running
+    // a server whose shutdown can hang.
+    listener.set_nonblocking(true)?;
     let state = Arc::new(ThreadedState {
         shared,
         connections: Mutex::new(std::collections::HashMap::new()),
@@ -81,9 +85,11 @@ impl ThreadedHandle {
         // the nonblocking accept loop re-checks the flag every poll
         // interval regardless, so a failed connect (fd exhaustion)
         // cannot hang shutdown.
+        // lint:allow(swallowed-result): wake-up connect is best-effort by design (see comment above)
         let _ = TcpStream::connect(addr);
         if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+            let joined = acceptor.join();
+            debug_assert!(joined.is_ok(), "acceptor thread panicked");
         }
         // Graceful drain: close only the **read** side first. Blocked
         // readers wake with EOF (and the poll ticks observe the flag),
@@ -93,12 +99,15 @@ impl ThreadedHandle {
         // server already owed.
         let connections = std::mem::take(&mut *lock_recover(&self.state.connections));
         for (stream, _) in connections.values() {
+            // lint:allow(swallowed-result): the peer may already have closed; EOF reaches the handler either way
             let _ = stream.shutdown(Shutdown::Read);
         }
         for (_, (stream, handle)) in connections {
             if let Some(handle) = handle {
-                let _ = handle.join();
+                let joined = handle.join();
+                debug_assert!(joined.is_ok(), "connection handler panicked");
             }
+            // lint:allow(swallowed-result): final hard close on a socket that may already be gone
             let _ = stream.shutdown(Shutdown::Both);
         }
     }
@@ -142,7 +151,6 @@ fn write_all_bounded(
 /// under fd exhaustion, exactly when an operator is most likely to be
 /// shutting the server down).
 fn accept_loop(listener: TcpListener, state: Arc<ThreadedState>) {
-    let _ = listener.set_nonblocking(true);
     let shared = Arc::clone(&state.shared);
     let mut next_id = 0u64;
     loop {
@@ -167,8 +175,11 @@ fn accept_loop(listener: TcpListener, state: Arc<ThreadedState>) {
         }
         // The listener's nonblocking flag is inherited by accepted
         // sockets on some platforms; connection I/O must block (with a
-        // read timeout) instead.
-        let _ = stream.set_nonblocking(false);
+        // read timeout) instead. A socket stuck nonblocking would spin
+        // its handler thread on WouldBlock, so refuse it outright.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
         // Admission: at the cap, shed this connection with a typed BUSY
         // reply instead of parking another thread on it. The registry
         // holds live connections only (handlers self-prune on exit), so
@@ -241,8 +252,16 @@ fn shed_connection(stream: TcpStream, state: &Arc<ThreadedState>) {
         .spawn(move || {
             let shared = &state.shared;
             let message = busy_message(shared.config.max_connections);
+            // lint:allow(swallowed-result): TCP_NODELAY is a latency knob; the BUSY frame is correct without it
             let _ = stream.set_nodelay(true);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            if stream
+                .set_write_timeout(Some(Duration::from_millis(500)))
+                .is_err()
+            {
+                // Without a write bound a dead peer could park this
+                // shed thread forever; drop silently instead.
+                return;
+            }
             if let Ok(bytes) = wire::encode_err_reply(wire::errcode::BUSY, &message) {
                 shared.transport.writes.fetch_add(1, Ordering::Relaxed);
                 if (&stream).write_all(&bytes).is_ok() {
@@ -257,8 +276,16 @@ fn shed_connection(stream: TcpStream, state: &Arc<ThreadedState>) {
             // an RST on many stacks, which can wipe the BUSY frame out
             // of the peer's receive buffer before it is read. The drain
             // is bounded — a peer that keeps talking gets cut off.
+            // lint:allow(swallowed-result): half-close on a socket the peer may already have reset
             let _ = stream.shutdown(Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            if stream
+                .set_read_timeout(Some(Duration::from_millis(100)))
+                .is_err()
+            {
+                // An unbounded drain read could block forever; skip the
+                // polite drain (the BUSY frame and FIN are already out).
+                return;
+            }
             let mut sink = [0u8; 1024];
             for _ in 0..64 {
                 match (&stream).read(&mut sink) {
@@ -279,6 +306,7 @@ fn shed_connection(stream: TcpStream, state: &Arc<ThreadedState>) {
 /// waiting on a connection that is already dead.
 fn handle_connection(stream: TcpStream, state: Arc<ThreadedState>, id: u64) {
     connection_loop(&stream, &state.shared);
+    // lint:allow(swallowed-result): explicit close of a socket the peer may already have reset
     let _ = stream.shutdown(Shutdown::Both);
     // Self-prune: drop the monitor clone (and our registry slot) so an
     // idle server holds no resources for finished connections.
@@ -301,13 +329,23 @@ enum ReadAbort {
 /// making sense, the idle deadline expires, or the server shuts down.
 /// Never panics on input.
 fn connection_loop(stream: &TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    // The write bound is non-optional: a blocked `write` cannot be
-    // interrupted, so without it one non-draining peer would hang the
-    // graceful shutdown (which waits for in-flight replies). Zero falls
-    // back to the default instead of meaning "unbounded".
+    // Both timeouts are non-optional: the read timeout is the shutdown
+    // poll tick and the dribble clock, and a blocked `write` cannot be
+    // interrupted, so without the write bound one non-draining peer
+    // would hang the graceful shutdown (which waits for in-flight
+    // replies). A socket that cannot be bounded is not served at all.
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    // Zero falls back to the default instead of meaning "unbounded".
     let write_timeout = effective_write_timeout(&shared.config);
-    let _ = stream.set_write_timeout(Some(write_timeout));
+    if stream.set_write_timeout(Some(write_timeout)).is_err() {
+        return;
+    }
+    // lint:allow(swallowed-result): TCP_NODELAY is a latency knob; the connection is correct without it
     let _ = stream.set_nodelay(shared.config.nodelay);
     // The idle clock restarts at every received byte, so a legitimately
     // slow sender is never evicted mid-frame for link speed — but
@@ -337,6 +375,7 @@ fn connection_loop(stream: &TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 // Un-synchronizable: reply if possible, then drop the
                 // connection (we can no longer find frame boundaries).
+                // lint:allow(swallowed-result): best-effort courtesy reply; the connection is dropped either way
                 let _ = send_error_frame(stream, shared, wire::errcode::MALFORMED, &e.to_string());
                 return;
             }
@@ -348,6 +387,7 @@ fn connection_loop(stream: &TcpStream, shared: &Arc<Shared>) {
         // buffer — and consuming it would hand the dribble clock a
         // 64 Mi-byte frame to stretch. Refuse and drop.
         if len > MAX_REQUEST_PAYLOAD {
+            // lint:allow(swallowed-result): best-effort courtesy reply; the connection is dropped either way
             let _ = send_error_frame(
                 stream,
                 shared,
@@ -430,6 +470,7 @@ fn answer(kind: u8, payload: &[u8], shared: &Arc<Shared>) -> Result<Vec<u8>, (u8
             frame.extend_from_slice(&body);
             Ok(frame)
         });
+        // lint:allow(swallowed-result): a send error means the receiver gave up; recv() below reports that path
         let _ = tx.send(bytes);
     });
     match rx.recv() {

@@ -637,8 +637,11 @@ fn file_digest(bytes: &[u8]) -> Digest {
 fn encode_manifest(info: &SnapshotInfo) -> Vec<u8> {
     let mut buf = Vec::with_capacity(4 + 4 + 8 + 8 + 2 * DIGEST_LEN);
     buf.extend_from_slice(MANIFEST_MAGIC);
+    // lint:allow(swallowed-result): writing into a Vec is infallible; put_* carry io::Result only for the File path
     let _ = put_u32(&mut buf, SNAPSHOT_VERSION);
+    // lint:allow(swallowed-result): writing into a Vec is infallible; put_* carry io::Result only for the File path
     let _ = put_u64(&mut buf, info.generation);
+    // lint:allow(swallowed-result): writing into a Vec is infallible; put_* carry io::Result only for the File path
     let _ = put_u64(&mut buf, info.bytes);
     buf.extend_from_slice(info.digest.as_bytes());
     // Self-check trailer: a torn manifest write must not be mistaken
@@ -697,6 +700,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             if let Ok(d) = File::open(dir) {
+                // lint:allow(swallowed-result): directory fsync is best effort by design (see comment above)
                 let _ = d.sync_all();
             }
         }

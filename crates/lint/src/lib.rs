@@ -27,9 +27,11 @@
 //! and JSON output is emitted by hand in the CLI.
 
 pub mod lexer;
+pub mod parse;
+mod semantic;
 
 use lexer::{LexError, Lexed, Token, TokenKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, stable strings used in findings, `lint:allow`, and
@@ -38,6 +40,10 @@ pub const RULE_PANIC_PATH: &str = "panic-path";
 pub const RULE_TRUNCATING_CAST: &str = "truncating-cast";
 pub const RULE_LOCK_UNWRAP: &str = "lock-unwrap";
 pub const RULE_UNCLAMPED_PREALLOC: &str = "unclamped-prealloc";
+pub const RULE_UNSAFE_AUDIT: &str = "unsafe-audit";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_BLOCKING_IN_REACTOR: &str = "blocking-in-reactor";
+pub const RULE_SWALLOWED_RESULT: &str = "swallowed-result";
 pub const RULE_BAD_SUPPRESSION: &str = "bad-suppression";
 
 /// Every rule with a one-line summary, for `--rules` and for validating
@@ -58,6 +64,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_UNCLAMPED_PREALLOC,
         "Vec::with_capacity / reserve in decode modules must take values routed through checked_count / PREALLOC_CLAMP-style helpers, never raw decoded counts",
+    ),
+    (
+        RULE_UNSAFE_AUDIT,
+        "every unsafe block/fn/impl needs an adjacent `// SAFETY:` invariant comment; unsafe outside the audited-module allowlist is a finding; extern-fn call results must be bound and errno-checked",
+    ),
+    (
+        RULE_LOCK_ORDER,
+        "lock guards must acquire in a globally consistent order — acquired-while-held cycles across pool/cache/server are findings (`--graph` dumps the DOT graph); fix cycles, never allow them",
+    ),
+    (
+        RULE_BLOCKING_IN_REACTOR,
+        "no thread::sleep, bare .join(), blocking stream I/O, or lock held across a pool submit in the reactor modules, one call level deep — the event loop must never block",
+    ),
+    (
+        RULE_SWALLOWED_RESULT,
+        "`let _ = call(…)` in IO/untrusted modules silently drops a result — handle it, propagate it, or lint:allow with a reason",
     ),
     (
         RULE_BAD_SUPPRESSION,
@@ -93,13 +115,24 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Analyzer configuration: which modules are untrusted-input surfaces.
+/// Analyzer configuration: which modules each module-scoped rule
+/// family applies to.
 ///
 /// Entries ending in `/` are directory prefixes; others are exact file
 /// paths, both relative to the workspace root with `/` separators.
 #[derive(Debug, Clone)]
 pub struct Config {
+    /// Untrusted-input surfaces: panic-path and unclamped-prealloc.
     pub untrusted: Vec<String>,
+    /// Modules permitted to contain `unsafe` at all (each site still
+    /// needs a `// SAFETY:` comment).
+    pub unsafe_allowed: Vec<String>,
+    /// Reactor modules: single-threaded event-loop code that must
+    /// never block (blocking-in-reactor).
+    pub reactor_modules: Vec<String>,
+    /// IO modules where `let _ = call(…)` result drops are audited
+    /// (swallowed-result).
+    pub io_modules: Vec<String>,
 }
 
 impl Default for Config {
@@ -115,22 +148,68 @@ impl Default for Config {
                 "crates/core/src/server/conn.rs".into(),
                 "crates/core/src/server/reactor_core.rs".into(),
             ],
+            unsafe_allowed: vec![
+                "crates/core/src/pool.rs".into(),
+                "crates/core/src/reactor.rs".into(),
+                "crates/bench/src/bin/bench_pr9.rs".into(),
+            ],
+            reactor_modules: vec![
+                "crates/core/src/server/reactor_core.rs".into(),
+                "crates/core/src/server/conn.rs".into(),
+            ],
+            io_modules: vec![
+                "crates/core/src/wire.rs".into(),
+                "crates/index/src/persist.rs".into(),
+                "crates/core/src/server/".into(),
+                "crates/core/src/client.rs".into(),
+            ],
         }
     }
+}
+
+fn matches_module(list: &[String], rel: &str) -> bool {
+    list.iter().any(|u| {
+        if let Some(dir) = u.strip_suffix('/') {
+            rel == dir || rel.starts_with(u.as_str())
+        } else {
+            rel == u
+        }
+    })
 }
 
 impl Config {
     /// Is `rel` (slash-separated, workspace-relative) an
     /// untrusted-input module?
     pub fn is_untrusted(&self, rel: &str) -> bool {
-        self.untrusted.iter().any(|u| {
-            if let Some(dir) = u.strip_suffix('/') {
-                rel == dir || rel.starts_with(u.as_str())
-            } else {
-                rel == u
-            }
-        })
+        matches_module(&self.untrusted, rel)
     }
+
+    /// May `rel` contain `unsafe` code at all?
+    pub fn is_unsafe_allowed(&self, rel: &str) -> bool {
+        matches_module(&self.unsafe_allowed, rel)
+    }
+
+    /// Is `rel` part of the single-threaded reactor that must never
+    /// block?
+    pub fn is_reactor(&self, rel: &str) -> bool {
+        matches_module(&self.reactor_modules, rel)
+    }
+
+    /// Is `rel` an IO module whose dropped results are audited?
+    pub fn is_io(&self, rel: &str) -> bool {
+        matches_module(&self.io_modules, rel)
+    }
+}
+
+/// One acquired-while-held edge in the lock-order graph: a `to` lock
+/// acquired at `file:line:col` while a `from` guard was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
 }
 
 /// A parsed `lint:allow(rules): reason` annotation.
@@ -161,6 +240,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
     pub suppressions: usize,
+    /// The acquired-while-held lock graph (for `--graph`).
+    pub lock_edges: Vec<LockEdge>,
 }
 
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -196,13 +277,23 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 /// Panic-macro names checked when followed by `!`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Analyze one file's source text. `rel` is the workspace-relative path
-/// (slash-separated) used both for blame output and for deciding
-/// whether untrusted-module rules apply.
-pub fn analyze_source(rel: &str, source: &str, cfg: &Config) -> Result<FileReport, LexError> {
+/// Per-file intermediate state: raw findings plus everything the
+/// workspace-global passes need (fn summaries, lock acquisitions,
+/// pending cross-function calls).
+struct ScanState {
+    rel: String,
+    raw: Vec<Finding>,
+    sups: Vec<Suppression>,
+    sup_findings: Vec<Finding>,
+    sem: semantic::SemanticScan,
+}
+
+/// Token-rule + semantic scan of one file (no global resolution yet).
+fn scan_one(rel: &str, source: &str, cfg: &Config) -> Result<ScanState, LexError> {
     let lexed = lexer::lex(source)?;
     let skip = test_region_mask(&lexed.tokens);
     let untrusted = cfg.is_untrusted(rel);
+    let parsed = parse::parse(&lexed.tokens);
 
     let mut raw: Vec<Finding> = Vec::new();
     scan_panic_paths(rel, &lexed.tokens, &skip, untrusted, &mut raw);
@@ -210,14 +301,166 @@ pub fn analyze_source(rel: &str, source: &str, cfg: &Config) -> Result<FileRepor
     scan_lock_unwrap(rel, &lexed.tokens, &skip, &mut raw);
     scan_unclamped_prealloc(rel, &lexed.tokens, &skip, untrusted, &mut raw);
 
-    let (mut sups, mut findings) = parse_suppressions(rel, &lexed);
-    let n_sups = sups.len();
+    let (sups, sup_findings) = parse_suppressions(rel, &lexed);
+    // Blocking operations already covered by an allow are vouched for
+    // at their site — exclude them from the one-level summaries so
+    // callers are not re-blamed.
+    let allowed_blocking: HashSet<u32> = sups
+        .iter()
+        .filter(|s| s.rules.iter().any(|r| r == RULE_BLOCKING_IN_REACTOR))
+        .map(|s| s.target_line)
+        .collect();
 
-    // Apply suppressions: a finding on line L for rule R is silenced by
-    // a well-formed allow targeting L that names R.
-    for f in raw {
+    let sem = semantic::scan(rel, source, &lexed, &skip, &parsed, cfg, &allowed_blocking);
+    raw.extend(sem.findings.iter().cloned());
+
+    Ok(ScanState {
+        rel: rel.to_string(),
+        raw,
+        sups,
+        sup_findings,
+        sem,
+    })
+}
+
+/// Workspace-global resolution over the scanned files: one-level lock
+/// edges and blocking calls, then cycle detection over the combined
+/// lock graph. Returns the full edge list; cycle/blocking findings are
+/// appended to each file's raw findings.
+fn resolve_global(states: &mut [ScanState]) -> Vec<LockEdge> {
+    // Index fn summaries: name → (state index, summary index).
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (si, st) in states.iter().enumerate() {
+        for (fi, f) in st.sem.summaries.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push((si, fi));
+        }
+    }
+    // A held/reactor call resolves to a same-file fn of that name
+    // first; a free call with no same-file match resolves globally iff
+    // the name is unique workspace-wide.
+    let resolve = |caller: usize, callee: &str, self_method: bool| -> Option<(usize, usize)> {
+        let candidates = by_name.get(callee)?;
+        if let Some(hit) = candidates.iter().find(|(si, _)| *si == caller) {
+            return Some(*hit);
+        }
+        if !self_method && candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        None
+    };
+
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for (si, st) in states.iter().enumerate() {
+        edges.extend(st.sem.edges.iter().cloned());
+        for hc in &st.sem.held_calls {
+            if let Some((ti, fi)) = resolve(si, &hc.callee, hc.self_method) {
+                for label in &states[ti].sem.summaries[fi].locks {
+                    edges.push(LockEdge {
+                        from: hc.from_label.clone(),
+                        to: label.clone(),
+                        file: st.rel.clone(),
+                        line: hc.line,
+                        col: hc.col,
+                    });
+                }
+            }
+        }
+        for rc in &st.sem.reactor_calls {
+            if let Some((ti, fi)) = resolve(si, &rc.callee, rc.self_method) {
+                let target = &states[ti].sem.summaries[fi];
+                if let Some((desc, line)) = target.blocking.first() {
+                    extra.push((
+                        si,
+                        Finding {
+                            rule: RULE_BLOCKING_IN_REACTOR,
+                            file: st.rel.clone(),
+                            line: rc.line,
+                            col: rc.col,
+                            message: format!(
+                                "calls `{}`, which blocks ({desc} at {}:{line}) — the event loop must never block",
+                                rc.callee, states[ti].rel
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    for (si, f) in extra {
+        states[si].raw.push(f);
+    }
+
+    // Cycle detection: an edge is a finding iff its target can reach
+    // back to its source through the graph (including self-edges).
+    let rel_index: BTreeMap<String, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.rel.clone(), i))
+        .collect();
+    for e in &edges {
+        if let Some(path) = cycle_path(&edges, &e.to, &e.from) {
+            let cycle: Vec<&str> = std::iter::once(e.from.as_str())
+                .chain(path.iter().map(|s| s.as_str()))
+                .collect();
+            let msg = if e.from == e.to {
+                format!(
+                    "re-acquiring `{}` while a `{}` guard is held — self-deadlock on a non-reentrant mutex",
+                    e.to, e.from
+                )
+            } else {
+                format!(
+                    "lock-order cycle: acquiring `{}` while holding `{}` closes the cycle {}",
+                    e.to,
+                    e.from,
+                    cycle.join(" → ")
+                )
+            };
+            if let Some(&si) = rel_index.get(&e.file) {
+                states[si].raw.push(Finding {
+                    rule: RULE_LOCK_ORDER,
+                    file: e.file.clone(),
+                    line: e.line,
+                    col: e.col,
+                    message: msg,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// Shortest label path from `from` back to `to` over the edge list
+/// (BFS), or `None` when unreachable. Used to name the full cycle.
+fn cycle_path(edges: &[LockEdge], from: &str, to: &str) -> Option<Vec<String>> {
+    let mut queue: std::collections::VecDeque<Vec<String>> = std::collections::VecDeque::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    queue.push_back(vec![from.to_string()]);
+    seen.insert(from);
+    while let Some(path) = queue.pop_front() {
+        let last = path.last().expect("paths are non-empty");
+        if last == to {
+            return Some(path);
+        }
+        for e in edges {
+            if &e.from == last && seen.insert(e.to.as_str()) {
+                let mut next = path.clone();
+                next.push(e.to.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Apply the suppression ledger to a file's raw findings and surface
+/// unused allows.
+fn finish(mut st: ScanState) -> FileReport {
+    let n_sups = st.sups.len();
+    let mut findings = st.sup_findings;
+    for f in st.raw {
         let mut silenced = false;
-        for s in sups.iter_mut() {
+        for s in st.sups.iter_mut() {
             if s.target_line == f.line && s.rules.iter().any(|r| r == f.rule) {
                 s.used = true;
                 silenced = true;
@@ -229,11 +472,11 @@ pub fn analyze_source(rel: &str, source: &str, cfg: &Config) -> Result<FileRepor
     }
     // An allow that silences nothing is itself a finding — stale
     // suppressions must not accumulate.
-    for s in &sups {
+    for s in &st.sups {
         if !s.used {
             findings.push(Finding {
                 rule: RULE_BAD_SUPPRESSION,
-                file: rel.to_string(),
+                file: st.rel.clone(),
                 line: s.comment_line,
                 col: 1,
                 message: format!(
@@ -245,10 +488,21 @@ pub fn analyze_source(rel: &str, source: &str, cfg: &Config) -> Result<FileRepor
         }
     }
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    Ok(FileReport {
+    FileReport {
         findings,
         suppressions: n_sups,
-    })
+    }
+}
+
+/// Analyze one file's source text. `rel` is the workspace-relative path
+/// (slash-separated) used both for blame output and for deciding which
+/// module-scoped rules apply. The file is treated as its own universe:
+/// cross-function passes (lock cycles, one-level blocking) resolve
+/// within it.
+pub fn analyze_source(rel: &str, source: &str, cfg: &Config) -> Result<FileReport, LexError> {
+    let mut states = vec![scan_one(rel, source, cfg)?];
+    resolve_global(&mut states);
+    Ok(finish(states.pop().expect("one state in, one state out")))
 }
 
 /// Mark tokens that belong to test-only items: any item gated by an
@@ -852,9 +1106,14 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyze every in-scope file under `root`.
+/// Analyze every in-scope file under `root`. All files are scanned
+/// first, then the workspace-global passes (lock-graph cycles,
+/// one-level blocking resolution) run over the combined model, so
+/// cross-file lock cycles and calls into other modules' blocking
+/// functions are visible.
 pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     let mut report = Report::default();
+    let mut states: Vec<ScanState> = Vec::new();
     for path in collect_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -862,11 +1121,8 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(&path)?;
-        match analyze_source(&rel, &source, cfg) {
-            Ok(mut fr) => {
-                report.findings.append(&mut fr.findings);
-                report.suppressions += fr.suppressions;
-            }
+        match scan_one(&rel, &source, cfg) {
+            Ok(st) => states.push(st),
             Err(e) => {
                 report.findings.push(Finding {
                     rule: RULE_BAD_SUPPRESSION,
@@ -879,11 +1135,41 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
         }
         report.files_scanned += 1;
     }
+    report.lock_edges = resolve_global(&mut states);
+    for st in states {
+        let fr = finish(st);
+        report.findings.extend(fr.findings);
+        report.suppressions += fr.suppressions;
+    }
     // Stable order: by file, then line.
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report
+        .lock_edges
+        .sort_by(|a, b| (&a.from, &a.to, &a.file, a.line).cmp(&(&b.from, &b.to, &b.file, b.line)));
     Ok(report)
+}
+
+/// Render the acquired-while-held graph as GraphViz DOT, one edge per
+/// distinct (from, to) pair labeled with its first blame site.
+pub fn render_lock_dot(edges: &[LockEdge]) -> String {
+    let mut out = String::from("digraph lock_order {\n");
+    out.push_str(
+        "    // acquired-while-held: \"A\" -> \"B\" means B is acquired while an A guard is held\n",
+    );
+    out.push_str("    rankdir=LR;\n    node [shape=box, fontname=\"monospace\"];\n");
+    let mut seen: HashSet<(&str, &str)> = HashSet::new();
+    for e in edges {
+        if seen.insert((e.from.as_str(), e.to.as_str())) {
+            out.push_str(&format!(
+                "    \"{}\" -> \"{}\" [label=\"{}:{}\"];\n",
+                e.from, e.to, e.file, e.line
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Group findings per rule, for the human summary footer.

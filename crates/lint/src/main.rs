@@ -1,7 +1,7 @@
 //! authlint CLI.
 //!
 //! ```text
-//! cargo run -p authlint -- [--deny] [--json] [--root DIR]
+//! cargo run -p authlint -- [--deny] [--json] [--graph] [--root DIR]
 //! cargo run -p authlint -- --rules
 //! cargo run -p authlint -- --check-suppressions
 //! ```
@@ -11,12 +11,14 @@
 //! finding in a top-level array) for artifact upload.
 //! `--check-suppressions` audits every `lint:allow` in the tree and
 //! fails on any without a known rule name and a non-empty reason.
+//! `--graph` dumps the acquired-while-held lock graph as GraphViz DOT.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use authlint::{
-    analyze_workspace, collect_files, count_by_rule, list_suppressions, Config, Finding, RULES,
+    analyze_workspace, collect_files, count_by_rule, list_suppressions, render_lock_dot, Config,
+    Finding, RULES,
 };
 
 struct Args {
@@ -24,6 +26,7 @@ struct Args {
     json: bool,
     rules: bool,
     check_suppressions: bool,
+    graph: bool,
     root: PathBuf,
 }
 
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         rules: false,
         check_suppressions: false,
+        graph: false,
         root: PathBuf::from("."),
     };
     let mut it = std::env::args().skip(1);
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--rules" => args.rules = true,
             "--check-suppressions" => args.check_suppressions = true,
+            "--graph" => args.graph = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a directory argument")?;
                 args.root = PathBuf::from(v);
@@ -59,10 +64,13 @@ fn parse_args() -> Result<Args, String> {
 fn print_help() {
     println!("authlint — workspace invariant checker");
     println!();
-    println!("USAGE: authlint [--deny] [--json] [--root DIR] [--rules] [--check-suppressions]");
+    println!(
+        "USAGE: authlint [--deny] [--json] [--graph] [--root DIR] [--rules] [--check-suppressions]"
+    );
     println!();
     println!("  --deny                exit nonzero if any unsuppressed finding remains (CI gate)");
     println!("  --json                machine-readable findings on stdout");
+    println!("  --graph               dump the lock-order graph (acquired-while-held) as DOT");
     println!("  --root DIR            workspace root to scan (default: .)");
     println!("  --rules               list the rules and what they guard");
     println!("  --check-suppressions  audit every lint:allow for a known rule + reason");
@@ -146,6 +154,11 @@ fn run() -> Result<ExitCode, String> {
 
     let cfg = Config::default();
     let report = analyze_workspace(&args.root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+
+    if args.graph {
+        print!("{}", render_lock_dot(&report.lock_edges));
+        return Ok(ExitCode::SUCCESS);
+    }
 
     if args.json {
         emit_json(&report.findings);

@@ -156,28 +156,337 @@ fn decode(v: &[u8], n: usize) -> u16 {
     );
 }
 
+const REACTOR: &str = "crates/core/src/server/reactor_core.rs";
+const UNSAFE_OK: &str = "crates/core/src/reactor.rs";
+
 #[test]
-fn every_rule_seeds_nonzero_in_untrusted_module() {
+fn unsafe_audit_requires_safety_comment_and_module_allowlist() {
+    let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    // Outside the allowlist: both the placement and the missing
+    // SAFETY comment are findings.
+    let found = run(TRUSTED, src);
+    assert_eq!(rules_of(&found), ["unsafe-audit", "unsafe-audit"]);
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("outside the unsafe-allowed module list")));
+    assert!(found.iter().any(|f| f.message.contains("SAFETY")));
+    // Inside an allowlisted module: only the missing comment remains.
+    let found = run(UNSAFE_OK, src);
+    assert_eq!(rules_of(&found), ["unsafe-audit"]);
+    // A SAFETY comment on the adjacent line satisfies the audit.
+    let ok = "// SAFETY: the caller guarantees p is valid for reads\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(run(UNSAFE_OK, ok).is_empty());
+}
+
+#[test]
+fn unsafe_audit_distinguishes_unsafe_fn_from_unsafe_block() {
+    let src = "\
+unsafe fn raw(p: *const u8) -> u8 {
+    *p
+}
+fn wrap(p: *const u8) -> u8 {
+    unsafe { raw(p) }
+}
+";
+    let found = run(UNSAFE_OK, src);
+    assert_eq!(rules_of(&found), ["unsafe-audit", "unsafe-audit"]);
+    assert!(
+        found[0].message.starts_with("unsafe fn"),
+        "{}",
+        found[0].message
+    );
+    assert_eq!((found[0].line, found[0].col), (1, 1));
+    assert!(
+        found[1].message.starts_with("unsafe block"),
+        "{}",
+        found[1].message
+    );
+    assert_eq!((found[1].line, found[1].col), (5, 5));
+}
+
+#[test]
+fn unsafe_audit_ffi_returns_must_be_bound_and_checked() {
+    // Discarded outright.
+    let src = "\
+extern \"C\" {
+    fn close(fd: i32) -> i32;
+}
+fn f(fd: i32) {
+    // SAFETY: fd is owned by this wrapper and closed exactly once.
+    unsafe { close(fd) };
+}
+";
+    let found = run(UNSAFE_OK, src);
+    assert_eq!(rules_of(&found), ["unsafe-audit"]);
+    assert!(
+        found[0].message.contains("discards its return value"),
+        "{}",
+        found[0].message
+    );
+    // Bound but never consulted.
+    let src = "\
+extern \"C\" {
+    fn close(fd: i32) -> i32;
+}
+fn f(fd: i32) {
+    // SAFETY: fd is owned by this wrapper and closed exactly once.
+    let rc = unsafe { close(fd) };
+}
+";
+    let found = run(UNSAFE_OK, src);
+    assert_eq!(rules_of(&found), ["unsafe-audit"]);
+    assert!(
+        found[0].message.contains("binds `rc` but never checks it"),
+        "{}",
+        found[0].message
+    );
+    // Bound and errno-checked: clean.
+    let src = "\
+extern \"C\" {
+    fn close(fd: i32) -> i32;
+}
+fn f(fd: i32) -> std::io::Result<()> {
+    // SAFETY: fd is owned by this wrapper and closed exactly once.
+    let rc = unsafe { close(fd) };
+    if rc < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(())
+}
+";
+    assert!(run(UNSAFE_OK, src).is_empty());
+}
+
+#[test]
+fn lock_order_cycle_fixture_names_both_locks() {
+    let src = "\
+impl S {
+    fn one(&self) {
+        let ga = lock_recover(&self.alpha);
+        let gb = lock_recover(&self.beta);
+        use_both(&ga, &gb);
+    }
+    fn two(&self) {
+        let gb = lock_recover(&self.beta);
+        let ga = lock_recover(&self.alpha);
+        use_both(&ga, &gb);
+    }
+}
+";
+    let found = run(TRUSTED, src);
+    assert_eq!(rules_of(&found), ["lock-order", "lock-order"]);
+    for f in &found {
+        assert!(
+            f.message.contains("`alpha`") && f.message.contains("`beta`"),
+            "cycle finding must name both locks: {}",
+            f.message
+        );
+    }
+    assert_eq!(
+        found[0].line, 4,
+        "blamed at the acquisition closing the cycle"
+    );
+    assert_eq!(found[1].line, 9);
+    // Consistent order everywhere: no cycle, no findings.
+    let src = "\
+impl S {
+    fn one(&self) {
+        let ga = lock_recover(&self.alpha);
+        let gb = lock_recover(&self.beta);
+        use_both(&ga, &gb);
+    }
+    fn two(&self) {
+        let ga = lock_recover(&self.alpha);
+        let gb = lock_recover(&self.beta);
+        use_both(&ga, &gb);
+    }
+}
+";
+    assert!(run(TRUSTED, src).is_empty());
+}
+
+#[test]
+fn lock_order_flags_self_deadlock() {
+    let src = "\
+impl S {
+    fn f(&self) {
+        let a = lock_recover(&self.inner);
+        let b = lock_recover(&self.inner);
+        use_both(&a, &b);
+    }
+}
+";
+    let found = run(TRUSTED, src);
+    assert_eq!(rules_of(&found), ["lock-order"]);
+    assert!(
+        found[0].message.contains("self-deadlock"),
+        "{}",
+        found[0].message
+    );
+}
+
+#[test]
+fn blocking_in_reactor_flags_direct_ops_only_in_reactor_modules() {
+    let sleep = "\
+fn tick(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+";
+    let found = run(REACTOR, sleep);
+    assert_eq!(rules_of(&found), ["blocking-in-reactor"]);
+    assert_eq!((found[0].line, found[0].col), (2, 18));
+    // The same code outside the reactor modules is not the rule's business.
+    assert!(run(TRUSTED, sleep).is_empty());
+    // Bare .join() on a handle blocks; .join(", ") on a slice does not.
+    let src = "fn f(h: std::thread::JoinHandle<()>) { h.join(); }\n";
+    assert_eq!(rules_of(&run(REACTOR, src)), ["blocking-in-reactor"]);
+    let src = "fn f(v: &[String]) -> String { v.join(\", \") }\n";
+    assert!(run(REACTOR, src).is_empty());
+    // Blocking stream I/O.
+    let src = "fn f(s: &mut std::net::TcpStream, b: &mut [u8]) { s.read_exact(b); }\n";
+    let found = run(REACTOR, src);
+    assert_eq!(rules_of(&found), ["blocking-in-reactor"]);
+    assert!(
+        found[0].message.contains("read_exact"),
+        "{}",
+        found[0].message
+    );
+}
+
+#[test]
+fn blocking_in_reactor_sees_one_call_level_deep() {
+    let src = "\
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+fn on_readable() {
+    backoff();
+}
+";
+    let found = run(REACTOR, src);
+    assert_eq!(
+        rules_of(&found),
+        ["blocking-in-reactor", "blocking-in-reactor"]
+    );
+    // The direct op and the caller are both blamed.
+    assert!(
+        found[1].message.contains("calls `backoff`"),
+        "{}",
+        found[1].message
+    );
+    assert_eq!((found[1].line, found[1].col), (5, 5));
+}
+
+#[test]
+fn blocking_in_reactor_flags_submit_under_guard() {
+    let src = "\
+impl Core {
+    fn dispatch(&self, job: Job) {
+        let guard = lock_recover(&self.conns);
+        self.pool.submit(job);
+        drop(guard);
+    }
+}
+";
+    let found = run(REACTOR, src);
+    assert_eq!(rules_of(&found), ["blocking-in-reactor"]);
+    assert!(
+        found[0].message.contains("submit while holding `conns`"),
+        "{}",
+        found[0].message
+    );
+    // Guard released first: fine.
+    let src = "\
+impl Core {
+    fn dispatch(&self, job: Job) {
+        let guard = lock_recover(&self.conns);
+        drop(guard);
+        self.pool.submit(job);
+    }
+}
+";
+    assert!(run(REACTOR, src).is_empty());
+}
+
+#[test]
+fn swallowed_result_fires_on_calls_in_io_modules_only() {
+    let src = "\
+fn f(s: &mut W) {
+    let _ = s.flush();
+}
+";
+    let found = run(UNTRUSTED, src);
+    assert_eq!(rules_of(&found), ["swallowed-result"]);
+    assert_eq!((found[0].line, found[0].col), (2, 5), "blamed at the let");
+    // Not an IO module: not the rule's business.
+    assert!(run(TRUSTED, src).is_empty());
+    // `let _ = x;` with no call is a silenced-variable idiom, not a
+    // dropped result.
+    assert!(run(UNTRUSTED, "fn f(x: u8) { let _ = x; }\n").is_empty());
+    // An allow with a reason silences it.
+    let src = "fn f(s: &mut W) { let _ = s.flush(); } // lint:allow(swallowed-result): best-effort flush on teardown\n";
+    assert!(run(UNTRUSTED, src).is_empty());
+}
+
+#[test]
+fn stale_allows_for_new_rules_are_bad_suppressions() {
+    for rule in [
+        "unsafe-audit",
+        "lock-order",
+        "blocking-in-reactor",
+        "swallowed-result",
+    ] {
+        let src = format!("// lint:allow({rule}): stale reason\nfn f() -> u8 {{ 1 }}\n");
+        let found = run(UNTRUSTED, &src);
+        assert_eq!(rules_of(&found), ["bad-suppression"], "stale allow({rule})");
+    }
+}
+
+#[test]
+fn every_rule_seeds_nonzero_in_its_module() {
     // One seeded violation per rule, each blamed under its own name —
     // the end-to-end guarantee that the CI gate can never pass with a
-    // reintroduced bug of any of the four classes.
+    // reintroduced bug of any of the eight classes.
     let cases = [
-        ("fn f(x: Option<u8>) { x.unwrap(); }\n", "panic-path"),
+        (UNTRUSTED, "fn f(x: Option<u8>) { x.unwrap(); }\n", "panic-path"),
         (
+            UNTRUSTED,
             "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n",
             "truncating-cast",
         ),
         (
+            UNTRUSTED,
             "fn f(m: &std::sync::Mutex<u8>) { m.lock().unwrap(); }\n",
             "lock-unwrap",
         ),
         (
+            UNTRUSTED,
             "fn f(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n",
             "unclamped-prealloc",
         ),
+        (
+            TRUSTED,
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            "unsafe-audit",
+        ),
+        (
+            TRUSTED,
+            "fn a(s: &S) { let x = lock_recover(&s.one); let y = lock_recover(&s.two); use2(&x, &y); }\nfn b(s: &S) { let y = lock_recover(&s.two); let x = lock_recover(&s.one); use2(&x, &y); }\n",
+            "lock-order",
+        ),
+        (
+            REACTOR,
+            "fn f(d: std::time::Duration) { std::thread::sleep(d); }\n",
+            "blocking-in-reactor",
+        ),
+        (
+            UNTRUSTED,
+            "fn f(s: &mut W) { let _ = s.flush(); }\n",
+            "swallowed-result",
+        ),
     ];
-    for (src, rule) in cases {
-        let found = run(UNTRUSTED, src);
+    for (path, src, rule) in cases {
+        let found = run(path, src);
         assert!(
             found.iter().any(|f| f.rule == rule),
             "{rule} should fire on: {src}"

@@ -5,7 +5,7 @@
 //! the codebase fails the tier-1 suite even before CI runs the
 //! dedicated `authlint --deny` gate.
 
-use authlint::{analyze_workspace, Config};
+use authlint::{analyze_workspace, render_lock_dot, Config};
 use std::path::Path;
 
 fn workspace_root() -> &'static Path {
@@ -48,4 +48,34 @@ fn every_suppression_in_the_workspace_carries_a_reason() {
         report.suppressions >= 1,
         "expected the workspace's documented lint:allow suppressions to be visible"
     );
+}
+
+#[test]
+fn lock_order_graph_is_emitted_and_acyclic() {
+    // The zero-findings ratchet above already rejects cycles (they are
+    // `lock-order` findings); this pins the other half of the
+    // acceptance criterion — the acquired-while-held graph is actually
+    // being built, with the pool's parker edges present, and renders
+    // as DOT.
+    let report = analyze_workspace(workspace_root(), &Config::default())
+        .expect("workspace scan must succeed");
+    assert!(
+        !report.lock_edges.is_empty(),
+        "the workspace holds locks across acquisitions (pool parker); an empty graph means the pass went blind"
+    );
+    assert!(
+        report
+            .lock_edges
+            .iter()
+            .any(|e| e.from == "idle_lock" && e.file.ends_with("pool.rs")),
+        "expected the pool's idle_lock → deque/inject edges, got: {:?}",
+        report
+            .lock_edges
+            .iter()
+            .map(|e| format!("{} -> {}", e.from, e.to))
+            .collect::<Vec<_>>()
+    );
+    let dot = render_lock_dot(&report.lock_edges);
+    assert!(dot.starts_with("digraph lock_order {"), "{dot}");
+    assert!(dot.contains("\"idle_lock\""), "{dot}");
 }
